@@ -1,0 +1,53 @@
+// Command fraudpipe runs the paper's Figure 4 pipeline on the credit-card
+// fraud running example and prints each detector's verdicts against planted
+// ground truth: the graph-only query (Listing 1) flags legitimate heavy
+// spenders, the series-only detector (Listing 2) flags volatile balances,
+// and the HyGraph hybrid pipeline flags exactly the planted fraudsters.
+//
+// Usage:
+//
+//	fraudpipe [-users N] [-fraudsters N] [-heavy N] [-volatile N] [-seed S]
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"hygraph/internal/dataset"
+	"hygraph/internal/pipeline"
+)
+
+func main() {
+	users := flag.Int("users", 30, "number of users")
+	fraudsters := flag.Int("fraudsters", 3, "planted fraudsters (true positives)")
+	heavy := flag.Int("heavy", 3, "planted heavy users (graph-side bait)")
+	volatile := flag.Int("volatile", 3, "planted volatile balances (series-side bait)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	flag.Parse()
+
+	cfg := dataset.DefaultFraud()
+	cfg.Users = *users
+	cfg.Fraudsters = *fraudsters
+	cfg.HeavyUsers = *heavy
+	cfg.Volatile = *volatile
+	cfg.Seed = *seed
+
+	d := dataset.GenerateFraud(cfg)
+	fmt.Printf("workload: %s\n", d.H)
+	fmt.Printf("planted:  %d fraudsters, %d heavy users, %d volatile, %d normal\n\n",
+		cfg.Fraudsters, cfg.HeavyUsers, cfg.Volatile,
+		cfg.Users-cfg.Fraudsters-cfg.HeavyUsers-cfg.Volatile)
+
+	r := pipeline.Run(d, pipeline.DefaultParams())
+	fmt.Print(pipeline.FormatReport(d, r))
+
+	fmt.Println()
+	switch {
+	case r.HybridMetrics.F1() == 1:
+		fmt.Println("result: hybrid pipeline recovered the planted fraudsters exactly (Figure 4's claim)")
+	case r.HybridMetrics.F1() > r.GraphMetrics.F1() && r.HybridMetrics.F1() > r.SeriesMetrics.F1():
+		fmt.Println("result: hybrid pipeline beats both single-model baselines")
+	default:
+		fmt.Println("result: hybrid pipeline did NOT beat the baselines on this seed")
+	}
+}

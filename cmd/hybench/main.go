@@ -1,0 +1,72 @@
+// Command hybench regenerates the paper's Table 1: the eight-query storage
+// benchmark of all-in-graph ("Neo4j") vs polyglot persistence
+// ("TimeTravelDB") over a synthetic bike-sharing workload.
+//
+// Usage:
+//
+//	hybench [-scale small|default|paper] [-reps N] [-stations N] [-days N]
+//
+// The default scale (200 stations × 180 days hourly) finishes in well under
+// a minute and already shows the paper's orders-of-magnitude separation on
+// Q4–Q8; -scale paper approaches the dataset size of the original study.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hygraph/internal/bench"
+)
+
+func main() {
+	scale := flag.String("scale", "default", "workload scale: small, default, or paper")
+	reps := flag.Int("reps", 0, "measured repetitions per query (0 = scale default)")
+	stations := flag.Int("stations", 0, "override station count")
+	days := flag.Int("days", 0, "override number of days")
+	flag.Parse()
+
+	var cfg bench.Config
+	switch *scale {
+	case "small":
+		cfg = bench.DefaultConfig()
+		cfg.Bike.Stations = 40
+		cfg.Bike.Days = 30
+		cfg.Reps = 5
+	case "default":
+		cfg = bench.DefaultConfig()
+	case "paper":
+		cfg = bench.PaperScaleConfig()
+	default:
+		fmt.Fprintf(os.Stderr, "hybench: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	if *stations > 0 {
+		cfg.Bike.Stations = *stations
+	}
+	if *days > 0 {
+		cfg.Bike.Days = *days
+	}
+
+	points := cfg.Bike.Stations * cfg.Bike.Days * 24 * 60 / cfg.Bike.StepMinutes
+	fmt.Printf("Table 1 reproduction — %d stations, %d days (%d points), %d reps/query\n\n",
+		cfg.Bike.Stations, cfg.Bike.Days, points, cfg.Reps)
+
+	rows := bench.Run(cfg)
+	fmt.Print(bench.Format(rows))
+
+	fmt.Println()
+	problems := bench.ShapeCheck(rows, 50)
+	if len(problems) == 0 {
+		fmt.Println("shape check: PASS — TTDB ≥50x on Q4–Q6/Q8 and ahead everywhere, matching the paper's Table 1 shape")
+	} else {
+		fmt.Println("shape check: FAIL")
+		for _, p := range problems {
+			fmt.Println("  " + p)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,206 @@
+// Command hygraph is the CLI for the HyGraph reproduction: generate a
+// synthetic workload, inspect it, run HyQL queries against it, and run the
+// hybrid operators of Table 2.
+//
+// Usage:
+//
+//	hygraph generate -dataset bike|fraud|iot [-seed S]
+//	hygraph query    -dataset bike|fraud|iot [-seed S] [-at MS] 'MATCH ... RETURN ...'
+//	hygraph analyze  -dataset bike|fraud|iot [-seed S] -op correlate|aggregate|segment|anomalies|motifs
+//	hygraph repl     -dataset bike|fraud|iot [-seed S]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"hygraph/internal/core"
+	"hygraph/internal/dataset"
+	"hygraph/internal/hyql"
+	"hygraph/internal/ts"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	ds := fs.String("dataset", "fraud", "workload: bike, fraud, or iot")
+	seed := fs.Int64("seed", 1, "generator seed")
+	at := fs.Int64("at", -1, "query instant in epoch ms (-1 = mid-series)")
+	op := fs.String("op", "correlate", "analyze operator: correlate, aggregate, segment, anomalies, motifs")
+	fs.Parse(os.Args[2:])
+
+	h, mid := buildDataset(*ds, *seed)
+	when := ts.Time(*at)
+	if *at < 0 {
+		when = mid
+	}
+
+	switch cmd {
+	case "generate":
+		fmt.Println(h)
+		pv, pe := h.CountByKind(core.PG)
+		tv, te := h.CountByKind(core.TS)
+		fmt.Printf("PG vertices: %d, TS vertices: %d, PG edges: %d, TS edges: %d\n", pv, tv, pe, te)
+	case "query":
+		if fs.NArg() < 1 {
+			fail("query: missing HyQL string")
+		}
+		runQuery(h, strings.Join(fs.Args(), " "), when)
+	case "repl":
+		repl(h, when)
+	case "analyze":
+		analyze(h, *op, when)
+	default:
+		usage()
+		os.Exit(2)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  hygraph generate -dataset bike|fraud|iot [-seed S]
+  hygraph query    -dataset ... [-at MS] 'MATCH ... RETURN ...'
+  hygraph analyze  -dataset ... -op correlate|aggregate|segment|anomalies|motifs
+  hygraph repl     -dataset ...`)
+}
+
+func fail(msg string) {
+	fmt.Fprintln(os.Stderr, "hygraph: "+msg)
+	os.Exit(1)
+}
+
+// buildDataset generates the requested workload and a reasonable "as of"
+// query instant (mid-series).
+func buildDataset(name string, seed int64) (*core.HyGraph, ts.Time) {
+	switch name {
+	case "bike":
+		cfg := dataset.DefaultBike()
+		cfg.Seed = seed
+		d := GenerateBikeHG(cfg)
+		_, end := ts.Time(0), ts.Time(cfg.Days)*ts.Day
+		return d, end / 2
+	case "fraud":
+		cfg := dataset.DefaultFraud()
+		cfg.Seed = seed
+		d := dataset.GenerateFraud(cfg)
+		return d.H, ts.Time(cfg.Hours/2) * ts.Hour
+	case "iot":
+		cfg := dataset.DefaultIoT()
+		cfg.Seed = seed
+		d := dataset.GenerateIoT(cfg)
+		return d.H, ts.Time(cfg.Hours/2) * ts.Hour
+	}
+	fail("unknown dataset " + name)
+	return nil, 0
+}
+
+// GenerateBikeHG builds the bike workload as a HyGraph.
+func GenerateBikeHG(cfg dataset.BikeConfig) *core.HyGraph {
+	d := dataset.GenerateBike(cfg)
+	h, _ := d.ToHyGraph()
+	return h
+}
+
+func runQuery(h *core.HyGraph, src string, at ts.Time) {
+	res, err := hyql.NewEngine(h).Query(src, at)
+	if err != nil {
+		fail(err.Error())
+	}
+	printResult(res)
+}
+
+func printResult(res *hyql.Result) {
+	fmt.Println(strings.Join(res.Columns, "\t"))
+	for _, row := range res.Rows {
+		parts := make([]string, len(row))
+		for i, v := range row {
+			parts[i] = v.String()
+		}
+		fmt.Println(strings.Join(parts, "\t"))
+	}
+	fmt.Printf("(%d rows)\n", len(res.Rows))
+}
+
+func repl(h *core.HyGraph, at ts.Time) {
+	eng := hyql.NewEngine(h)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Printf("HyQL REPL over %s (as of %s). Blank line to quit.\n", h, at)
+	fmt.Print("hyql> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			return
+		}
+		res, err := eng.Query(line, at)
+		if err != nil {
+			fmt.Println("error:", err)
+		} else {
+			printResult(res)
+		}
+		fmt.Print("hyql> ")
+	}
+}
+
+func analyze(h *core.HyGraph, op string, at ts.Time) {
+	switch op {
+	case "correlate":
+		n, err := h.CorrelationEdges(0.9, ts.Hour, 24)
+		if err != nil {
+			fail(err.Error())
+		}
+		fmt.Printf("added %d SIMILAR edges between correlated series (|r| >= 0.9)\n", n)
+	case "aggregate":
+		out, groups, err := h.HybridAggregate(core.AggregateSpec{
+			GroupKey: func(v *core.Vertex) string {
+				for _, key := range []string{"district", "line"} {
+					if s, ok := v.Prop(key).AsString(); ok {
+						return s
+					}
+				}
+				return "all"
+			},
+			Bucket:    ts.Day,
+			SeriesAgg: ts.AggMean,
+			Combine:   ts.AggSum,
+		})
+		if err != nil {
+			fail(err.Error())
+		}
+		fmt.Printf("aggregated into %d groups: %s\n", len(groups), out)
+	case "segment":
+		driver := h.ActivitySeries(0, at*2, ts.Hour)
+		snaps := h.SegmentSnapshots(driver, 4, 0.02)
+		fmt.Printf("segmented activity into %d regimes:\n", len(snaps))
+		for _, s := range snaps {
+			fmt.Printf("  from %s: mean activity %.1f, snapshot %s\n",
+				s.Segment.Start, s.Segment.Mean, s.View.Graph)
+		}
+	case "anomalies":
+		res := h.AnomalyCommunities(at, 24, 6, 1)
+		fmt.Printf("scored %d communities (most anomalous first):\n", len(res))
+		for i, c := range res {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  community %d: score %.2f, %d members\n", c.Community, c.Score, len(c.Members))
+		}
+	case "motifs":
+		groups := h.MotifPatterns(8, 4, 2)
+		fmt.Printf("found %d motif groups (shared SAX words):\n", len(groups))
+		for i, g := range groups {
+			if i >= 5 {
+				break
+			}
+			fmt.Printf("  %q: %d members, %d induced edges\n", g.Word, len(g.Members), g.InducedEdges)
+		}
+	default:
+		fail("unknown op " + op)
+	}
+}

@@ -1,0 +1,8 @@
+// Package hygraph is a Go reproduction of "Towards Hybrid Graphs: Unifying
+// Property Graphs and Time Series" (EDBT 2025): the HyGraph data model
+// (internal/core), its substrates (internal/ts, internal/lpg, internal/tpg),
+// the HyQL query language (internal/hyql), the Table 1 storage study
+// (internal/storage/..., internal/bench) and the Figure 4 fraud pipeline
+// (internal/pipeline). See README.md for a tour and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package hygraph

@@ -1,0 +1,147 @@
+// Finance: the paper's Section 2 asset-management narrative, literally —
+// "a query spanning a long period needs to cover a number of stages and
+// milestones for some company C, such as its inception, being privately
+// held, having an IPO event, being listed on stock exchange(s), being
+// acquired by a company D, being sold to another company E, and E going
+// bankrupt. All these changes impact the topology of the graph … these
+// stages reflect distinct properties, such as daily stock prices for
+// publicly listed companies."
+//
+// The example builds that lifecycle as a HyGraph: companies and exchanges
+// as PG vertices with validity intervals, listings and acquisitions as PG
+// edges, stock prices as TS vertices that exist only while the company is
+// public. It then asks the hybrid questions the paper motivates.
+//
+//	go run ./examples/finance
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hygraph/internal/core"
+	"hygraph/internal/hyql"
+	"hygraph/internal/lpg"
+	"hygraph/internal/tpg"
+	"hygraph/internal/ts"
+)
+
+// The timeline, in days since founding.
+const (
+	ipoC        = 365  // C's IPO: stock starts trading
+	acquisition = 1200 // D acquires C; C delists
+	saleToE     = 1800 // D sells C to E
+	bankruptcy  = 2400 // E (and its subsidiaries) go under
+	horizon     = 2600
+)
+
+func day(d int) ts.Time { return ts.Time(d) * ts.Day }
+
+func main() {
+	h := core.New()
+	check := func(err error) {
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Companies with lifecycle validity (ρ).
+	companyC, err := h.AddVertex(tpg.Between(0, day(bankruptcy)), "Company")
+	check(err)
+	check(h.SetVertexProp(companyC, "name", lpg.Str("C")))
+	companyD, err := h.AddVertex(tpg.Always, "Company")
+	check(err)
+	check(h.SetVertexProp(companyD, "name", lpg.Str("D")))
+	companyE, err := h.AddVertex(tpg.Between(0, day(bankruptcy)), "Company")
+	check(err)
+	check(h.SetVertexProp(companyE, "name", lpg.Str("E")))
+	exchange, err := h.AddVertex(tpg.Always, "Exchange")
+	check(err)
+	check(h.SetVertexProp(exchange, "name", lpg.Str("NYSE")))
+
+	// Topology milestones as interval-stamped edges.
+	_, err = h.AddEdge(companyC, exchange, "LISTED_ON", tpg.Between(day(ipoC), day(acquisition)))
+	check(err)
+	_, err = h.AddEdge(companyD, companyC, "OWNS", tpg.Between(day(acquisition), day(saleToE)))
+	check(err)
+	_, err = h.AddEdge(companyE, companyC, "OWNS", tpg.Between(day(saleToE), day(bankruptcy)))
+	check(err)
+
+	// Daily stock price: a TS vertex that exists exactly while C is listed.
+	price := ts.New("close")
+	level := 20.0
+	for d := ipoC; d < acquisition; d++ {
+		level *= 1 + 0.0008*osc(d) // deterministic drift + wobble
+		price.MustAppend(day(d), level)
+	}
+	stock, err := h.AddTSVertexUni(price, "StockPrice")
+	check(err)
+	check(h.SetVertexProp(stock, "ticker", lpg.Str("C")))
+	_, err = h.AddEdge(companyC, stock, "PRICED_BY", tpg.Between(day(ipoC), day(acquisition)))
+	check(err)
+
+	fmt.Println("instance:", h)
+
+	// --- Temporal topology questions. --------------------------------------
+	eng := hyql.NewEngine(h)
+	ask := func(label string, q string, at ts.Time) {
+		res, err := eng.Query(q, at)
+		check(err)
+		fmt.Printf("%-34s (day %4d): ", label, int(at/ts.Day))
+		if len(res.Rows) == 0 {
+			fmt.Println("—")
+			return
+		}
+		for i, row := range res.Rows {
+			if i > 0 {
+				fmt.Print("; ")
+			}
+			for j, v := range row {
+				if j > 0 {
+					fmt.Print(", ")
+				}
+				fmt.Print(v)
+			}
+		}
+		fmt.Println()
+	}
+	const owner = `MATCH (o:Company)-[:OWNS]->(c:Company) WHERE c.name = 'C' RETURN o.name`
+	ask("owner of C", owner, day(100))
+	ask("owner of C", owner, day(1500))
+	ask("owner of C", owner, day(2000))
+	const listed = `MATCH (c:Company)-[:LISTED_ON]->(x:Exchange) RETURN c.name, x.name`
+	ask("listings", listed, day(800))
+	ask("listings", listed, day(2000))
+
+	// --- Hybrid question: price behaviour while public. --------------------
+	res, err := eng.Query(`
+		MATCH (c:Company)-[:PRICED_BY]->(p:StockPrice)
+		RETURN c.name, ts.first(p) AS ipo_price, ts.last(p) AS exit_price,
+		       ts.max(p) AS peak, ts.slope(p) * 365 AS drift_per_year`,
+		day(800))
+	check(err)
+	row := res.Rows[0]
+	fmt.Printf("\npublic era of %s: IPO %.2f → exit %.2f (peak %.2f, drift %+.2f/yr)\n",
+		row[0], f(row[1]), f(row[2]), f(row[3]), f(row[4]))
+
+	// --- Backtesting view: snapshots at the milestones. ---------------------
+	fmt.Println("\ntopology through the milestones:")
+	for _, d := range []int{100, 800, 1500, 2000, 2500} {
+		view := h.SnapshotAt(day(d))
+		fmt.Printf("  day %4d: %s\n", d, view.Graph)
+	}
+
+	// --- The acquisition in the diff. ---------------------------------------
+	g, _ := h.ToTPG()
+	diff := g.DiffBetween(day(800), day(1500))
+	fmt.Printf("\nbetween day 800 and day 1500: +%d edges, -%d edges (the acquisition flips LISTED_ON to OWNS)\n",
+		len(diff.AddedEdges), len(diff.RemovedEdges))
+}
+
+// osc is a deterministic wobble in [-1, 1].
+func osc(d int) float64 { return float64((d*37)%200-100) / 100 }
+
+func f(v hyql.Value) float64 {
+	x, _ := v.AsFloat()
+	return x
+}

@@ -1,0 +1,87 @@
+// Quickstart: build a tiny HyGraph by hand, exercise the model's three
+// operator interfaces and run a HyQL query.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hygraph/internal/core"
+	"hygraph/internal/hyql"
+	"hygraph/internal/lpg"
+	"hygraph/internal/tpg"
+	"hygraph/internal/ts"
+)
+
+func main() {
+	// --- <X>ToHyGraph: build an instance with both kinds of citizens. -----
+	h := core.New()
+
+	// PG vertices: two rooms.
+	kitchen, err := h.AddVertex(tpg.Always, "Room")
+	check(err)
+	check(h.SetVertexProp(kitchen, "name", lpg.Str("kitchen")))
+	hall, err := h.AddVertex(tpg.Always, "Room")
+	check(err)
+	check(h.SetVertexProp(hall, "name", lpg.Str("hall")))
+
+	// TS vertices: each room's temperature is a first-class citizen.
+	mk := func(base float64) *ts.Series {
+		s := ts.New("temperature")
+		for i := 0; i < 48; i++ {
+			s.MustAppend(ts.Time(i)*ts.Hour, base+float64(i%24)/4)
+		}
+		return s
+	}
+	kTemp, err := h.AddTSVertexUni(mk(19), "Temperature")
+	check(err)
+	hTemp, err := h.AddTSVertexUni(mk(17), "Temperature")
+	check(err)
+
+	// PG edges wire rooms to their series; a PG edge links the rooms.
+	_, err = h.AddEdge(kitchen, kTemp, "MEASURES", tpg.Always)
+	check(err)
+	_, err = h.AddEdge(hall, hTemp, "MEASURES", tpg.Always)
+	check(err)
+	_, err = h.AddEdge(kitchen, hall, "ADJACENT", tpg.Always)
+	check(err)
+
+	fmt.Println("instance:", h)
+
+	// --- HyGraphToHyGraph: a hybrid operator. -----------------------------
+	// Correlated temperatures get a SIMILAR TS edge (time-varying similarity).
+	n, err := h.CorrelationEdges(0.9, ts.Hour, 12)
+	check(err)
+	fmt.Printf("correlation edges added: %d\n", n)
+
+	// --- HyGraphTo<X>: extract classic views back out. --------------------
+	view := h.SnapshotAt(24 * ts.Hour)
+	fmt.Println("LPG view at t=24h:", view.Graph)
+	g, _ := h.ToTPG()
+	fmt.Printf("TPG view: %d vertices, %d edges\n", g.NumVertices(), g.NumEdges())
+
+	// --- HyQL: one query over structure AND series. -----------------------
+	res, err := hyql.NewEngine(h).Query(`
+		MATCH (r:Room)-[:MEASURES]->(t:Temperature)
+		WHERE ts.mean(t) > 18
+		RETURN r.name AS room, ts.mean(t) AS avg_temp, ts.max(t) AS peak
+		ORDER BY avg_temp DESC`, 24*ts.Hour)
+	check(err)
+	fmt.Println("\nrooms with mean temperature above 18°:")
+	for _, row := range res.Rows {
+		fmt.Printf("  %s: mean %.2f, peak %.2f\n", row[0], f(row[1]), f(row[2]))
+	}
+}
+
+func f(v hyql.Value) float64 {
+	x, _ := v.AsFloat()
+	return x
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

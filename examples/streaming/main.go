@@ -1,0 +1,83 @@
+// Streaming: requirement R3 live. Observations and structural changes
+// stream into a HyGraph instance while a continuous HyQL query re-evaluates
+// on tumbling windows — an online version of the fraud watchlist: "users
+// whose card balance collapsed within the current window".
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"hygraph/internal/core"
+	"hygraph/internal/hyql"
+	"hygraph/internal/lpg"
+	"hygraph/internal/stream"
+	"hygraph/internal/tpg"
+	"hygraph/internal/ts"
+)
+
+func main() {
+	h := core.New()
+	rng := rand.New(rand.NewSource(1))
+
+	// Three users with cards; card-2 will be drained mid-stream.
+	var cards []core.VID
+	for i := 0; i < 3; i++ {
+		u, err := h.AddVertex(tpg.Always, "User")
+		check(err)
+		check(h.SetVertexProp(u, "name", lpg.Str(fmt.Sprintf("user-%d", i))))
+		seed := ts.New("balance")
+		seed.MustAppend(0, 1000)
+		c, err := h.AddTSVertexUni(seed, "CreditCard")
+		check(err)
+		check(h.SetVertexProp(c, "name", lpg.Str(fmt.Sprintf("card-%d", i))))
+		_, err = h.AddEdge(u, c, "USES", tpg.Always)
+		check(err)
+		cards = append(cards, c)
+	}
+
+	in := stream.NewIngestor(h)
+	watch := &stream.Continuous{
+		Query: `
+			MATCH (u:User)-[:USES]->(c:CreditCard)
+			WHERE ts.min(c) < 0.2 * ts.mean(c)
+			RETURN u.name AS drained`,
+		Slide: 6 * ts.Hour,
+		Emit: func(at ts.Time, res *hyql.Result) {
+			if len(res.Rows) == 0 {
+				fmt.Printf("window %-22v ok (no drained balances)\n", at)
+				return
+			}
+			for _, row := range res.Rows {
+				fmt.Printf("window %-22v ALERT: %s balance collapsed\n", at, row[0])
+			}
+		},
+	}
+	check(in.Register(watch, 0))
+
+	// Stream 48 hours of balances; card-2 drains during hours 20-24.
+	for hh := 1; hh <= 48; hh++ {
+		at := ts.Time(hh) * ts.Hour
+		for i, c := range cards {
+			v := 1000 + rng.NormFloat64()*20
+			if i == 2 && hh >= 20 && hh < 24 {
+				v = 40
+			}
+			if err := in.Apply(stream.Update{Kind: stream.Append, At: at, Vertex: c, Value: v}); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	st := in.Stats()
+	fmt.Printf("\ningested %d appends across %d series; %d continuous evaluations\n",
+		st.Appended, len(cards), watch.Fires())
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

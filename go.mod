@@ -1,0 +1,3 @@
+module hygraph
+
+go 1.22

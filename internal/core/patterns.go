@@ -1,0 +1,100 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hygraph/internal/lpg"
+	"hygraph/internal/tpg"
+	"hygraph/internal/ts"
+)
+
+// This file implements the remaining Section-5 HyGraphToHyGraph operators:
+// materializing "logical graph patterns from nodes that exhibit similar
+// time-series patterns" as subgraphs, and frequent pattern mining over the
+// structural view.
+
+// MaterializeMotifSubgraphs runs MotifPatterns and records each group as a
+// logical subgraph labeled "Motif" with the SAX word and member count as
+// properties, members valid over each element's effective validity. Returns
+// the new subgraph ids in group order.
+func (h *HyGraph) MaterializeMotifSubgraphs(segments, alphabet, minSize int) ([]SID, error) {
+	groups := h.MotifPatterns(segments, alphabet, minSize)
+	out := make([]SID, 0, len(groups))
+	for _, g := range groups {
+		sid, err := h.AddSubgraph(tpg.Always, "Motif")
+		if err != nil {
+			return out, err
+		}
+		h.SetSubgraphProp(sid, "word", lpg.Str(g.Word))
+		h.SetSubgraphProp(sid, "size", lpg.Int(int64(len(g.Members))))
+		h.SetSubgraphProp(sid, "induced_edges", lpg.Int(int64(g.InducedEdges)))
+		for _, m := range g.Members {
+			if err := h.AddVertexMember(sid, m, h.Vertex(m).EffectiveValid()); err != nil {
+				return out, err
+			}
+		}
+		out = append(out, sid)
+	}
+	return out, nil
+}
+
+// PatternCount is one mined structural pattern with its support.
+type PatternCount struct {
+	// Pattern renders as "SrcLabel -[edge]-> DstLabel" for paths of length
+	// one, or a chained form for longer paths.
+	Pattern string
+	Count   int
+}
+
+// FrequentPatterns mines the instance's structural view at instant t for
+// frequent labeled patterns: all single-edge patterns
+// (srcLabel)-[edgeLabel]->(dstLabel) and all two-edge chain patterns, kept
+// when their support is at least minSupport. Results are ordered by
+// descending count then pattern text. This is the paper's PM primitive on
+// the graph side — generate candidate subgraphs, test occurrence frequency.
+func (h *HyGraph) FrequentPatterns(t ts.Time, minSupport int) []PatternCount {
+	view := h.SnapshotAt(t)
+	g := view.Graph
+	label := func(id lpg.VertexID) string {
+		v := g.Vertex(id)
+		if v == nil || len(v.Labels) == 0 {
+			return "?"
+		}
+		return v.Labels[0]
+	}
+	counts := map[string]int{}
+	// Single-edge patterns.
+	g.Edges(func(e *lpg.Edge) bool {
+		key := fmt.Sprintf("(%s)-[%s]->(%s)", label(e.From), e.Label, label(e.To))
+		counts[key]++
+		return true
+	})
+	// Two-edge chains (x)-[a]->(y)-[b]->(z).
+	g.Vertices(func(v *lpg.Vertex) bool {
+		for _, e1 := range g.InEdges(v.ID) {
+			for _, e2 := range g.OutEdges(v.ID) {
+				if e1.ID == e2.ID {
+					continue
+				}
+				key := fmt.Sprintf("(%s)-[%s]->(%s)-[%s]->(%s)",
+					label(e1.From), e1.Label, label(v.ID), e2.Label, label(e2.To))
+				counts[key]++
+			}
+		}
+		return true
+	})
+	var out []PatternCount
+	for k, c := range counts {
+		if c >= minSupport {
+			out = append(out, PatternCount{Pattern: k, Count: c})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Pattern < out[j].Pattern
+	})
+	return out
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"hygraph/internal/tpg"
+	"hygraph/internal/ts"
+)
+
+func TestMaterializeMotifSubgraphs(t *testing.T) {
+	h := New()
+	n := 64
+	mk := func(shape func(i int) float64) *ts.Series {
+		s := ts.New("s")
+		for i := 0; i < n; i++ {
+			s.MustAppend(ts.Time(i), shape(i))
+		}
+		return s
+	}
+	ramp := func(i int) float64 { return float64(i) }
+	vee := func(i int) float64 { return math.Abs(float64(i - n/2)) }
+	var ramps []VID
+	for i := 0; i < 3; i++ {
+		id, _ := h.AddTSVertexUni(mk(ramp), "S")
+		ramps = append(ramps, id)
+	}
+	h.AddTSVertexUni(mk(vee), "S")
+	h.AddTSVertexUni(mk(vee), "S")
+
+	sids, err := h.MaterializeMotifSubgraphs(8, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sids) != 2 {
+		t.Fatalf("subgraphs=%v", sids)
+	}
+	// Largest group (the ramps) first; its members match.
+	sg := h.Subgraph(sids[0])
+	if !sg.HasLabel("Motif") {
+		t.Fatal("label")
+	}
+	if v, _ := sg.Prop("size").AsInt(); v != 3 {
+		t.Fatalf("size=%d", v)
+	}
+	vs, _ := h.MembersAt(sids[0], 10)
+	if len(vs) != 3 {
+		t.Fatalf("members=%v", vs)
+	}
+	for i, r := range ramps {
+		if vs[i] != r {
+			t.Fatalf("member mismatch: %v vs %v", vs, ramps)
+		}
+	}
+	// Membership respects effective validity: outside the series span the
+	// subgraph is empty.
+	vs, _ = h.MembersAt(sids[0], ts.Time(n)+100)
+	if len(vs) != 0 {
+		t.Fatalf("members after series end: %v", vs)
+	}
+}
+
+func TestFrequentPatterns(t *testing.T) {
+	h := New()
+	// 3× (User)-[USES]->(Card), 2× (Card)-[TX]->(Merchant), giving
+	// 2 chains (User)-[USES]->(Card)-[TX]->(Merchant).
+	var cards []VID
+	for i := 0; i < 3; i++ {
+		u, _ := h.AddVertex(tpg.Always, "User")
+		c, _ := h.AddVertex(tpg.Always, "Card")
+		h.AddEdge(u, c, "USES", tpg.Always)
+		cards = append(cards, c)
+	}
+	m, _ := h.AddVertex(tpg.Always, "Merchant")
+	h.AddEdge(cards[0], m, "TX", tpg.Always)
+	h.AddEdge(cards[1], m, "TX", tpg.Always)
+
+	ps := h.FrequentPatterns(0, 1)
+	if len(ps) == 0 {
+		t.Fatal("no patterns")
+	}
+	// Most frequent is the USES edge pattern (3).
+	if ps[0].Pattern != "(User)-[USES]->(Card)" || ps[0].Count != 3 {
+		t.Fatalf("top=%+v", ps[0])
+	}
+	byPattern := map[string]int{}
+	for _, p := range ps {
+		byPattern[p.Pattern] = p.Count
+	}
+	if byPattern["(Card)-[TX]->(Merchant)"] != 2 {
+		t.Fatalf("TX count=%d", byPattern["(Card)-[TX]->(Merchant)"])
+	}
+	if byPattern["(User)-[USES]->(Card)-[TX]->(Merchant)"] != 2 {
+		t.Fatalf("chain count=%d", byPattern["(User)-[USES]->(Card)-[TX]->(Merchant)"])
+	}
+	// minSupport filters.
+	ps = h.FrequentPatterns(0, 3)
+	for _, p := range ps {
+		if p.Count < 3 {
+			t.Fatalf("minSupport leaked %+v", p)
+		}
+		if strings.Contains(p.Pattern, "TX") {
+			t.Fatalf("infrequent pattern kept: %+v", p)
+		}
+	}
+}

@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"hygraph/internal/tpg"
+	"hygraph/internal/ts"
+)
+
+// Binary operations on logical subgraphs, in the spirit of Gradoop's binary
+// graph operators but over time-varying membership: the result subgraph's
+// γ is the point-wise union / intersection / difference of the operands' γ.
+// All operate on membership intervals directly — no sampling.
+
+// SubgraphUnion creates a new subgraph whose membership at every instant is
+// γ(a,t) ∪ γ(b,t). Its validity is the union-hull of the operands'.
+func (h *HyGraph) SubgraphUnion(a, b SID, labels ...string) (SID, error) {
+	sa, sb := h.Subgraph(a), h.Subgraph(b)
+	if sa == nil || sb == nil {
+		return 0, ErrNoSubgraph
+	}
+	valid := hull(sa.Valid, sb.Valid)
+	out, err := h.AddSubgraph(valid, labels...)
+	if err != nil {
+		return 0, err
+	}
+	s := h.Subgraph(out)
+	for v, ivs := range sa.memberV {
+		s.memberV[v] = normalizeIntervals(append(append([]tpg.Interval(nil), ivs...), sb.memberV[v]...))
+	}
+	for v, ivs := range sb.memberV {
+		if _, done := sa.memberV[v]; !done {
+			s.memberV[v] = normalizeIntervals(append([]tpg.Interval(nil), ivs...))
+		}
+	}
+	for e, ivs := range sa.memberE {
+		s.memberE[e] = normalizeIntervals(append(append([]tpg.Interval(nil), ivs...), sb.memberE[e]...))
+	}
+	for e, ivs := range sb.memberE {
+		if _, done := sa.memberE[e]; !done {
+			s.memberE[e] = normalizeIntervals(append([]tpg.Interval(nil), ivs...))
+		}
+	}
+	return out, nil
+}
+
+// SubgraphIntersect creates a new subgraph with membership γ(a,t) ∩ γ(b,t).
+func (h *HyGraph) SubgraphIntersect(a, b SID, labels ...string) (SID, error) {
+	sa, sb := h.Subgraph(a), h.Subgraph(b)
+	if sa == nil || sb == nil {
+		return 0, ErrNoSubgraph
+	}
+	valid, ok := sa.Valid.Intersect(sb.Valid)
+	if !ok {
+		return 0, fmt.Errorf("core: subgraphs %d and %d have disjoint validity", a, b)
+	}
+	out, err := h.AddSubgraph(valid, labels...)
+	if err != nil {
+		return 0, err
+	}
+	s := h.Subgraph(out)
+	for v, ivs := range sa.memberV {
+		if other, ok := sb.memberV[v]; ok {
+			if x := intersectSets(ivs, other); len(x) > 0 {
+				s.memberV[v] = x
+			}
+		}
+	}
+	for e, ivs := range sa.memberE {
+		if other, ok := sb.memberE[e]; ok {
+			if x := intersectSets(ivs, other); len(x) > 0 {
+				s.memberE[e] = x
+			}
+		}
+	}
+	return out, nil
+}
+
+// SubgraphDifference creates a new subgraph with membership γ(a,t) \ γ(b,t).
+func (h *HyGraph) SubgraphDifference(a, b SID, labels ...string) (SID, error) {
+	sa, sb := h.Subgraph(a), h.Subgraph(b)
+	if sa == nil || sb == nil {
+		return 0, ErrNoSubgraph
+	}
+	out, err := h.AddSubgraph(sa.Valid, labels...)
+	if err != nil {
+		return 0, err
+	}
+	s := h.Subgraph(out)
+	for v, ivs := range sa.memberV {
+		if x := subtractSets(ivs, sb.memberV[v]); len(x) > 0 {
+			s.memberV[v] = x
+		}
+	}
+	for e, ivs := range sa.memberE {
+		if x := subtractSets(ivs, sb.memberE[e]); len(x) > 0 {
+			s.memberE[e] = x
+		}
+	}
+	return out, nil
+}
+
+// hull returns the smallest interval covering both inputs.
+func hull(a, b tpg.Interval) tpg.Interval {
+	lo, hi := a.Start, a.End
+	if b.Start < lo {
+		lo = b.Start
+	}
+	if b.End > hi {
+		hi = b.End
+	}
+	return tpg.Between(lo, hi)
+}
+
+// normalizeIntervals sorts and merges overlapping/adjacent intervals.
+func normalizeIntervals(ivs []tpg.Interval) []tpg.Interval {
+	if len(ivs) == 0 {
+		return nil
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].Start < ivs[j].Start })
+	out := []tpg.Interval{ivs[0]}
+	for _, iv := range ivs[1:] {
+		last := &out[len(out)-1]
+		if iv.Start <= last.End { // overlap or adjacency merges
+			if iv.End > last.End {
+				last.End = iv.End
+			}
+			continue
+		}
+		out = append(out, iv)
+	}
+	return out
+}
+
+// intersectSets returns the point-wise intersection of two interval sets.
+func intersectSets(a, b []tpg.Interval) []tpg.Interval {
+	a = normalizeIntervals(append([]tpg.Interval(nil), a...))
+	b = normalizeIntervals(append([]tpg.Interval(nil), b...))
+	var out []tpg.Interval
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		if x, ok := a[i].Intersect(b[j]); ok {
+			out = append(out, x)
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// subtractSets returns a \ b point-wise.
+func subtractSets(a, b []tpg.Interval) []tpg.Interval {
+	a = normalizeIntervals(append([]tpg.Interval(nil), a...))
+	b = normalizeIntervals(append([]tpg.Interval(nil), b...))
+	var out []tpg.Interval
+	for _, iv := range a {
+		rem := []tpg.Interval{iv}
+		for _, cut := range b {
+			var next []tpg.Interval
+			for _, r := range rem {
+				if !r.Overlaps(cut) {
+					next = append(next, r)
+					continue
+				}
+				if r.Start < cut.Start {
+					next = append(next, tpg.Between(r.Start, cut.Start))
+				}
+				if cut.End < r.End {
+					next = append(next, tpg.Between(cut.End, r.End))
+				}
+			}
+			rem = next
+		}
+		out = append(out, rem...)
+	}
+	return normalizeIntervals(out)
+}
+
+// MemberIntervals returns the normalized membership intervals of a vertex in
+// a subgraph (empty when not a member).
+func (h *HyGraph) MemberIntervals(sid SID, v VID) []tpg.Interval {
+	s := h.Subgraph(sid)
+	if s == nil {
+		return nil
+	}
+	return normalizeIntervals(append([]tpg.Interval(nil), s.memberV[v]...))
+}
+
+// MembershipSeries samples whether v belongs to the subgraph over
+// [start, end) as a 0/1 step series — membership history as data, queryable
+// like any other series.
+func (h *HyGraph) MembershipSeries(sid SID, v VID, start, end, step ts.Time) *ts.Series {
+	out := ts.New(fmt.Sprintf("member_s%d_v%d", sid, v))
+	if step <= 0 {
+		return out
+	}
+	for t := start; t < end; t += step {
+		val := 0.0
+		vs, _ := h.MembersAt(sid, t)
+		for _, m := range vs {
+			if m == v {
+				val = 1
+				break
+			}
+		}
+		out.MustAppend(t, val)
+	}
+	return out
+}

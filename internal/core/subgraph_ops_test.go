@@ -1,0 +1,242 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"hygraph/internal/tpg"
+	"hygraph/internal/ts"
+)
+
+// setOpFixture builds two subgraphs over three vertices:
+//
+//	A: v0 ∈ [0,100), v1 ∈ [0,50)
+//	B: v1 ∈ [25,75), v2 ∈ [0,100)
+func setOpFixture(t *testing.T) (*HyGraph, SID, SID, []VID) {
+	t.Helper()
+	h := New()
+	var vs []VID
+	for i := 0; i < 3; i++ {
+		v, err := h.AddVertex(tpg.Always, "V")
+		if err != nil {
+			t.Fatal(err)
+		}
+		vs = append(vs, v)
+	}
+	a, _ := h.AddSubgraph(tpg.Between(0, 100), "A")
+	b, _ := h.AddSubgraph(tpg.Between(0, 100), "B")
+	check := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	check(h.AddVertexMember(a, vs[0], tpg.Between(0, 100)))
+	check(h.AddVertexMember(a, vs[1], tpg.Between(0, 50)))
+	check(h.AddVertexMember(b, vs[1], tpg.Between(25, 75)))
+	check(h.AddVertexMember(b, vs[2], tpg.Between(0, 100)))
+	return h, a, b, vs
+}
+
+func members(t *testing.T, h *HyGraph, s SID, at ts.Time) map[VID]bool {
+	t.Helper()
+	out := map[VID]bool{}
+	vs, _ := h.MembersAt(s, at)
+	for _, v := range vs {
+		out[v] = true
+	}
+	return out
+}
+
+func TestSubgraphUnion(t *testing.T) {
+	h, a, b, vs := setOpFixture(t)
+	u, err := h.SubgraphUnion(a, b, "U")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// t=10: A has v0,v1; B has v2 → union all three.
+	got := members(t, h, u, 10)
+	if !got[vs[0]] || !got[vs[1]] || !got[vs[2]] {
+		t.Fatalf("union@10=%v", got)
+	}
+	// t=60: A has v0; B has v1,v2.
+	got = members(t, h, u, 60)
+	if !got[vs[0]] || !got[vs[1]] || !got[vs[2]] {
+		t.Fatalf("union@60=%v", got)
+	}
+	// t=80: v1 in neither (A ended 50, B ended 75).
+	got = members(t, h, u, 80)
+	if got[vs[1]] || !got[vs[0]] || !got[vs[2]] {
+		t.Fatalf("union@80=%v", got)
+	}
+	// v1's merged membership must be one interval [0,75).
+	ivs := h.MemberIntervals(u, vs[1])
+	if len(ivs) != 1 || ivs[0] != tpg.Between(0, 75) {
+		t.Fatalf("v1 union intervals=%v", ivs)
+	}
+}
+
+func TestSubgraphIntersect(t *testing.T) {
+	h, a, b, vs := setOpFixture(t)
+	x, err := h.SubgraphIntersect(a, b, "X")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only v1 is in both, during [25,50).
+	ivs := h.MemberIntervals(x, vs[1])
+	if len(ivs) != 1 || ivs[0] != tpg.Between(25, 50) {
+		t.Fatalf("v1 intersect intervals=%v", ivs)
+	}
+	if got := h.MemberIntervals(x, vs[0]); len(got) != 0 {
+		t.Fatalf("v0 in intersection: %v", got)
+	}
+	got := members(t, h, x, 30)
+	if len(got) != 1 || !got[vs[1]] {
+		t.Fatalf("intersect@30=%v", got)
+	}
+	if got := members(t, h, x, 60); len(got) != 0 {
+		t.Fatalf("intersect@60=%v", got)
+	}
+}
+
+func TestSubgraphDifference(t *testing.T) {
+	h, a, b, vs := setOpFixture(t)
+	d, err := h.SubgraphDifference(a, b, "D")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// v0: fully kept. v1: [0,50) minus [25,75) = [0,25). v2: never in A.
+	if ivs := h.MemberIntervals(d, vs[0]); len(ivs) != 1 || ivs[0] != tpg.Between(0, 100) {
+		t.Fatalf("v0 diff=%v", ivs)
+	}
+	if ivs := h.MemberIntervals(d, vs[1]); len(ivs) != 1 || ivs[0] != tpg.Between(0, 25) {
+		t.Fatalf("v1 diff=%v", ivs)
+	}
+	if ivs := h.MemberIntervals(d, vs[2]); len(ivs) != 0 {
+		t.Fatalf("v2 diff=%v", ivs)
+	}
+}
+
+func TestSubgraphDifferenceSplitsIntervals(t *testing.T) {
+	// Cutting the middle out of a membership splits it in two.
+	h := New()
+	v, _ := h.AddVertex(tpg.Always, "V")
+	a, _ := h.AddSubgraph(tpg.Always, "A")
+	b, _ := h.AddSubgraph(tpg.Always, "B")
+	h.AddVertexMember(a, v, tpg.Between(0, 100))
+	h.AddVertexMember(b, v, tpg.Between(40, 60))
+	d, err := h.SubgraphDifference(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivs := h.MemberIntervals(d, v)
+	if len(ivs) != 2 || ivs[0] != tpg.Between(0, 40) || ivs[1] != tpg.Between(60, 100) {
+		t.Fatalf("split diff=%v", ivs)
+	}
+}
+
+func TestSubgraphOpsErrors(t *testing.T) {
+	h, a, _, _ := setOpFixture(t)
+	if _, err := h.SubgraphUnion(a, 99); err != ErrNoSubgraph {
+		t.Fatalf("union missing: %v", err)
+	}
+	if _, err := h.SubgraphIntersect(99, a); err != ErrNoSubgraph {
+		t.Fatalf("intersect missing: %v", err)
+	}
+	if _, err := h.SubgraphDifference(a, 99); err != ErrNoSubgraph {
+		t.Fatalf("difference missing: %v", err)
+	}
+	// Disjoint validity.
+	s1, _ := h.AddSubgraph(tpg.Between(0, 10))
+	s2, _ := h.AddSubgraph(tpg.Between(20, 30))
+	if _, err := h.SubgraphIntersect(s1, s2); err == nil {
+		t.Fatal("disjoint intersect accepted")
+	}
+}
+
+func TestMembershipSeries(t *testing.T) {
+	h, a, _, vs := setOpFixture(t)
+	s := h.MembershipSeries(a, vs[1], 0, 100, 10)
+	want := []float64{1, 1, 1, 1, 1, 0, 0, 0, 0, 0} // member during [0,50)
+	if s.Len() != len(want) {
+		t.Fatalf("len=%d", s.Len())
+	}
+	for i, w := range want {
+		if s.ValueAt(i) != w {
+			t.Fatalf("membership[%d]=%v want %v", i, s.ValueAt(i), w)
+		}
+	}
+	if got := h.MembershipSeries(a, vs[1], 0, 100, 0); got.Len() != 0 {
+		t.Fatal("zero step")
+	}
+}
+
+// TestQuickSubgraphAlgebra: for random membership interval sets, the
+// materialized set operations agree point-wise with evaluating γ on the
+// operands at every sampled instant.
+func TestQuickSubgraphAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 40; iter++ {
+		h := New()
+		nV := 4
+		var vs []VID
+		for i := 0; i < nV; i++ {
+			v, _ := h.AddVertex(tpg.Always, "V")
+			vs = append(vs, v)
+		}
+		a, _ := h.AddSubgraph(tpg.Between(0, 1000), "A")
+		b, _ := h.AddSubgraph(tpg.Between(0, 1000), "B")
+		addRandom := func(s SID) {
+			for _, v := range vs {
+				for k := 0; k < rng.Intn(3); k++ {
+					lo := ts.Time(rng.Intn(900))
+					hi := lo + ts.Time(1+rng.Intn(200))
+					if hi > 1000 {
+						hi = 1000
+					}
+					if err := h.AddVertexMember(s, v, tpg.Between(lo, hi)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		addRandom(a)
+		addRandom(b)
+		u, err := h.SubgraphUnion(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		x, err := h.SubgraphIntersect(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := h.SubgraphDifference(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		in := func(s SID, v VID, at ts.Time) bool {
+			ms, _ := h.MembersAt(s, at)
+			for _, m := range ms {
+				if m == v {
+					return true
+				}
+			}
+			return false
+		}
+		for probe := 0; probe < 50; probe++ {
+			at := ts.Time(rng.Intn(1000))
+			for _, v := range vs {
+				inA, inB := in(a, v, at), in(b, v, at)
+				if got := in(u, v, at); got != (inA || inB) {
+					t.Fatalf("iter %d: union(v%d,%d)=%v, A=%v B=%v", iter, v, at, got, inA, inB)
+				}
+				if got := in(x, v, at); got != (inA && inB) {
+					t.Fatalf("iter %d: intersect(v%d,%d)=%v, A=%v B=%v", iter, v, at, got, inA, inB)
+				}
+				if got := in(d, v, at); got != (inA && !inB) {
+					t.Fatalf("iter %d: difference(v%d,%d)=%v, A=%v B=%v", iter, v, at, got, inA, inB)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,269 @@
+package dataset
+
+import (
+	"fmt"
+	"math/rand"
+
+	"hygraph/internal/core"
+	"hygraph/internal/lpg"
+	"hygraph/internal/tpg"
+	"hygraph/internal/ts"
+)
+
+// FraudConfig parameterizes the credit-card fraud generator.
+type FraudConfig struct {
+	Users      int
+	Merchants  int
+	Hours      int // length of every series, hourly sampling
+	Fraudsters int // planted true positives (burst + fan-out + drain)
+	HeavyUsers int // graph-side false positives (legit sprees, steady balance)
+	Volatile   int // series-side false positives (erratic balance, no fan-out)
+	Seed       int64
+}
+
+// DefaultFraud is the configuration of the running example at small scale.
+func DefaultFraud() FraudConfig {
+	return FraudConfig{Users: 30, Merchants: 12, Hours: 24 * 14, Fraudsters: 3, HeavyUsers: 3, Volatile: 3, Seed: 1}
+}
+
+// UserClass is the planted ground-truth class of a user.
+type UserClass int
+
+// Planted classes. The paper's running example: "User 1" is a true
+// fraudster (graph AND series evidence), "User 3" is the false positive a
+// graph-only query flags (fan-out without the series evidence).
+const (
+	Normal UserClass = iota
+	Fraudster
+	HeavyUser
+	Volatile
+)
+
+// String names the class.
+func (c UserClass) String() string {
+	switch c {
+	case Fraudster:
+		return "fraudster"
+	case HeavyUser:
+		return "heavy-user"
+	case Volatile:
+		return "volatile"
+	}
+	return "normal"
+}
+
+// FraudData is a generated fraud workload over a HyGraph instance.
+type FraudData struct {
+	Config FraudConfig
+	H      *core.HyGraph
+	// Users/Cards/Merchants index HyGraph vertices.
+	Users     []core.VID
+	Cards     []core.VID
+	Merchants []core.VID
+	// Truth is the planted class per user index.
+	Truth []UserClass
+	// BurstStart marks when each fraudster's burst begins (0 otherwise).
+	BurstStart []ts.Time
+}
+
+// GenerateFraud builds the running-example instance: users and merchants as
+// PG vertices, cards as TS vertices (balance), USES as PG edges, and
+// card→merchant transaction flows as TS edges (amount series).
+//
+// Planted classes reproduce Figure 2's cast:
+//   - Fraudster ("User 1"): a mid-series burst — the balance drains sharply
+//     while high-amount transactions fan out to ≥3 nearby merchants within
+//     one hour. Both evidence channels fire.
+//   - HeavyUser ("User 3"): legitimate shopping sprees — the same ≥3-nearby-
+//     merchants-in-an-hour structure with high amounts, but the balance
+//     stays healthy. Graph-only detection flags them (false positive).
+//   - Volatile: erratic but legitimate balance swings without any fan-out.
+//     Series-only detection flags them (false positive).
+//   - Normal: background traffic.
+func GenerateFraud(cfg FraudConfig) *FraudData {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := core.New()
+	d := &FraudData{Config: cfg, H: h}
+
+	for m := 0; m < cfg.Merchants; m++ {
+		id, err := h.AddVertex(tpg.Always, "Merchant")
+		if err != nil {
+			panic(err)
+		}
+		h.SetVertexProp(id, "name", lpg.Str(fmt.Sprintf("merchant-%02d", m)))
+		// Merchants are on a grid; "loc" drives the Listing-1 distance
+		// constraint (adjacent merchants are 400 apart, so any three
+		// consecutive ones fall within the 1000 radius).
+		h.SetVertexProp(id, "loc", lpg.Float(float64(m*400)))
+		d.Merchants = append(d.Merchants, id)
+	}
+
+	classes := make([]UserClass, cfg.Users)
+	for i := 0; i < cfg.Fraudsters && i < cfg.Users; i++ {
+		classes[i] = Fraudster
+	}
+	for i := cfg.Fraudsters; i < cfg.Fraudsters+cfg.HeavyUsers && i < cfg.Users; i++ {
+		classes[i] = HeavyUser
+	}
+	for i := cfg.Fraudsters + cfg.HeavyUsers; i < cfg.Fraudsters+cfg.HeavyUsers+cfg.Volatile && i < cfg.Users; i++ {
+		classes[i] = Volatile
+	}
+	rng.Shuffle(cfg.Users, func(i, j int) { classes[i], classes[j] = classes[j], classes[i] })
+	d.Truth = classes
+	d.BurstStart = make([]ts.Time, cfg.Users)
+
+	for u := 0; u < cfg.Users; u++ {
+		uid, err := h.AddVertex(tpg.Always, "User")
+		if err != nil {
+			panic(err)
+		}
+		h.SetVertexProp(uid, "name", lpg.Str(fmt.Sprintf("user-%03d", u)))
+		d.Users = append(d.Users, uid)
+
+		burstAt := ts.Time(0)
+		if classes[u] == Fraudster || classes[u] == HeavyUser {
+			// Fraud bursts and legit sprees both need an hour to happen in.
+			hour := cfg.Hours/4 + rng.Intn(cfg.Hours/2)
+			burstAt = ts.Time(hour) * ts.Hour
+		}
+		d.BurstStart[u] = burstAt
+
+		balance := genBalance(rng, cfg.Hours, classes[u], burstAt)
+		cid, err := h.AddTSVertexUni(balance, "CreditCard")
+		if err != nil {
+			panic(err)
+		}
+		h.SetVertexProp(cid, "name", lpg.Str(fmt.Sprintf("card-%03d", u)))
+		d.Cards = append(d.Cards, cid)
+		if _, err := h.AddEdge(uid, cid, "USES", tpg.Always); err != nil {
+			panic(err)
+		}
+
+		d.genTransactions(rng, u, cid, classes[u], burstAt)
+	}
+	return d
+}
+
+// genBalance produces an hourly balance series. Fraudsters drain sharply at
+// the burst; volatile users swing legitimately; others drift gently around
+// a personal level.
+func genBalance(rng *rand.Rand, hours int, class UserClass, burstAt ts.Time) *ts.Series {
+	s := ts.New("balance")
+	level := 800 + rng.Float64()*1200
+	if class == HeavyUser {
+		level *= 2
+	}
+	swingLeft := 0
+	for hh := 0; hh < hours; hh++ {
+		t := ts.Time(hh) * ts.Hour
+		level += rng.NormFloat64() * 10
+		v := level
+		if class == Volatile {
+			if swingLeft > 0 {
+				v = level * 0.45 // legitimate dip (large purchase then refund)
+				swingLeft--
+			} else if rng.Intn(60) == 0 {
+				swingLeft = 2
+				v = level * 0.45
+			}
+		}
+		if class == Fraudster && t >= burstAt && t < burstAt+4*ts.Hour {
+			v = level * 0.05 // drained
+		}
+		if v < 0 {
+			v = 0
+		}
+		s.MustAppend(t, v)
+	}
+	return s
+}
+
+// genTransactions attaches TS edges card → merchant whose series carry
+// hourly transaction amounts.
+func (d *FraudData) genTransactions(rng *rand.Rand, u int, card core.VID, class UserClass, burstAt ts.Time) {
+	cfg := d.Config
+	h := d.H
+	nMerchants := 2 + rng.Intn(3)
+	if class == Fraudster || class == HeavyUser {
+		nMerchants = 3 + rng.Intn(2) // fan-out to at least 3
+	}
+	perm := rng.Perm(cfg.Merchants)
+	base := rng.Intn(maxInt(1, cfg.Merchants-2))
+	for k := 0; k < nMerchants && k < len(perm); k++ {
+		mIdx := perm[k]
+		// Bursts and sprees fan out to *adjacent* merchants (small loc
+		// distance): force the first three onto neighboring grid cells,
+		// without wrapping around the grid.
+		if (class == Fraudster || class == HeavyUser) && k < 3 {
+			mIdx = base + k
+		}
+		amounts := ts.New("amount")
+		for hh := 0; hh < cfg.Hours; hh++ {
+			t := ts.Time(hh) * ts.Hour
+			var v float64
+			switch {
+			case class == Fraudster && t >= burstAt && t < burstAt+ts.Hour && k < 3:
+				v = 1200 + rng.Float64()*1500 // the burst: 3 merchants in 1 hour
+			case class == HeavyUser && t >= burstAt && t < burstAt+ts.Hour && k < 3:
+				v = 1100 + rng.Float64()*900 // legit spree: 3 merchants, 1 hour
+			case class == HeavyUser && rng.Intn(48) == 0:
+				v = 1100 + rng.Float64()*900 // plus sporadic big purchases
+			case rng.Intn(12) == 0:
+				v = 10 + rng.Float64()*120
+			}
+			if v > 0 {
+				amounts.MustAppend(t, v)
+			}
+		}
+		if amounts.Empty() {
+			amounts.MustAppend(0, 5)
+		}
+		eid, err := h.AddTSEdgeUni(card, d.Merchants[mIdx], "TX_FLOW", amounts)
+		if err != nil {
+			panic(err)
+		}
+		h.SetEdgeProp(eid, "max_amount", lpg.Float(amounts.Max()))
+	}
+}
+
+// TruePositives returns the user indexes of planted fraudsters.
+func (d *FraudData) TruePositives() []int {
+	var out []int
+	for i, c := range d.Truth {
+		if c == Fraudster {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FalsePositiveBait returns the user indexes of heavy users (structural
+// fan-out without temporal fraud evidence).
+func (d *FraudData) FalsePositiveBait() []int {
+	var out []int
+	for i, c := range d.Truth {
+		if c == HeavyUser {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// VolatileBait returns the user indexes whose balance is erratic but whose
+// transactions carry no fraud structure (series-side false positives).
+func (d *FraudData) VolatileBait() []int {
+	var out []int
+	for i, c := range d.Truth {
+		if c == Volatile {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"hygraph/internal/core"
+	"hygraph/internal/lpg"
+	"hygraph/internal/tpg"
+	"hygraph/internal/ts"
+)
+
+// IoTConfig parameterizes the smart-manufacturing generator.
+type IoTConfig struct {
+	Lines           int // production lines
+	MachinesPerLine int
+	SensorsPerMach  int
+	Hours           int
+	FaultyMachines  int // machines whose sensors develop anomalies
+	// Coupling adds topology-borne signal: each machine's sensors absorb
+	// this fraction of the upstream machine's (lagged) signal, so downstream
+	// series are predictable from their FEEDS neighbors. 0 disables it.
+	Coupling float64
+	// CouplingLag is the propagation delay along FEEDS edges, in hours.
+	CouplingLag int
+	Seed        int64
+}
+
+// DefaultIoT is the small configuration used by tests and examples.
+func DefaultIoT() IoTConfig {
+	return IoTConfig{Lines: 3, MachinesPerLine: 4, SensorsPerMach: 2, Hours: 24 * 7, FaultyMachines: 2, Seed: 1}
+}
+
+// IoTData is a generated plant as a HyGraph instance.
+type IoTData struct {
+	Config   IoTConfig
+	H        *core.HyGraph
+	Lines    []core.VID
+	Machines []core.VID
+	Sensors  []core.VID // TS vertices
+	// Faulty marks machine indexes with planted sensor anomalies.
+	Faulty map[int]bool
+}
+
+// GenerateIoT builds the plant: lines as PG vertices, machines chained along
+// each line (FEEDS edges modeling the conveyor topology), and sensors as TS
+// vertices attached to machines. Sensor series are periodic (machine duty
+// cycles) so motif mining finds recurring patterns; faulty machines get
+// heat-up drifts plus spikes so anomaly×community detection localizes them.
+func GenerateIoT(cfg IoTConfig) *IoTData {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	h := core.New()
+	d := &IoTData{Config: cfg, H: h, Faulty: map[int]bool{}}
+	totalMachines := cfg.Lines * cfg.MachinesPerLine
+	for totalFaulty := 0; totalFaulty < cfg.FaultyMachines && totalFaulty < totalMachines; totalFaulty++ {
+		d.Faulty[rng.Intn(totalMachines)] = true
+	}
+
+	mi := 0
+	for l := 0; l < cfg.Lines; l++ {
+		lid, err := h.AddVertex(tpg.Always, "Line")
+		if err != nil {
+			panic(err)
+		}
+		h.SetVertexProp(lid, "name", lpg.Str(fmt.Sprintf("line-%d", l)))
+		d.Lines = append(d.Lines, lid)
+		var prev core.VID = -1
+		var upstreamProc []float64
+		for m := 0; m < cfg.MachinesPerLine; m++ {
+			mid, err := h.AddVertex(tpg.Always, "Machine")
+			if err != nil {
+				panic(err)
+			}
+			h.SetVertexProp(mid, "name", lpg.Str(fmt.Sprintf("machine-%d-%d", l, m)))
+			h.SetVertexProp(mid, "line", lpg.Str(fmt.Sprintf("line-%d", l)))
+			d.Machines = append(d.Machines, mid)
+			if _, err := h.AddEdge(lid, mid, "HAS_MACHINE", tpg.Always); err != nil {
+				panic(err)
+			}
+			if prev >= 0 {
+				if _, err := h.AddEdge(prev, mid, "FEEDS", tpg.Always); err != nil {
+					panic(err)
+				}
+			}
+			prev = mid
+			// Each machine has a latent AR(1) process; with coupling > 0 it
+			// absorbs the upstream machine's lagged process, so the FEEDS
+			// topology carries predictive signal.
+			proc := genProcess(rng, cfg.Hours, upstreamProc, cfg.Coupling, cfg.CouplingLag)
+			for s := 0; s < cfg.SensorsPerMach; s++ {
+				series := genSensor(rng, cfg.Hours, d.Faulty[mi], s, proc)
+				sid, err := h.AddTSVertexUni(series, "Sensor")
+				if err != nil {
+					panic(err)
+				}
+				h.SetVertexProp(sid, "name", lpg.Str(fmt.Sprintf("sensor-%d-%d-%d", l, m, s)))
+				d.Sensors = append(d.Sensors, sid)
+				if _, err := h.AddEdge(mid, sid, "HAS_SENSOR", tpg.Always); err != nil {
+					panic(err)
+				}
+			}
+			upstreamProc = proc
+			mi++
+		}
+	}
+	return d
+}
+
+// genProcess generates a machine's latent AR(1) process, optionally coupled
+// to the upstream machine's lagged process.
+func genProcess(rng *rand.Rand, hours int, upstream []float64, coupling float64, lag int) []float64 {
+	proc := make([]float64, hours)
+	for hh := 0; hh < hours; hh++ {
+		own := rng.NormFloat64() * 1.5
+		if hh > 0 {
+			own += 0.9 * proc[hh-1] * 0.5 // persistence on the own component
+		}
+		v := own
+		if coupling > 0 && upstream != nil && hh-lag >= 0 {
+			v += coupling * upstream[hh-lag]
+		}
+		proc[hh] = v
+	}
+	return proc
+}
+
+// genSensor produces an hourly duty-cycle series on top of the machine's
+// latent process; faulty machines add a drift in the last quarter plus
+// spikes.
+func genSensor(rng *rand.Rand, hours int, faulty bool, kind int, proc []float64) *ts.Series {
+	s := ts.New([]string{"temperature", "vibration"}[kind%2])
+	base := 40 + 10*float64(kind)
+	period := 8.0 // 8-hour duty cycle
+	for hh := 0; hh < hours; hh++ {
+		v := base + 5*math.Sin(2*math.Pi*float64(hh)/period) + proc[hh] + rng.NormFloat64()*0.4
+		if faulty {
+			if hh > 3*hours/4 {
+				v += 0.15 * float64(hh-3*hours/4) // heat-up drift
+			}
+			if rng.Intn(36) == 0 {
+				v += 40 // spike
+			}
+		}
+		s.MustAppend(ts.Time(hh)*ts.Hour, v)
+	}
+	return s
+}
+
+// SensorOwner returns the machine PG vertex owning a sensor TS vertex.
+func (d *IoTData) SensorOwner(sensor core.VID) (core.VID, bool) {
+	for _, e := range d.H.InEdges(sensor) {
+		if e.Label == "HAS_SENSOR" {
+			return e.From, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,218 @@
+package embed
+
+import (
+	"math"
+	"testing"
+
+	"hygraph/internal/lpg"
+	"hygraph/internal/ts"
+)
+
+// twoCliques builds two k-cliques joined by one bridge.
+func twoCliques(k int) (*lpg.Graph, []lpg.VertexID, []lpg.VertexID) {
+	g := lpg.NewGraph()
+	mk := func() []lpg.VertexID {
+		ids := make([]lpg.VertexID, k)
+		for i := range ids {
+			ids[i] = g.AddVertex("V")
+		}
+		for i := 0; i < k; i++ {
+			for j := i + 1; j < k; j++ {
+				g.AddEdge(ids[i], ids[j], "e")
+			}
+		}
+		return ids
+	}
+	a := mk()
+	b := mk()
+	g.AddEdge(a[0], b[0], "bridge")
+	return g, a, b
+}
+
+// meanIntraInterSim returns mean cosine within group a vs across groups.
+func meanIntraInterSim(m *Matrix, idx map[lpg.VertexID]int, a, b []lpg.VertexID) (intra, inter float64) {
+	var ni, nx int
+	for i := 0; i < len(a); i++ {
+		for j := i + 1; j < len(a); j++ {
+			intra += CosineSim(m.Row(idx[a[i]]), m.Row(idx[a[j]]))
+			ni++
+		}
+	}
+	for _, x := range a {
+		for _, y := range b {
+			inter += CosineSim(m.Row(idx[x]), m.Row(idx[y]))
+			nx++
+		}
+	}
+	return intra / float64(ni), inter / float64(nx)
+}
+
+func TestFastRPSeparatesCommunities(t *testing.T) {
+	g, a, b := twoCliques(8)
+	m, idx := FastRP(g, DefaultFastRP())
+	if m.Rows != 16 || m.Cols != 32 {
+		t.Fatalf("shape %dx%d", m.Rows, m.Cols)
+	}
+	intra, inter := meanIntraInterSim(m, idx, a, b)
+	if intra <= inter {
+		t.Fatalf("intra %v <= inter %v", intra, inter)
+	}
+}
+
+func TestFastRPDeterministic(t *testing.T) {
+	g, _, _ := twoCliques(5)
+	m1, _ := FastRP(g, DefaultFastRP())
+	m2, _ := FastRP(g, DefaultFastRP())
+	for i := range m1.Data {
+		if m1.Data[i] != m2.Data[i] {
+			t.Fatal("same seed produced different embeddings")
+		}
+	}
+	cfg := DefaultFastRP()
+	cfg.Seed = 99
+	m3, _ := FastRP(g, cfg)
+	same := true
+	for i := range m1.Data {
+		if m1.Data[i] != m3.Data[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical embeddings")
+	}
+}
+
+func TestFastRPNormalization(t *testing.T) {
+	g, _, _ := twoCliques(4)
+	m, _ := FastRP(g, DefaultFastRP())
+	for i := 0; i < m.Rows; i++ {
+		var norm float64
+		for _, v := range m.Row(i) {
+			norm += v * v
+		}
+		if math.Abs(math.Sqrt(norm)-1) > 1e-9 {
+			t.Fatalf("row %d norm %v", i, math.Sqrt(norm))
+		}
+	}
+}
+
+func TestRandomWalkEmbeddingSeparates(t *testing.T) {
+	g, a, b := twoCliques(6)
+	m, idx := RandomWalkEmbedding(g, DefaultWalks())
+	intra, inter := meanIntraInterSim(m, idx, a, b)
+	if intra <= inter {
+		t.Fatalf("walk embedding: intra %v <= inter %v", intra, inter)
+	}
+}
+
+func TestPCARecoveredVariance(t *testing.T) {
+	// Points on a line in 3D: first component captures everything.
+	n := 50
+	m := NewMatrix(n, 3)
+	for i := 0; i < n; i++ {
+		tt := float64(i)
+		m.Set(i, 0, 2*tt)
+		m.Set(i, 1, -tt)
+		m.Set(i, 2, 0.5*tt)
+	}
+	p := PCA(m, 2, 1)
+	if p.Rows != n || p.Cols != 2 {
+		t.Fatalf("shape %dx%d", p.Rows, p.Cols)
+	}
+	// First component scores vary; second is ~0 (all variance in one dim).
+	var v1, v2 float64
+	mean1, mean2 := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		mean1 += p.At(i, 0)
+		mean2 += p.At(i, 1)
+	}
+	mean1 /= float64(n)
+	mean2 /= float64(n)
+	for i := 0; i < n; i++ {
+		v1 += sqd(p.At(i, 0) - mean1)
+		v2 += sqd(p.At(i, 1) - mean2)
+	}
+	if v2 > v1*1e-6 {
+		t.Fatalf("second component variance %v vs first %v", v2, v1)
+	}
+	// Scores along the first component are monotone in i (up to sign).
+	inc, dec := true, true
+	for i := 1; i < n; i++ {
+		if p.At(i, 0) < p.At(i-1, 0) {
+			inc = false
+		}
+		if p.At(i, 0) > p.At(i-1, 0) {
+			dec = false
+		}
+	}
+	if !inc && !dec {
+		t.Fatal("first component not monotone along the line")
+	}
+}
+
+func sqd(x float64) float64 { return x * x }
+
+func TestSeriesFeaturesAndConcat(t *testing.T) {
+	s1 := ts.FromSamples("a", 0, 1, []float64{1, 2, 3, 4})
+	s2 := ts.FromSamples("b", 0, 1, []float64{4, 4, 4, 4})
+	f := SeriesFeatures([]*ts.Series{s1, s2})
+	if f.Rows != 2 || f.Cols != ts.NumFeatures {
+		t.Fatalf("shape %dx%d", f.Rows, f.Cols)
+	}
+	other := NewMatrix(2, 3)
+	c := Concat(f, other)
+	if c.Cols != ts.NumFeatures+3 {
+		t.Fatalf("concat cols=%d", c.Cols)
+	}
+	if c.At(0, 0) != f.At(0, 0) {
+		t.Fatal("concat contents")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("row-mismatched concat must panic")
+		}
+	}()
+	Concat(f, NewMatrix(3, 1))
+}
+
+func TestStandardizeColumns(t *testing.T) {
+	m := NewMatrix(4, 2)
+	for i := 0; i < 4; i++ {
+		m.Set(i, 0, float64(i)*100)
+		m.Set(i, 1, 7) // constant
+	}
+	StandardizeColumns(m)
+	var mean, variance float64
+	for i := 0; i < 4; i++ {
+		mean += m.At(i, 0)
+	}
+	mean /= 4
+	for i := 0; i < 4; i++ {
+		variance += sqd(m.At(i, 0) - mean)
+	}
+	variance /= 4
+	if math.Abs(mean) > 1e-9 || math.Abs(variance-1) > 1e-9 {
+		t.Fatalf("standardized mean=%v var=%v", mean, variance)
+	}
+	for i := 0; i < 4; i++ {
+		if m.At(i, 1) != 0 {
+			t.Fatal("constant column should become zeros")
+		}
+	}
+}
+
+func TestCosineSim(t *testing.T) {
+	if got := CosineSim([]float64{1, 0}, []float64{1, 0}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("parallel=%v", got)
+	}
+	if got := CosineSim([]float64{1, 0}, []float64{0, 1}); math.Abs(got) > 1e-12 {
+		t.Fatalf("orthogonal=%v", got)
+	}
+	if got := CosineSim([]float64{1, 0}, []float64{-1, 0}); math.Abs(got+1) > 1e-12 {
+		t.Fatalf("antiparallel=%v", got)
+	}
+	if got := CosineSim([]float64{0, 0}, []float64{1, 0}); got != 0 {
+		t.Fatalf("zero vector=%v", got)
+	}
+}

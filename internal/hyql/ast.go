@@ -1,0 +1,154 @@
+package hyql
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Query is a parsed HyQL query.
+type Query struct {
+	Patterns []*PatternPath
+	Where    Expr // nil when absent
+	// With is an optional intermediate projection (Cypher's WITH): its
+	// items become the bindings visible to RETURN, with aggregation and a
+	// post-projection filter (WithWhere) — the HAVING idiom of Listing 1.
+	With      []ReturnItem
+	WithWhere Expr
+	Return    []ReturnItem
+	Distinct  bool
+	OrderBy   []OrderItem
+	Limit     int // -1 when absent
+}
+
+// PatternPath is one comma-separated MATCH pattern: a chain of nodes joined
+// by edges.
+type PatternPath struct {
+	Nodes []NodePattern
+	Edges []EdgePattern // len(Edges) == len(Nodes)-1
+}
+
+// NodePattern is one "(name:Label)" element.
+type NodePattern struct {
+	Name  string // "" for anonymous
+	Label string // "" for any
+}
+
+// EdgeDir is the direction of a pattern edge.
+type EdgeDir int
+
+// Edge directions.
+const (
+	DirRight EdgeDir = iota // -[]->
+	DirLeft                 // <-[]-
+	DirBoth                 // -[]-
+)
+
+// EdgePattern is one "-[name:TYPE*min..max]->" element.
+type EdgePattern struct {
+	Name    string
+	Label   string
+	Dir     EdgeDir
+	MinHops int // 1 when unbounded single hop
+	MaxHops int
+}
+
+// ReturnItem is one projection with an optional alias.
+type ReturnItem struct {
+	Expr  Expr
+	Alias string // "" derives from the expression text
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// Expr is an expression node.
+type Expr interface{ exprString() string }
+
+// Lit is a literal value.
+type Lit struct {
+	Str    *string
+	Num    *float64
+	Int    *int64
+	Bool   *bool
+	IsNull bool
+}
+
+// Ident references a pattern binding.
+type Ident struct{ Name string }
+
+// PropAccess is "binding.key".
+type PropAccess struct {
+	On  string
+	Key string
+}
+
+// Unary is NOT x or -x.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Binary is a binary operation.
+type Binary struct {
+	Op   string // AND OR = <> < <= > >= + - * / %
+	L, R Expr
+}
+
+// Call is a function application; Namespace is "" or "ts".
+type Call struct {
+	Namespace string
+	Name      string // lower-cased
+	Star      bool   // count(*)
+	Args      []Expr
+}
+
+func (l Lit) exprString() string {
+	switch {
+	case l.IsNull:
+		return "null"
+	case l.Str != nil:
+		return "'" + *l.Str + "'"
+	case l.Int != nil:
+		return itoa(*l.Int)
+	case l.Num != nil:
+		return ftoa(*l.Num)
+	case l.Bool != nil:
+		if *l.Bool {
+			return "true"
+		}
+		return "false"
+	}
+	return "?"
+}
+
+func (i Ident) exprString() string      { return i.Name }
+func (p PropAccess) exprString() string { return p.On + "." + p.Key }
+func (u Unary) exprString() string      { return "(" + u.Op + " " + u.X.exprString() + ")" }
+func (b Binary) exprString() string {
+	return "(" + b.L.exprString() + " " + b.Op + " " + b.R.exprString() + ")"
+}
+func (c Call) exprString() string {
+	name := c.Name
+	if c.Namespace != "" {
+		name = c.Namespace + "." + name
+	}
+	if c.Star {
+		return name + "(*)"
+	}
+	args := make([]string, len(c.Args))
+	for i, a := range c.Args {
+		args[i] = a.exprString()
+	}
+	return name + "(" + strings.Join(args, ", ") + ")"
+}
+
+// ExprText renders an expression roughly as written, used for derived
+// column names.
+func ExprText(e Expr) string { return e.exprString() }
+
+func itoa(v int64) string { return strconv.FormatInt(v, 10) }
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

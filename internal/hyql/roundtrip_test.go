@@ -1,0 +1,90 @@
+package hyql
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randExpr builds a random expression tree over bindings {a, b}.
+func randExpr(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		switch rng.Intn(5) {
+		case 0:
+			i := int64(rng.Intn(100))
+			return Lit{Int: &i}
+		case 1:
+			f := float64(rng.Intn(100)) + 0.5
+			return Lit{Num: &f}
+		case 2:
+			s := []string{"x", "hello", "q"}[rng.Intn(3)]
+			return Lit{Str: &s}
+		case 3:
+			return Ident{Name: []string{"a", "b"}[rng.Intn(2)]}
+		default:
+			return PropAccess{On: "a", Key: []string{"x", "name"}[rng.Intn(2)]}
+		}
+	}
+	switch rng.Intn(4) {
+	case 0:
+		op := []string{"AND", "OR", "=", "<>", "<", "<=", ">", ">=", "+", "-", "*", "/", "%"}[rng.Intn(13)]
+		return Binary{op, randExpr(rng, depth-1), randExpr(rng, depth-1)}
+	case 1:
+		return Unary{"NOT", randExpr(rng, depth-1)}
+	case 2:
+		name := []string{"abs", "length", "coalesce"}[rng.Intn(3)]
+		n := 1
+		if name == "coalesce" {
+			n = 2
+		}
+		args := make([]Expr, n)
+		for i := range args {
+			args[i] = randExpr(rng, depth-1)
+		}
+		return Call{Name: name, Args: args}
+	default:
+		return Call{Namespace: "ts", Name: "mean", Args: []Expr{Ident{Name: "a"}}}
+	}
+}
+
+// TestExprRenderParseFixpoint: rendering an expression and re-parsing it
+// yields a tree that renders identically — ExprText is a fixpoint under
+// parse∘render. This pins down precedence handling in both directions.
+func TestExprRenderParseFixpoint(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for iter := 0; iter < 300; iter++ {
+		e := randExpr(rng, 1+rng.Intn(3))
+		text := ExprText(e)
+		q, err := Parse("MATCH (a), (b) WHERE " + text + " RETURN a")
+		if err != nil {
+			t.Fatalf("render %q failed to parse: %v", text, err)
+		}
+		if got := ExprText(q.Where); got != text {
+			t.Fatalf("fixpoint broken:\n rendered %q\n reparsed %q", text, got)
+		}
+	}
+}
+
+// TestQueryRenderStability: full queries keep their clause content through a
+// parse→inspect cycle.
+func TestQueryRenderStability(t *testing.T) {
+	srcs := []string{
+		"MATCH (u:User) RETURN u",
+		"MATCH (u:User)-[t:TX]->(m) WHERE t.amount > 5 RETURN u.name AS n ORDER BY n DESC LIMIT 3",
+		"MATCH (a)-[:R*1..4]-(b) WITH a, count(b) AS c WHERE c > 1 RETURN a, c",
+	}
+	for _, src := range srcs {
+		q1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		// Parse twice: structures must agree on clause arity.
+		q2, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q1.Patterns) != len(q2.Patterns) || len(q1.Return) != len(q2.Return) ||
+			len(q1.With) != len(q2.With) || q1.Limit != q2.Limit || q1.Distinct != q2.Distinct {
+			t.Fatalf("%q: unstable parse", src)
+		}
+	}
+}

@@ -1,0 +1,124 @@
+package hyql
+
+import (
+	"testing"
+
+	"hygraph/internal/ts"
+)
+
+func TestParseWith(t *testing.T) {
+	q := mustParse(t, `
+		MATCH (u:User)-[t:TX]->(m:Merchant)
+		WITH u, count(m) AS cnt
+		WHERE cnt > 2
+		RETURN u.name, cnt`)
+	if len(q.With) != 2 {
+		t.Fatalf("with items=%d", len(q.With))
+	}
+	if q.With[1].Alias != "cnt" {
+		t.Fatalf("alias=%q", q.With[1].Alias)
+	}
+	if q.WithWhere == nil {
+		t.Fatal("missing with-where")
+	}
+	if q.Where != nil {
+		t.Fatal("match-where should be empty")
+	}
+	// Expressions in WITH need aliases.
+	if _, err := Parse("MATCH (u) WITH u.name RETURN 1"); err == nil {
+		t.Fatal("unaliased expression in WITH accepted")
+	}
+	// Bare identifiers pass through without alias.
+	if _, err := Parse("MATCH (u) WITH u RETURN u"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestListing1WithHaving expresses the paper's Listing 1 shape: group per
+// user, require >2 high-amount merchants, return the user.
+func TestListing1WithHaving(t *testing.T) {
+	h := fraudHG(t)
+	res := query(t, h, `
+		MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant)
+		WHERE t.amount > 1000
+		WITH u, count(m) AS mrs
+		WHERE mrs > 2
+		RETURN u.name AS suspiciousUser ORDER BY suspiciousUser`)
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+	if res.Rows[0][0].String() != "u1" || res.Rows[1][0].String() != "u3" {
+		t.Fatalf("suspicious=%v", res.Rows)
+	}
+}
+
+func TestWithCollectAndLength(t *testing.T) {
+	h := fraudHG(t)
+	res := query(t, h, `
+		MATCH (c:CreditCard)-[t:TX]->(m:Merchant)
+		WITH c, collect(m.name) AS mrs
+		WHERE length(mrs) > 2
+		RETURN c.name, length(mrs) AS n`)
+	if len(res.Rows) != 2 { // c1 and c3 hit 3 merchants
+		t.Fatalf("rows=%v", res.Rows)
+	}
+	for _, r := range res.Rows {
+		if r[1].String() != "3" {
+			t.Fatalf("n=%v", r[1])
+		}
+	}
+}
+
+func TestWithPassThroughEntities(t *testing.T) {
+	// Entities surviving WITH keep property access and series functions.
+	h := fraudHG(t)
+	res := query(t, h, `
+		MATCH (u:User)-[:USES]->(c:CreditCard)
+		WITH u, c
+		WHERE ts.min(c) < 100
+		RETURN u.name AS drained`)
+	if len(res.Rows) != 1 || res.Rows[0][0].String() != "u1" {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}
+
+func TestWithScopesBindings(t *testing.T) {
+	// Bindings not carried through WITH are gone in RETURN.
+	h := fraudHG(t)
+	eng := NewEngine(h)
+	_, err := eng.Query(`
+		MATCH (u:User)-[:USES]->(c:CreditCard)
+		WITH u
+		RETURN c.name`, 10*ts.Hour)
+	if err == nil {
+		t.Fatal("binding leaked through WITH")
+	}
+}
+
+func TestWithAggregateThenReturnAggregate(t *testing.T) {
+	// Aggregate over the WITH-projected rows: max per-user merchant count.
+	h := fraudHG(t)
+	res := query(t, h, `
+		MATCH (u:User)-[:USES]->(c:CreditCard)-[t:TX]->(m:Merchant)
+		WITH u, count(m) AS cnt
+		RETURN max(cnt) AS busiest, count(u) AS users`)
+	if len(res.Rows) != 1 {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+	if res.Rows[0][0].String() != "3" || res.Rows[0][1].String() != "3" {
+		t.Fatalf("row=%v", res.Rows[0])
+	}
+}
+
+func TestWithNonAggregateProjection(t *testing.T) {
+	// WITH without aggregation is a pure rename/projection stage.
+	h := fraudHG(t)
+	res := query(t, h, `
+		MATCH (u:User)
+		WITH u.name AS n
+		WHERE n <> 'u2'
+		RETURN n ORDER BY n`)
+	if len(res.Rows) != 2 || res.Rows[0][0].String() != "u1" || res.Rows[1][0].String() != "u3" {
+		t.Fatalf("rows=%v", res.Rows)
+	}
+}

@@ -1,0 +1,197 @@
+package index
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hygraph/internal/core"
+	"hygraph/internal/dataset"
+	"hygraph/internal/ts"
+)
+
+func randVectors(n, d int, seed int64) ([][]float64, []int64) {
+	rng := rand.New(rand.NewSource(seed))
+	vs := make([][]float64, n)
+	ids := make([]int64, n)
+	for i := range vs {
+		v := make([]float64, d)
+		for j := range v {
+			v[j] = rng.NormFloat64()
+		}
+		vs[i] = v
+		ids[i] = int64(i * 10)
+	}
+	return vs, ids
+}
+
+func TestFlatIndexExact(t *testing.T) {
+	vs, ids := randVectors(100, 8, 1)
+	ix, err := BuildVectorIndex(vs, ids, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Self-query: nearest must be itself at distance 0.
+	for i := 0; i < 100; i += 17 {
+		hits, err := ix.Nearest(vs[i], 3, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(hits) != 3 || hits[0].ID != ids[i] || hits[0].Dist != 0 {
+			t.Fatalf("self query %d: %v", i, hits)
+		}
+		// Distances nondecreasing.
+		for j := 1; j < len(hits); j++ {
+			if hits[j].Dist < hits[j-1].Dist {
+				t.Fatalf("unsorted hits: %v", hits)
+			}
+		}
+	}
+}
+
+func TestIVFRecall(t *testing.T) {
+	vs, ids := randVectors(500, 8, 2)
+	ix, err := BuildVectorIndex(vs, ids, 16, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := ix.Recall(5, 4, 50); r < 0.8 {
+		t.Fatalf("recall@nProbe=4 is %v", r)
+	}
+	// Probing all cells is exact.
+	if r := ix.Recall(5, 0, 50); r != 1 {
+		t.Fatalf("exhaustive recall=%v", r)
+	}
+}
+
+func TestVectorIndexErrors(t *testing.T) {
+	vs, ids := randVectors(10, 4, 3)
+	if _, err := BuildVectorIndex(vs, ids[:5], 1, 1); err == nil {
+		t.Fatal("mismatched ids accepted")
+	}
+	bad := append(vs[:9:9], []float64{1})
+	if _, err := BuildVectorIndex(bad, ids, 1, 1); err != ErrDimension {
+		t.Fatalf("ragged vectors: %v", err)
+	}
+	ix, _ := BuildVectorIndex(vs, ids, 1, 1)
+	if _, err := ix.Nearest([]float64{1}, 3, 0); err != ErrDimension {
+		t.Fatalf("short query: %v", err)
+	}
+	empty, _ := BuildVectorIndex(nil, nil, 4, 1)
+	if hits, err := empty.Nearest([]float64{1}, 3, 0); err != nil || hits != nil {
+		t.Fatalf("empty index: %v %v", hits, err)
+	}
+}
+
+func TestCosineNearest(t *testing.T) {
+	vs := [][]float64{{1, 0}, {0.9, 0.1}, {0, 1}, {-1, 0}}
+	ids := []int64{0, 1, 2, 3}
+	ix, _ := BuildVectorIndex(vs, ids, 1, 1)
+	hits, err := ix.CosineNearest([]float64{2, 0}, 2) // scale-invariant
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits[0].ID != 0 || hits[1].ID != 1 {
+		t.Fatalf("cosine hits=%v", hits)
+	}
+	if math.Abs(hits[0].Dist) > 1e-12 {
+		t.Fatalf("parallel distance=%v", hits[0].Dist)
+	}
+}
+
+func TestSemanticSimilarFindsSameClass(t *testing.T) {
+	d := dataset.GenerateFraud(dataset.DefaultFraud())
+	mid := ts.Time(d.Config.Hours/2) * ts.Hour
+	sem, err := BuildSemantic(d.H, DefaultSemantic(mid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A fraudster's card should have another fraudster's card among its
+	// nearest TS peers more often than chance: the drain dominates the
+	// standardized feature space.
+	frauds := d.TruePositives()
+	if len(frauds) < 2 {
+		t.Skip("need 2 fraudsters")
+	}
+	fraudCards := map[core.VID]bool{}
+	for _, u := range frauds {
+		fraudCards[d.Cards[u]] = true
+	}
+	found := 0
+	for _, u := range frauds {
+		peers, err := sem.Similar(d.Cards[u], 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range peers {
+			if fraudCards[p] {
+				found++
+				break
+			}
+		}
+	}
+	if found < len(frauds)-1 {
+		t.Fatalf("only %d/%d fraud cards found a fraud peer", found, len(frauds))
+	}
+	// Retrieval by raw vector works and returns the vertex itself first.
+	vec, _ := sem.Vector(d.Cards[frauds[0]])
+	got, err := sem.Retrieve(vec, 1)
+	if err != nil || len(got) != 1 || got[0] != d.Cards[frauds[0]] {
+		t.Fatalf("retrieve=%v err=%v", got, err)
+	}
+	// Unknown vertex errors.
+	if _, err := sem.Similar(core.VID(1<<40), 3); err == nil {
+		t.Fatal("unknown vertex accepted")
+	}
+}
+
+func TestCombinedIndexGroupsByShapeAndLevel(t *testing.T) {
+	h := core.New()
+	mk := func(base float64, rising bool) *ts.Series {
+		s := ts.New("s")
+		for i := 0; i < 64; i++ {
+			v := base
+			if rising {
+				v += float64(i)
+			} else {
+				v -= float64(i)
+			}
+			s.MustAppend(ts.Time(i), v)
+		}
+		return s
+	}
+	r1, _ := h.AddTSVertexUni(mk(10, true), "S")
+	r2, _ := h.AddTSVertexUni(mk(12, true), "S")
+	f1, _ := h.AddTSVertexUni(mk(10, false), "S")
+	hi, _ := h.AddTSVertexUni(mk(10000, true), "S")
+	ci := BuildCombined(h, 4, 3)
+	// Rising low-level series share a bucket.
+	b1, ok1 := ci.Bucket(r1)
+	b2, ok2 := ci.Bucket(r2)
+	if !ok1 || !ok2 || b1 != b2 {
+		t.Fatalf("rising twins split: %q vs %q", b1, b2)
+	}
+	// Falling series lands elsewhere (different SAX word).
+	if bf, _ := ci.Bucket(f1); bf == b1 {
+		t.Fatalf("falling series shares bucket %q", bf)
+	}
+	// Same shape, different level → different quantile bucket.
+	if bh, _ := ci.Bucket(hi); bh == b1 {
+		t.Fatalf("high-level series shares bucket %q", bh)
+	}
+	// Peers and lookup agree.
+	peers := ci.Peers(r1)
+	if len(peers) != 1 || peers[0] != r2 {
+		t.Fatalf("peers=%v", peers)
+	}
+	if got := ci.Lookup(b1); len(got) != 2 {
+		t.Fatalf("lookup=%v", got)
+	}
+	if len(ci.Buckets()) < 3 {
+		t.Fatalf("buckets=%v", ci.Buckets())
+	}
+	// PG vertices are not indexed.
+	if _, ok := ci.Bucket(core.VID(999)); ok {
+		t.Fatal("phantom bucket")
+	}
+}

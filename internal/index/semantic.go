@@ -1,0 +1,224 @@
+package index
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hygraph/internal/core"
+	"hygraph/internal/embed"
+	"hygraph/internal/ts"
+)
+
+// SemanticConfig configures a semantic index over a HyGraph instance.
+type SemanticConfig struct {
+	// At is the instant whose structural view is embedded.
+	At ts.Time
+	// StructDim is the FastRP dimension for the structural half.
+	StructDim int
+	// Cells is the IVF cell count (<=1 = exact index).
+	Cells int
+	Seed  int64
+}
+
+// DefaultSemantic returns a reasonable configuration for mid-sized graphs.
+func DefaultSemantic(at ts.Time) SemanticConfig {
+	return SemanticConfig{At: at, StructDim: 16, Cells: 8, Seed: 1}
+}
+
+// Semantic is the paper's "semantic index": every vertex gets a hybrid
+// embedding — FastRP over the instant's structural view concatenated with
+// its series' statistical features (zeros for PG vertices without series) —
+// and a vector index over them supports similarity retrieval. This is the
+// retrieval substrate the roadmap's HyGraph-RAG step needs: "relevant nodes
+// are found by similar embeddings".
+type Semantic struct {
+	cfg   SemanticConfig
+	index *VectorIndex
+	vecOf map[core.VID][]float64
+}
+
+// BuildSemantic embeds every vertex of the instance and indexes the result.
+func BuildSemantic(h *core.HyGraph, cfg SemanticConfig) (*Semantic, error) {
+	if cfg.StructDim <= 0 {
+		cfg.StructDim = 16
+	}
+	view := h.SnapshotAt(cfg.At)
+	structEmb, rowOf := embed.FastRP(view.Graph, embed.FastRPConfig{
+		Dim: cfg.StructDim, Weights: []float64{0.5, 1}, Seed: cfg.Seed, NormalizeL2: true,
+	})
+	// Series features for TS vertices, standardized across all of them.
+	var tsIDs []core.VID
+	var tsSeries []*ts.Series
+	h.Vertices(func(v *core.Vertex) bool {
+		if v.Kind == core.TS {
+			if s, ok := v.SeriesVar(""); ok {
+				tsIDs = append(tsIDs, v.ID)
+				tsSeries = append(tsSeries, s)
+			}
+		}
+		return true
+	})
+	feat := embed.SeriesFeatures(tsSeries)
+	embed.StandardizeColumns(feat)
+	featOf := map[core.VID][]float64{}
+	for i, id := range tsIDs {
+		featOf[id] = feat.Row(i)
+	}
+
+	sem := &Semantic{cfg: cfg, vecOf: map[core.VID][]float64{}}
+	var vectors [][]float64
+	var ids []int64
+	h.Vertices(func(v *core.Vertex) bool {
+		vec := make([]float64, cfg.StructDim+ts.NumFeatures)
+		if sid, ok := view.VertexOf[v.ID]; ok {
+			copy(vec, structEmb.Row(rowOf[sid]))
+		}
+		if f, ok := featOf[v.ID]; ok {
+			copy(vec[cfg.StructDim:], f)
+		}
+		sem.vecOf[v.ID] = vec
+		vectors = append(vectors, vec)
+		ids = append(ids, int64(v.ID))
+		return true
+	})
+	ix, err := BuildVectorIndex(vectors, ids, cfg.Cells, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	sem.index = ix
+	return sem, nil
+}
+
+// Vector returns a vertex's hybrid embedding.
+func (s *Semantic) Vector(v core.VID) ([]float64, bool) {
+	vec, ok := s.vecOf[v]
+	return vec, ok
+}
+
+// Similar returns up to k vertices most similar to v (excluding v itself),
+// nearest first.
+func (s *Semantic) Similar(v core.VID, k int) ([]core.VID, error) {
+	vec, ok := s.vecOf[v]
+	if !ok {
+		return nil, fmt.Errorf("index: vertex %d not embedded", v)
+	}
+	hits, err := s.index.Nearest(vec, k+1, 2)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.VID, 0, k)
+	for _, h := range hits {
+		if core.VID(h.ID) == v {
+			continue
+		}
+		out = append(out, core.VID(h.ID))
+		if len(out) == k {
+			break
+		}
+	}
+	return out, nil
+}
+
+// Retrieve is the GraphRAG entry point: nearest vertices to an arbitrary
+// query vector (e.g. the embedding of a natural-language question in a full
+// deployment), each expandable into its neighborhood as LLM context.
+func (s *Semantic) Retrieve(query []float64, k int) ([]core.VID, error) {
+	hits, err := s.index.Nearest(query, k, 2)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]core.VID, len(hits))
+	for i, h := range hits {
+		out[i] = core.VID(h.ID)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Combined property + series-feature index.
+
+// CombinedIndex groups TS vertices by discretized aggregate features — the
+// roadmap's "property index extended to include aggregated time-series
+// features, enabling the grouping of nodes by shared characteristics".
+// Buckets are (SAX word, level) pairs, where level is the order of
+// magnitude of the series mean (stable under small mean perturbations,
+// unlike rank-based quantiles).
+type CombinedIndex struct {
+	byBucket map[string][]core.VID
+	bucketOf map[core.VID]string
+}
+
+// BuildCombined indexes every TS vertex by its SAX word (shape) and the
+// order of magnitude of its mean value (level).
+func BuildCombined(h *core.HyGraph, segments, alphabet int) *CombinedIndex {
+	ci := &CombinedIndex{byBucket: map[string][]core.VID{}, bucketOf: map[core.VID]string{}}
+	h.Vertices(func(v *core.Vertex) bool {
+		if v.Kind != core.TS {
+			return true
+		}
+		s, ok := v.SeriesVar("")
+		if !ok || s.Len() < segments {
+			return true
+		}
+		word, err := s.SAX(segments, alphabet)
+		if err != nil {
+			return true
+		}
+		bucket := fmt.Sprintf("%s/L%d", word, levelOf(s.Mean()))
+		ci.byBucket[bucket] = append(ci.byBucket[bucket], v.ID)
+		ci.bucketOf[v.ID] = bucket
+		return true
+	})
+	return ci
+}
+
+// levelOf is the order of magnitude of |m|: 0 for |m| < 1, then 1 per
+// decade, negated for negative means so levels stay distinct.
+func levelOf(m float64) int {
+	a := math.Abs(m)
+	if a < 1 {
+		return 0
+	}
+	l := int(math.Floor(math.Log10(a))) + 1
+	if m < 0 {
+		return -l
+	}
+	return l
+}
+
+// Bucket returns the bucket key of a vertex.
+func (ci *CombinedIndex) Bucket(v core.VID) (string, bool) {
+	b, ok := ci.bucketOf[v]
+	return b, ok
+}
+
+// Lookup returns the TS vertices in a bucket.
+func (ci *CombinedIndex) Lookup(bucket string) []core.VID {
+	return append([]core.VID(nil), ci.byBucket[bucket]...)
+}
+
+// Peers returns the other vertices sharing v's bucket.
+func (ci *CombinedIndex) Peers(v core.VID) []core.VID {
+	b, ok := ci.bucketOf[v]
+	if !ok {
+		return nil
+	}
+	var out []core.VID
+	for _, id := range ci.byBucket[b] {
+		if id != v {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Buckets returns all bucket keys, sorted.
+func (ci *CombinedIndex) Buckets() []string {
+	out := make([]string, 0, len(ci.byBucket))
+	for b := range ci.byBucket {
+		out = append(out, b)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,198 @@
+// Package index implements the indexing roadmap of the paper's Section 6:
+// semantic (vector) indexes over hybrid embeddings for GraphRAG-style
+// retrieval, and combined indexes that extend a property index with
+// aggregated time-series features so nodes group by shared temporal
+// characteristics.
+package index
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"hygraph/internal/ml"
+)
+
+// VectorIndex is a k-nearest-neighbor index over dense vectors. Vectors are
+// partitioned into Voronoi cells by k-means (an IVF-style coarse quantizer);
+// queries probe the closest nProbe cells, turning exact O(n) scans into
+// O(n·nProbe/cells) with near-perfect recall for modest nProbe.
+type VectorIndex struct {
+	dim       int
+	vectors   [][]float64
+	ids       []int64 // caller-provided payload ids, parallel to vectors
+	centroids [][]float64
+	cells     [][]int // vector offsets per centroid
+}
+
+// ErrDimension is returned when a vector's length does not match the index.
+var ErrDimension = errors.New("index: vector dimension mismatch")
+
+// BuildVectorIndex builds an index over the given vectors and payload ids.
+// cells <= 1 produces a flat (exact brute-force) index. The seed makes the
+// partitioning deterministic.
+func BuildVectorIndex(vectors [][]float64, ids []int64, cells int, seed int64) (*VectorIndex, error) {
+	if len(vectors) != len(ids) {
+		return nil, fmt.Errorf("index: %d vectors but %d ids", len(vectors), len(ids))
+	}
+	idx := &VectorIndex{ids: append([]int64(nil), ids...)}
+	if len(vectors) == 0 {
+		return idx, nil
+	}
+	idx.dim = len(vectors[0])
+	idx.vectors = make([][]float64, len(vectors))
+	for i, v := range vectors {
+		if len(v) != idx.dim {
+			return nil, ErrDimension
+		}
+		idx.vectors[i] = append([]float64(nil), v...)
+	}
+	if cells <= 1 || cells >= len(vectors) {
+		idx.centroids = nil // flat index
+		return idx, nil
+	}
+	km := ml.KMeans(idx.vectors, cells, 50, seed)
+	idx.centroids = km.Centroids
+	idx.cells = make([][]int, len(km.Centroids))
+	for i, c := range km.Assign {
+		idx.cells[c] = append(idx.cells[c], i)
+	}
+	return idx, nil
+}
+
+// Len returns the number of indexed vectors.
+func (ix *VectorIndex) Len() int { return len(ix.vectors) }
+
+// Hit is one nearest-neighbor result.
+type Hit struct {
+	ID   int64
+	Dist float64
+}
+
+// Nearest returns the k nearest indexed vectors to the query by Euclidean
+// distance, probing the nProbe closest cells (nProbe <= 0 probes all,
+// making the search exact).
+func (ix *VectorIndex) Nearest(query []float64, k, nProbe int) ([]Hit, error) {
+	if ix.Len() == 0 {
+		return nil, nil
+	}
+	if len(query) != ix.dim {
+		return nil, ErrDimension
+	}
+	var candidates []int
+	if ix.centroids == nil || nProbe <= 0 || nProbe >= len(ix.centroids) {
+		candidates = make([]int, len(ix.vectors))
+		for i := range candidates {
+			candidates[i] = i
+		}
+	} else {
+		order := make([]int, len(ix.centroids))
+		for i := range order {
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool {
+			return ml.Euclidean(query, ix.centroids[order[a]]) <
+				ml.Euclidean(query, ix.centroids[order[b]])
+		})
+		for _, c := range order[:nProbe] {
+			candidates = append(candidates, ix.cells[c]...)
+		}
+	}
+	hits := make([]Hit, 0, len(candidates))
+	for _, i := range candidates {
+		hits = append(hits, Hit{ID: ix.ids[i], Dist: ml.Euclidean(query, ix.vectors[i])})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Dist != hits[b].Dist {
+			return hits[a].Dist < hits[b].Dist
+		}
+		return hits[a].ID < hits[b].ID
+	})
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+// Recall estimates the fraction of true k-nearest neighbors the index
+// returns at the given nProbe, averaged over the indexed vectors themselves
+// as queries (leave-self-in). Used by tests and the ablation bench.
+func (ix *VectorIndex) Recall(k, nProbe, sample int) float64 {
+	if ix.Len() == 0 || sample <= 0 {
+		return 1
+	}
+	step := ix.Len() / sample
+	if step == 0 {
+		step = 1
+	}
+	var total, hit float64
+	for i := 0; i < ix.Len(); i += step {
+		approx, _ := ix.Nearest(ix.vectors[i], k, nProbe)
+		exact, _ := ix.Nearest(ix.vectors[i], k, 0)
+		want := map[int64]bool{}
+		for _, h := range exact {
+			want[h.ID] = true
+		}
+		for _, h := range approx {
+			if want[h.ID] {
+				hit++
+			}
+		}
+		total += float64(len(exact))
+	}
+	if total == 0 {
+		return 1
+	}
+	return hit / total
+}
+
+// CosineNearest is Nearest under cosine distance (1 - cosine similarity),
+// implemented by L2-normalizing on the fly.
+func (ix *VectorIndex) CosineNearest(query []float64, k int) ([]Hit, error) {
+	if ix.Len() == 0 {
+		return nil, nil
+	}
+	if len(query) != ix.dim {
+		return nil, ErrDimension
+	}
+	qn := normalize(query)
+	hits := make([]Hit, 0, len(ix.vectors))
+	for i, v := range ix.vectors {
+		hits = append(hits, Hit{ID: ix.ids[i], Dist: 1 - dot(qn, normalize(v))})
+	}
+	sort.Slice(hits, func(a, b int) bool {
+		if hits[a].Dist != hits[b].Dist {
+			return hits[a].Dist < hits[b].Dist
+		}
+		return hits[a].ID < hits[b].ID
+	})
+	if k < len(hits) {
+		hits = hits[:k]
+	}
+	return hits, nil
+}
+
+func normalize(v []float64) []float64 {
+	var n float64
+	for _, x := range v {
+		n += x * x
+	}
+	n = math.Sqrt(n)
+	out := make([]float64, len(v))
+	if n == 0 {
+		return out
+	}
+	for i, x := range v {
+		out[i] = x / n
+	}
+	return out
+}
+
+func dot(a, b []float64) float64 {
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}

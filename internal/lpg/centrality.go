@@ -1,0 +1,114 @@
+package lpg
+
+// KCore computes the k-core decomposition over the undirected view: each
+// vertex's core number is the largest k such that it belongs to a subgraph
+// where every vertex has degree >= k. Peeling runs in O(V + E) with
+// bucketed degrees. Core numbers feed density-based clustering (Table 2,
+// C2) and summarize structural robustness.
+func (g *Graph) KCore() map[VertexID]int {
+	ids := g.VertexIDs()
+	deg := make(map[VertexID]int, len(ids))
+	adj := make(map[VertexID][]VertexID, len(ids))
+	for _, id := range ids {
+		nbrs := g.Neighbors(id)
+		adj[id] = nbrs
+		deg[id] = len(nbrs)
+	}
+	maxDeg := 0
+	for _, d := range deg {
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	buckets := make([][]VertexID, maxDeg+1)
+	for _, id := range ids {
+		buckets[deg[id]] = append(buckets[deg[id]], id)
+	}
+	core := make(map[VertexID]int, len(ids))
+	removed := make(map[VertexID]bool, len(ids))
+	cur := make(map[VertexID]int, len(ids))
+	for _, id := range ids {
+		cur[id] = deg[id]
+	}
+	for k := 0; k <= maxDeg; k++ {
+		for len(buckets[k]) > 0 {
+			id := buckets[k][len(buckets[k])-1]
+			buckets[k] = buckets[k][:len(buckets[k])-1]
+			if removed[id] || cur[id] > k {
+				continue // stale bucket entry
+			}
+			removed[id] = true
+			core[id] = k
+			for _, nb := range adj[id] {
+				if removed[nb] || cur[nb] <= k {
+					continue
+				}
+				cur[nb]--
+				b := cur[nb]
+				if b < k {
+					b = k
+				}
+				buckets[b] = append(buckets[b], nb)
+			}
+		}
+	}
+	return core
+}
+
+// Betweenness computes (unnormalized) betweenness centrality over the
+// undirected, unweighted view using Brandes' algorithm: for each vertex,
+// the number of shortest paths between other vertex pairs passing through
+// it. O(V·E).
+func (g *Graph) Betweenness() map[VertexID]float64 {
+	ids := g.VertexIDs()
+	adj := make(map[VertexID][]VertexID, len(ids))
+	for _, id := range ids {
+		adj[id] = g.Neighbors(id)
+	}
+	cb := make(map[VertexID]float64, len(ids))
+	for _, s := range ids {
+		// Single-source shortest paths with path counting.
+		var stack []VertexID
+		pred := map[VertexID][]VertexID{}
+		sigma := map[VertexID]float64{s: 1}
+		dist := map[VertexID]int{s: 0}
+		queue := []VertexID{s}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			stack = append(stack, v)
+			for _, w := range adj[v] {
+				if _, seen := dist[w]; !seen {
+					dist[w] = dist[v] + 1
+					queue = append(queue, w)
+				}
+				if dist[w] == dist[v]+1 {
+					sigma[w] += sigma[v]
+					pred[w] = append(pred[w], v)
+				}
+			}
+		}
+		// Accumulation (dependencies), reverse BFS order.
+		delta := map[VertexID]float64{}
+		for i := len(stack) - 1; i >= 0; i-- {
+			w := stack[i]
+			for _, v := range pred[w] {
+				delta[v] += sigma[v] / sigma[w] * (1 + delta[w])
+			}
+			if w != s {
+				cb[w] += delta[w]
+			}
+		}
+	}
+	// Each undirected pair is counted from both endpoints; halve.
+	for id := range cb {
+		cb[id] /= 2
+	}
+	// Ensure every vertex has an entry.
+	for _, id := range ids {
+		if _, ok := cb[id]; !ok {
+			cb[id] = 0
+		}
+	}
+	return cb
+}

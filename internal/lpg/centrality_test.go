@@ -1,0 +1,104 @@
+package lpg
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKCoreCliquePlusTail(t *testing.T) {
+	// 4-clique (core 3) with a 2-vertex tail (cores 1).
+	g := NewGraph()
+	cl := make([]VertexID, 4)
+	for i := range cl {
+		cl[i] = g.AddVertex("V")
+	}
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			g.AddEdge(cl[i], cl[j], "e")
+		}
+	}
+	t1 := g.AddVertex("V")
+	t2 := g.AddVertex("V")
+	g.AddEdge(cl[0], t1, "e")
+	g.AddEdge(t1, t2, "e")
+	core := g.KCore()
+	for _, id := range cl {
+		if core[id] != 3 {
+			t.Fatalf("clique vertex %d core=%d", id, core[id])
+		}
+	}
+	if core[t1] != 1 || core[t2] != 1 {
+		t.Fatalf("tail cores %d/%d", core[t1], core[t2])
+	}
+	lone := g.AddVertex("V")
+	core = g.KCore()
+	if core[lone] != 0 {
+		t.Fatalf("isolated core=%d", core[lone])
+	}
+}
+
+func TestKCoreRing(t *testing.T) {
+	g := NewGraph()
+	ids := make([]VertexID, 6)
+	for i := range ids {
+		ids[i] = g.AddVertex("V")
+	}
+	for i := range ids {
+		g.AddEdge(ids[i], ids[(i+1)%6], "e")
+	}
+	core := g.KCore()
+	for _, id := range ids {
+		if core[id] != 2 {
+			t.Fatalf("ring core=%d", core[id])
+		}
+	}
+}
+
+func TestBetweennessPath(t *testing.T) {
+	// Path a-b-c: b lies on the single a↔c shortest path → betweenness 1.
+	g := NewGraph()
+	a := g.AddVertex("V")
+	b := g.AddVertex("V")
+	c := g.AddVertex("V")
+	g.AddEdge(a, b, "e")
+	g.AddEdge(b, c, "e")
+	cb := g.Betweenness()
+	if math.Abs(cb[b]-1) > 1e-9 {
+		t.Fatalf("center betweenness=%v", cb[b])
+	}
+	if cb[a] != 0 || cb[c] != 0 {
+		t.Fatalf("endpoints: %v %v", cb[a], cb[c])
+	}
+}
+
+func TestBetweennessStar(t *testing.T) {
+	// Star with 4 leaves: hub carries all C(4,2)=6 pairs.
+	g := NewGraph()
+	hub := g.AddVertex("V")
+	for i := 0; i < 4; i++ {
+		leaf := g.AddVertex("V")
+		g.AddEdge(hub, leaf, "e")
+	}
+	cb := g.Betweenness()
+	if math.Abs(cb[hub]-6) > 1e-9 {
+		t.Fatalf("hub betweenness=%v", cb[hub])
+	}
+}
+
+func TestBetweennessSplitPaths(t *testing.T) {
+	// Diamond a-{b,c}-d: two equal shortest paths a→d; b and c each carry
+	// half a pair = 0.5.
+	g := NewGraph()
+	a := g.AddVertex("V")
+	b := g.AddVertex("V")
+	c := g.AddVertex("V")
+	d := g.AddVertex("V")
+	g.AddEdge(a, b, "e")
+	g.AddEdge(a, c, "e")
+	g.AddEdge(b, d, "e")
+	g.AddEdge(c, d, "e")
+	cb := g.Betweenness()
+	if math.Abs(cb[b]-0.5) > 1e-9 || math.Abs(cb[c]-0.5) > 1e-9 {
+		t.Fatalf("split betweenness %v / %v", cb[b], cb[c])
+	}
+}

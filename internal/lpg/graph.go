@@ -1,0 +1,413 @@
+package lpg
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex within one Graph. IDs are dense, assigned in
+// insertion order, and never reused.
+type VertexID int64
+
+// EdgeID identifies an edge within one Graph.
+type EdgeID int64
+
+// Vertex is a labeled property graph vertex.
+type Vertex struct {
+	ID     VertexID
+	Labels []string
+	props  map[string]Value
+	out    []EdgeID
+	in     []EdgeID
+	dead   bool
+}
+
+// Edge is a directed labeled property graph edge.
+type Edge struct {
+	ID    EdgeID
+	Label string
+	From  VertexID
+	To    VertexID
+	props map[string]Value
+	dead  bool
+}
+
+// Graph is a directed labeled property graph. The zero value is not usable;
+// call NewGraph. Graph is not safe for concurrent mutation.
+type Graph struct {
+	vertices []*Vertex
+	edges    []*Edge
+	nLive    int // live vertex count
+	eLive    int // live edge count
+
+	labelIndex map[string][]VertexID            // vertex label -> ids (insertion order, may contain dead)
+	propIndex  map[string]map[string][]VertexID // indexed property key -> value key -> ids
+}
+
+// NewGraph returns an empty graph.
+func NewGraph() *Graph {
+	return &Graph{
+		labelIndex: make(map[string][]VertexID),
+		propIndex:  make(map[string]map[string][]VertexID),
+	}
+}
+
+// NumVertices returns the number of live vertices.
+func (g *Graph) NumVertices() int { return g.nLive }
+
+// NumEdges returns the number of live edges.
+func (g *Graph) NumEdges() int { return g.eLive }
+
+// AddVertex creates a vertex with the given labels and returns its ID.
+func (g *Graph) AddVertex(labels ...string) VertexID {
+	id := VertexID(len(g.vertices))
+	v := &Vertex{ID: id, Labels: append([]string(nil), labels...), props: map[string]Value{}}
+	g.vertices = append(g.vertices, v)
+	g.nLive++
+	for _, l := range labels {
+		g.labelIndex[l] = append(g.labelIndex[l], id)
+	}
+	return id
+}
+
+// AddEdge creates a directed edge from -> to and returns its ID. It panics
+// if either endpoint does not exist; graph construction bugs should fail
+// loudly and early.
+func (g *Graph) AddEdge(from, to VertexID, label string) EdgeID {
+	vf := g.mustVertex(from)
+	vt := g.mustVertex(to)
+	id := EdgeID(len(g.edges))
+	e := &Edge{ID: id, Label: label, From: from, To: to, props: map[string]Value{}}
+	g.edges = append(g.edges, e)
+	g.eLive++
+	vf.out = append(vf.out, id)
+	vt.in = append(vt.in, id)
+	return id
+}
+
+// Vertex returns the vertex with the given ID, or nil if it does not exist
+// or was removed.
+func (g *Graph) Vertex(id VertexID) *Vertex {
+	if id < 0 || int(id) >= len(g.vertices) {
+		return nil
+	}
+	if v := g.vertices[id]; !v.dead {
+		return v
+	}
+	return nil
+}
+
+// Edge returns the edge with the given ID, or nil.
+func (g *Graph) Edge(id EdgeID) *Edge {
+	if id < 0 || int(id) >= len(g.edges) {
+		return nil
+	}
+	if e := g.edges[id]; !e.dead {
+		return e
+	}
+	return nil
+}
+
+func (g *Graph) mustVertex(id VertexID) *Vertex {
+	v := g.Vertex(id)
+	if v == nil {
+		panic(fmt.Sprintf("lpg: no vertex %d", id))
+	}
+	return v
+}
+
+// RemoveEdge deletes an edge, reporting whether it existed.
+func (g *Graph) RemoveEdge(id EdgeID) bool {
+	e := g.Edge(id)
+	if e == nil {
+		return false
+	}
+	e.dead = true
+	g.eLive--
+	if v := g.Vertex(e.From); v != nil {
+		v.out = removeID(v.out, id)
+	}
+	if v := g.Vertex(e.To); v != nil {
+		v.in = removeID(v.in, id)
+	}
+	return true
+}
+
+// RemoveVertex deletes a vertex and all incident edges, reporting whether it
+// existed.
+func (g *Graph) RemoveVertex(id VertexID) bool {
+	v := g.Vertex(id)
+	if v == nil {
+		return false
+	}
+	for _, eid := range append(append([]EdgeID(nil), v.out...), v.in...) {
+		g.RemoveEdge(eid)
+	}
+	v.dead = true
+	g.nLive--
+	return true
+}
+
+func removeID(ids []EdgeID, id EdgeID) []EdgeID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// Vertices calls fn for every live vertex in ID order; fn returning false
+// stops the iteration.
+func (g *Graph) Vertices(fn func(*Vertex) bool) {
+	for _, v := range g.vertices {
+		if !v.dead && !fn(v) {
+			return
+		}
+	}
+}
+
+// Edges calls fn for every live edge in ID order; fn returning false stops.
+func (g *Graph) Edges(fn func(*Edge) bool) {
+	for _, e := range g.edges {
+		if !e.dead && !fn(e) {
+			return
+		}
+	}
+}
+
+// VertexIDs returns all live vertex IDs in ID order.
+func (g *Graph) VertexIDs() []VertexID {
+	out := make([]VertexID, 0, g.nLive)
+	g.Vertices(func(v *Vertex) bool { out = append(out, v.ID); return true })
+	return out
+}
+
+// EdgeIDs returns all live edge IDs in ID order.
+func (g *Graph) EdgeIDs() []EdgeID {
+	out := make([]EdgeID, 0, g.eLive)
+	g.Edges(func(e *Edge) bool { out = append(out, e.ID); return true })
+	return out
+}
+
+// VerticesByLabel returns live vertex IDs carrying the label, in ID order.
+func (g *Graph) VerticesByLabel(label string) []VertexID {
+	var out []VertexID
+	for _, id := range g.labelIndex[label] {
+		if g.Vertex(id) != nil {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// HasLabel reports whether the vertex carries the label.
+func (v *Vertex) HasLabel(label string) bool {
+	for _, l := range v.Labels {
+		if l == label {
+			return true
+		}
+	}
+	return false
+}
+
+// Prop returns a vertex property value (Null if absent).
+func (v *Vertex) Prop(key string) Value { return v.props[key] }
+
+// PropKeys returns the vertex's property keys in sorted order.
+func (v *Vertex) PropKeys() []string { return sortedKeys(v.props) }
+
+// Prop returns an edge property value (Null if absent).
+func (e *Edge) Prop(key string) Value { return e.props[key] }
+
+// PropKeys returns the edge's property keys in sorted order.
+func (e *Edge) PropKeys() []string { return sortedKeys(e.props) }
+
+func sortedKeys(m map[string]Value) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SetVertexProp sets a property on a vertex, maintaining any index on key.
+func (g *Graph) SetVertexProp(id VertexID, key string, val Value) {
+	v := g.mustVertex(id)
+	if idx, ok := g.propIndex[key]; ok {
+		if old, had := v.props[key]; had {
+			if ik, can := old.indexKey(); can {
+				idx[ik] = removeVID(idx[ik], id)
+			}
+		}
+		if ik, can := val.indexKey(); can {
+			idx[ik] = append(idx[ik], id)
+		}
+	}
+	v.props[key] = val
+}
+
+// SetEdgeProp sets a property on an edge.
+func (g *Graph) SetEdgeProp(id EdgeID, key string, val Value) {
+	e := g.Edge(id)
+	if e == nil {
+		panic(fmt.Sprintf("lpg: no edge %d", id))
+	}
+	e.props[key] = val
+}
+
+// CreateVertexPropIndex builds (or rebuilds) a hash index over the given
+// vertex property key. Series-valued properties are not indexable and are
+// skipped. Subsequent SetVertexProp calls maintain the index.
+func (g *Graph) CreateVertexPropIndex(key string) {
+	idx := make(map[string][]VertexID)
+	g.Vertices(func(v *Vertex) bool {
+		if val, ok := v.props[key]; ok {
+			if ik, can := val.indexKey(); can {
+				idx[ik] = append(idx[ik], v.ID)
+			}
+		}
+		return true
+	})
+	g.propIndex[key] = idx
+}
+
+// VerticesByProp returns live vertices whose indexed property key equals
+// val, in insertion order. The index must have been created with
+// CreateVertexPropIndex; otherwise it falls back to a scan.
+func (g *Graph) VerticesByProp(key string, val Value) []VertexID {
+	if idx, ok := g.propIndex[key]; ok {
+		ik, can := val.indexKey()
+		if !can {
+			return nil
+		}
+		var out []VertexID
+		for _, id := range idx[ik] {
+			if v := g.Vertex(id); v != nil && v.props[key].Equal(val) {
+				out = append(out, id)
+			}
+		}
+		return out
+	}
+	var out []VertexID
+	g.Vertices(func(v *Vertex) bool {
+		if v.props[key].Equal(val) {
+			out = append(out, v.ID)
+		}
+		return true
+	})
+	return out
+}
+
+func removeVID(ids []VertexID, id VertexID) []VertexID {
+	for i, x := range ids {
+		if x == id {
+			return append(ids[:i], ids[i+1:]...)
+		}
+	}
+	return ids
+}
+
+// OutEdges returns the live outgoing edges of a vertex in insertion order.
+func (g *Graph) OutEdges(id VertexID) []*Edge {
+	v := g.Vertex(id)
+	if v == nil {
+		return nil
+	}
+	out := make([]*Edge, 0, len(v.out))
+	for _, eid := range v.out {
+		if e := g.Edge(eid); e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// InEdges returns the live incoming edges of a vertex in insertion order.
+func (g *Graph) InEdges(id VertexID) []*Edge {
+	v := g.Vertex(id)
+	if v == nil {
+		return nil
+	}
+	out := make([]*Edge, 0, len(v.in))
+	for _, eid := range v.in {
+		if e := g.Edge(eid); e != nil {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// OutDegree returns the number of live outgoing edges.
+func (g *Graph) OutDegree(id VertexID) int { return len(g.OutEdges(id)) }
+
+// InDegree returns the number of live incoming edges.
+func (g *Graph) InDegree(id VertexID) int { return len(g.InEdges(id)) }
+
+// Degree returns in-degree + out-degree.
+func (g *Graph) Degree(id VertexID) int { return g.OutDegree(id) + g.InDegree(id) }
+
+// Neighbors returns the distinct vertices adjacent to id (both directions),
+// in ascending ID order.
+func (g *Graph) Neighbors(id VertexID) []VertexID {
+	seen := map[VertexID]bool{}
+	for _, e := range g.OutEdges(id) {
+		seen[e.To] = true
+	}
+	for _, e := range g.InEdges(id) {
+		seen[e.From] = true
+	}
+	delete(seen, id)
+	out := make([]VertexID, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the graph structure and properties. Series
+// payloads inside values are shared (they are treated as immutable once
+// attached).
+func (g *Graph) Clone() *Graph {
+	ng := NewGraph()
+	ng.vertices = make([]*Vertex, len(g.vertices))
+	for i, v := range g.vertices {
+		nv := &Vertex{
+			ID:     v.ID,
+			Labels: append([]string(nil), v.Labels...),
+			props:  make(map[string]Value, len(v.props)),
+			out:    append([]EdgeID(nil), v.out...),
+			in:     append([]EdgeID(nil), v.in...),
+			dead:   v.dead,
+		}
+		for k, val := range v.props {
+			nv.props[k] = val
+		}
+		ng.vertices[i] = nv
+	}
+	ng.edges = make([]*Edge, len(g.edges))
+	for i, e := range g.edges {
+		ne := &Edge{ID: e.ID, Label: e.Label, From: e.From, To: e.To,
+			props: make(map[string]Value, len(e.props)), dead: e.dead}
+		for k, val := range e.props {
+			ne.props[k] = val
+		}
+		ng.edges[i] = ne
+	}
+	ng.nLive = g.nLive
+	ng.eLive = g.eLive
+	for l, ids := range g.labelIndex {
+		ng.labelIndex[l] = append([]VertexID(nil), ids...)
+	}
+	for k := range g.propIndex {
+		ng.CreateVertexPropIndex(k)
+	}
+	return ng
+}
+
+// String renders a compact summary.
+func (g *Graph) String() string {
+	return fmt.Sprintf("Graph(|V|=%d, |E|=%d)", g.nLive, g.eLive)
+}

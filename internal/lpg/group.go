@@ -1,0 +1,198 @@
+package lpg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// GroupSpec configures graph grouping (summarization): vertices are grouped
+// by VertexKey, edges between groups are merged into super-edges by edge
+// label. Numeric vertex/edge properties listed in the aggregate maps are
+// aggregated into super-element properties named "<agg>_<key>". A vertex
+// count property "count" is always set on super-vertices, and an edge count
+// on super-edges. This is the paper's Q2 graph primitive (graph
+// aggregation, Table 2); core.Aggregate pairs it with series downsampling.
+type GroupSpec struct {
+	// VertexKey maps a vertex to its group key; vertices with equal keys are
+	// merged. Empty-string keys are valid groups.
+	VertexKey func(*Vertex) string
+	// VertexAggs aggregates numeric vertex properties per group.
+	VertexAggs map[string]AggKind
+	// EdgeAggs aggregates numeric edge properties per super-edge.
+	EdgeAggs map[string]AggKind
+}
+
+// AggKind is the aggregation applied to grouped numeric properties.
+type AggKind int
+
+// Grouping aggregations.
+const (
+	AggKindSum AggKind = iota
+	AggKindMean
+	AggKindMin
+	AggKindMax
+	AggKindCount
+)
+
+func (a AggKind) String() string {
+	switch a {
+	case AggKindSum:
+		return "sum"
+	case AggKindMean:
+		return "mean"
+	case AggKindMin:
+		return "min"
+	case AggKindMax:
+		return "max"
+	case AggKindCount:
+		return "count"
+	}
+	return fmt.Sprintf("AggKind(%d)", int(a))
+}
+
+func (a AggKind) apply(vals []float64) float64 {
+	if a == AggKindCount {
+		return float64(len(vals))
+	}
+	if len(vals) == 0 {
+		return 0
+	}
+	switch a {
+	case AggKindSum, AggKindMean:
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		if a == AggKindMean {
+			return s / float64(len(vals))
+		}
+		return s
+	case AggKindMin:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v < m {
+				m = v
+			}
+		}
+		return m
+	case AggKindMax:
+		m := vals[0]
+		for _, v := range vals[1:] {
+			if v > m {
+				m = v
+			}
+		}
+		return m
+	}
+	return 0
+}
+
+// Grouping is the result of Group: the summary graph plus the mapping from
+// original vertices to super-vertices.
+type Grouping struct {
+	Summary *Graph
+	// SuperOf maps each original vertex to its super-vertex in Summary.
+	SuperOf map[VertexID]VertexID
+	// KeyOf maps each super-vertex to its group key.
+	KeyOf map[VertexID]string
+}
+
+// GroupByLabels is a convenience VertexKey grouping by the sorted label set.
+func GroupByLabels(v *Vertex) string {
+	ls := append([]string(nil), v.Labels...)
+	sort.Strings(ls)
+	return strings.Join(ls, "|")
+}
+
+// GroupByProp returns a VertexKey grouping by the string rendering of the
+// given property.
+func GroupByProp(key string) func(*Vertex) string {
+	return func(v *Vertex) string { return v.Prop(key).String() }
+}
+
+// Group summarizes the graph per spec. Super-vertices carry the label
+// "_group", a "key" property with the group key, a "count" property, and one
+// "<agg>_<key>" property per configured vertex aggregate. Super-edges merge
+// all original edges between two groups with the same label and carry
+// "count" plus configured edge aggregates.
+func (g *Graph) Group(spec GroupSpec) Grouping {
+	if spec.VertexKey == nil {
+		spec.VertexKey = GroupByLabels
+	}
+	sum := NewGraph()
+	superOf := make(map[VertexID]VertexID, g.nLive)
+	byKey := map[string]VertexID{}
+	keyName := map[VertexID]string{}
+	memberVals := map[VertexID]map[string][]float64{} // super -> prop -> values
+	memberCount := map[VertexID]int{}
+
+	g.Vertices(func(v *Vertex) bool {
+		key := spec.VertexKey(v)
+		sv, ok := byKey[key]
+		if !ok {
+			sv = sum.AddVertex("_group")
+			sum.SetVertexProp(sv, "key", Str(key))
+			byKey[key] = sv
+			keyName[sv] = key
+			memberVals[sv] = map[string][]float64{}
+		}
+		superOf[v.ID] = sv
+		memberCount[sv]++
+		for prop := range spec.VertexAggs {
+			if f, ok := v.Prop(prop).AsFloat(); ok {
+				memberVals[sv][prop] = append(memberVals[sv][prop], f)
+			}
+		}
+		return true
+	})
+	for sv, count := range memberCount {
+		sum.SetVertexProp(sv, "count", Int(int64(count)))
+		for prop, agg := range spec.VertexAggs {
+			sum.SetVertexProp(sv, agg.String()+"_"+prop, Float(agg.apply(memberVals[sv][prop])))
+		}
+	}
+
+	type superEdgeKey struct {
+		from, to VertexID
+		label    string
+	}
+	edgeVals := map[superEdgeKey]map[string][]float64{}
+	edgeCount := map[superEdgeKey]int{}
+	g.Edges(func(e *Edge) bool {
+		k := superEdgeKey{superOf[e.From], superOf[e.To], e.Label}
+		if edgeVals[k] == nil {
+			edgeVals[k] = map[string][]float64{}
+		}
+		edgeCount[k]++
+		for prop := range spec.EdgeAggs {
+			if f, ok := e.Prop(prop).AsFloat(); ok {
+				edgeVals[k][prop] = append(edgeVals[k][prop], f)
+			}
+		}
+		return true
+	})
+	// Deterministic super-edge creation order.
+	keys := make([]superEdgeKey, 0, len(edgeCount))
+	for k := range edgeCount {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.from != b.from {
+			return a.from < b.from
+		}
+		if a.to != b.to {
+			return a.to < b.to
+		}
+		return a.label < b.label
+	})
+	for _, k := range keys {
+		eid := sum.AddEdge(k.from, k.to, k.label)
+		sum.SetEdgeProp(eid, "count", Int(int64(edgeCount[k])))
+		for prop, agg := range spec.EdgeAggs {
+			sum.SetEdgeProp(eid, agg.String()+"_"+prop, Float(agg.apply(edgeVals[k][prop])))
+		}
+	}
+	return Grouping{Summary: sum, SuperOf: superOf, KeyOf: keyName}
+}

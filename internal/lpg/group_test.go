@@ -1,0 +1,146 @@
+package lpg
+
+import (
+	"testing"
+)
+
+// stationsGraph: 4 stations in 2 districts with capacity props and trip
+// edges.
+func stationsGraph() *Graph {
+	g := NewGraph()
+	n1 := g.AddVertex("Station")
+	n2 := g.AddVertex("Station")
+	s1 := g.AddVertex("Station")
+	s2 := g.AddVertex("Station")
+	for id, d := range map[VertexID]string{n1: "north", n2: "north", s1: "south", s2: "south"} {
+		g.SetVertexProp(id, "district", Str(d))
+	}
+	for id, c := range map[VertexID]int64{n1: 10, n2: 20, s1: 30, s2: 40} {
+		g.SetVertexProp(id, "capacity", Int(c))
+	}
+	// Trips: north->south x2 (amounts 5, 7), south->north x1 (amount 2),
+	// north->north x1 (amount 1).
+	e1 := g.AddEdge(n1, s1, "TRIP")
+	e2 := g.AddEdge(n2, s2, "TRIP")
+	e3 := g.AddEdge(s1, n1, "TRIP")
+	e4 := g.AddEdge(n1, n2, "TRIP")
+	g.SetEdgeProp(e1, "dist", Float(5))
+	g.SetEdgeProp(e2, "dist", Float(7))
+	g.SetEdgeProp(e3, "dist", Float(2))
+	g.SetEdgeProp(e4, "dist", Float(1))
+	return g
+}
+
+func TestGroupByProp(t *testing.T) {
+	g := stationsGraph()
+	gr := g.Group(GroupSpec{
+		VertexKey:  GroupByProp("district"),
+		VertexAggs: map[string]AggKind{"capacity": AggKindSum},
+		EdgeAggs:   map[string]AggKind{"dist": AggKindMean},
+	})
+	sum := gr.Summary
+	if sum.NumVertices() != 2 {
+		t.Fatalf("super-vertices=%d", sum.NumVertices())
+	}
+	// Find the super-vertices by key.
+	var north, south VertexID = -1, -1
+	sum.Vertices(func(v *Vertex) bool {
+		switch v.Prop("key").String() {
+		case "north":
+			north = v.ID
+		case "south":
+			south = v.ID
+		}
+		return true
+	})
+	if north < 0 || south < 0 {
+		t.Fatal("missing super-vertices")
+	}
+	if c, _ := sum.Vertex(north).Prop("count").AsInt(); c != 2 {
+		t.Fatalf("north count=%d", c)
+	}
+	if f, _ := sum.Vertex(north).Prop("sum_capacity").AsFloat(); f != 30 {
+		t.Fatalf("north capacity sum=%v", f)
+	}
+	if f, _ := sum.Vertex(south).Prop("sum_capacity").AsFloat(); f != 70 {
+		t.Fatalf("south capacity sum=%v", f)
+	}
+	// Super-edges: north->south (2 trips, mean dist 6), south->north (1),
+	// north->north (1).
+	if sum.NumEdges() != 3 {
+		t.Fatalf("super-edges=%d", sum.NumEdges())
+	}
+	var ns *Edge
+	sum.Edges(func(e *Edge) bool {
+		if e.From == north && e.To == south {
+			ns = e
+		}
+		return true
+	})
+	if ns == nil {
+		t.Fatal("no north->south super-edge")
+	}
+	if c, _ := ns.Prop("count").AsInt(); c != 2 {
+		t.Fatalf("ns count=%d", c)
+	}
+	if f, _ := ns.Prop("mean_dist").AsFloat(); f != 6 {
+		t.Fatalf("ns mean dist=%v", f)
+	}
+	// SuperOf covers every original vertex.
+	if len(gr.SuperOf) != 4 {
+		t.Fatalf("superOf=%v", gr.SuperOf)
+	}
+}
+
+func TestGroupByLabelsDefault(t *testing.T) {
+	g := NewGraph()
+	g.AddVertex("A")
+	g.AddVertex("A")
+	g.AddVertex("B")
+	g.AddVertex("A", "B") // distinct combined key
+	gr := g.Group(GroupSpec{})
+	if gr.Summary.NumVertices() != 3 {
+		t.Fatalf("label groups=%d", gr.Summary.NumVertices())
+	}
+}
+
+// Property-style check: grouping conserves vertex and edge mass.
+func TestGroupConservesMass(t *testing.T) {
+	g := stationsGraph()
+	gr := g.Group(GroupSpec{VertexKey: GroupByProp("district")})
+	var vertexMass, edgeMass int64
+	gr.Summary.Vertices(func(v *Vertex) bool {
+		c, _ := v.Prop("count").AsInt()
+		vertexMass += c
+		return true
+	})
+	gr.Summary.Edges(func(e *Edge) bool {
+		c, _ := e.Prop("count").AsInt()
+		edgeMass += c
+		return true
+	})
+	if vertexMass != int64(g.NumVertices()) {
+		t.Fatalf("vertex mass %d != %d", vertexMass, g.NumVertices())
+	}
+	if edgeMass != int64(g.NumEdges()) {
+		t.Fatalf("edge mass %d != %d", edgeMass, g.NumEdges())
+	}
+}
+
+func TestAggKinds(t *testing.T) {
+	vals := []float64{4, 2, 6}
+	cases := map[AggKind]float64{
+		AggKindSum: 12, AggKindMean: 4, AggKindMin: 2, AggKindMax: 6, AggKindCount: 3,
+	}
+	for k, want := range cases {
+		if got := k.apply(vals); got != want {
+			t.Errorf("%v=%v want %v", k, got, want)
+		}
+	}
+	if got := AggKindSum.apply(nil); got != 0 {
+		t.Errorf("sum(nil)=%v", got)
+	}
+	if got := AggKindCount.apply(nil); got != 0 {
+		t.Errorf("count(nil)=%v", got)
+	}
+}

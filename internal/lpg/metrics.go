@@ -1,0 +1,177 @@
+package lpg
+
+import "sort"
+
+// DegreeStats summarizes the degree distribution of the graph.
+type DegreeStats struct {
+	Min, Max int
+	Mean     float64
+}
+
+// Degrees returns the total degree of every live vertex.
+func (g *Graph) Degrees() map[VertexID]int {
+	out := make(map[VertexID]int, g.nLive)
+	g.Vertices(func(v *Vertex) bool {
+		out[v.ID] = g.Degree(v.ID)
+		return true
+	})
+	return out
+}
+
+// DegreeDistribution computes min/max/mean total degree over live vertices.
+func (g *Graph) DegreeDistribution() DegreeStats {
+	st := DegreeStats{Min: -1}
+	var total int
+	g.Vertices(func(v *Vertex) bool {
+		d := g.Degree(v.ID)
+		if st.Min < 0 || d < st.Min {
+			st.Min = d
+		}
+		if d > st.Max {
+			st.Max = d
+		}
+		total += d
+		return true
+	})
+	if g.nLive > 0 {
+		st.Mean = float64(total) / float64(g.nLive)
+	}
+	if st.Min < 0 {
+		st.Min = 0
+	}
+	return st
+}
+
+// PageRank computes PageRank with the given damping factor over directed
+// out-edges, iterating until the L1 change falls below tol or maxIter
+// rounds. Dangling mass is redistributed uniformly.
+func (g *Graph) PageRank(damping float64, maxIter int, tol float64) map[VertexID]float64 {
+	ids := g.VertexIDs()
+	n := len(ids)
+	if n == 0 {
+		return map[VertexID]float64{}
+	}
+	rank := make(map[VertexID]float64, n)
+	for _, id := range ids {
+		rank[id] = 1.0 / float64(n)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		next := make(map[VertexID]float64, n)
+		base := (1 - damping) / float64(n)
+		var dangling float64
+		for _, id := range ids {
+			outs := g.OutEdges(id)
+			if len(outs) == 0 {
+				dangling += rank[id]
+				continue
+			}
+			share := rank[id] / float64(len(outs))
+			for _, e := range outs {
+				next[e.To] += damping * share
+			}
+		}
+		danglingShare := damping * dangling / float64(n)
+		var delta float64
+		for _, id := range ids {
+			nv := base + danglingShare + next[id]
+			if d := nv - rank[id]; d < 0 {
+				delta -= d
+			} else {
+				delta += d
+			}
+			next[id] = nv
+		}
+		rank = next
+		if delta < tol {
+			break
+		}
+	}
+	return rank
+}
+
+// Triangles counts the triangles each vertex participates in (treating the
+// graph as undirected, ignoring parallel edges and self-loops) and the total
+// triangle count.
+func (g *Graph) Triangles() (perVertex map[VertexID]int, total int) {
+	adj := make(map[VertexID]map[VertexID]bool, g.nLive)
+	g.Vertices(func(v *Vertex) bool {
+		adj[v.ID] = map[VertexID]bool{}
+		return true
+	})
+	g.Edges(func(e *Edge) bool {
+		if e.From != e.To {
+			adj[e.From][e.To] = true
+			adj[e.To][e.From] = true
+		}
+		return true
+	})
+	perVertex = make(map[VertexID]int, g.nLive)
+	for u, nu := range adj {
+		for v := range nu {
+			if v <= u {
+				continue
+			}
+			for w := range nu {
+				if w <= v {
+					continue
+				}
+				if adj[v][w] {
+					perVertex[u]++
+					perVertex[v]++
+					perVertex[w]++
+					total++
+				}
+			}
+		}
+	}
+	return perVertex, total
+}
+
+// ClusteringCoefficient returns the local clustering coefficient of a
+// vertex: triangles through it divided by the number of neighbor pairs.
+func (g *Graph) ClusteringCoefficient(id VertexID) float64 {
+	nbrs := g.Neighbors(id)
+	k := len(nbrs)
+	if k < 2 {
+		return 0
+	}
+	connected := func(u, v VertexID) bool {
+		for _, e := range g.OutEdges(u) {
+			if e.To == v {
+				return true
+			}
+		}
+		for _, e := range g.InEdges(u) {
+			if e.From == v {
+				return true
+			}
+		}
+		return false
+	}
+	links := 0
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			if connected(nbrs[i], nbrs[j]) {
+				links++
+			}
+		}
+	}
+	return 2 * float64(links) / float64(k*(k-1))
+}
+
+// TopKByDegree returns up to k live vertex IDs with the highest total
+// degree, ties broken by ascending ID.
+func (g *Graph) TopKByDegree(k int) []VertexID {
+	ids := g.VertexIDs()
+	sort.Slice(ids, func(i, j int) bool {
+		di, dj := g.Degree(ids[i]), g.Degree(ids[j])
+		if di != dj {
+			return di > dj
+		}
+		return ids[i] < ids[j]
+	})
+	if k < len(ids) {
+		ids = ids[:k]
+	}
+	return ids
+}

@@ -1,0 +1,345 @@
+package lpg
+
+import "sort"
+
+// Pattern is a small subgraph pattern: named vertex constraints connected by
+// edge constraints. Matching is by subgraph homomorphism with an injectivity
+// option (distinct pattern vertices must bind distinct graph vertices),
+// which is what Cypher's MATCH semantics need for relationship uniqueness.
+// This is the paper's Q1 graph primitive (subgraph matching, Table 2); the
+// HyGraph core pairs it with time-series predicates for hybrid matching.
+type Pattern struct {
+	vertices []PatternVertex
+	vIndex   map[string]int
+	edges    []PatternEdge
+	// InjectiveVertices requires distinct pattern vertices to bind distinct
+	// graph vertices.
+	InjectiveVertices bool
+}
+
+// PatternVertex constrains one pattern node.
+type PatternVertex struct {
+	Name  string
+	Label string             // "" matches any label
+	Where func(*Vertex) bool // nil matches all
+}
+
+// PatternEdge constrains one pattern edge between two named vertices.
+type PatternEdge struct {
+	From, To string
+	Label    string           // "" matches any label
+	Where    func(*Edge) bool // nil matches all
+	// MinHops/MaxHops support variable-length paths; both zero means a
+	// single edge (equivalent to Min=Max=1).
+	MinHops, MaxHops int
+	// AnyDir matches the edge (or every path step) in either direction,
+	// implementing Cypher's undirected "-[]-" pattern.
+	AnyDir bool
+}
+
+// NewPattern returns an empty pattern with injective vertex matching.
+func NewPattern() *Pattern {
+	return &Pattern{vIndex: map[string]int{}, InjectiveVertices: true}
+}
+
+// V adds a vertex constraint and returns the pattern for chaining. Adding a
+// name twice panics: pattern construction bugs should fail fast.
+func (p *Pattern) V(name, label string, where func(*Vertex) bool) *Pattern {
+	if _, dup := p.vIndex[name]; dup {
+		panic("lpg: duplicate pattern vertex " + name)
+	}
+	p.vIndex[name] = len(p.vertices)
+	p.vertices = append(p.vertices, PatternVertex{name, label, where})
+	return p
+}
+
+// E adds a single-hop edge constraint from -> to.
+func (p *Pattern) E(from, to, label string, where func(*Edge) bool) *Pattern {
+	p.edges = append(p.edges, PatternEdge{From: from, To: to, Label: label, Where: where, MinHops: 1, MaxHops: 1})
+	return p
+}
+
+// EdgesMut exposes the pattern's edge constraints for post-construction
+// adjustment (e.g. setting AnyDir); the slice aliases the pattern.
+func (p *Pattern) EdgesMut() []PatternEdge { return p.edges }
+
+// Path adds a variable-length edge constraint: a directed path of between
+// minHops and maxHops edges, all carrying the label (if non-empty) and
+// satisfying where.
+func (p *Pattern) Path(from, to, label string, minHops, maxHops int, where func(*Edge) bool) *Pattern {
+	p.edges = append(p.edges, PatternEdge{From: from, To: to, Label: label, Where: where, MinHops: minHops, MaxHops: maxHops})
+	return p
+}
+
+// Match is one binding of pattern vertex names to graph vertices. Edge
+// bindings hold, per pattern edge index, the edge path used.
+type Match struct {
+	Vertices map[string]VertexID
+	Paths    [][]EdgeID
+}
+
+// MatchPattern enumerates all bindings of the pattern in the graph, in
+// deterministic order. limit <= 0 means unlimited.
+func (g *Graph) MatchPattern(p *Pattern, limit int) []Match {
+	if len(p.vertices) == 0 {
+		return nil
+	}
+	// Candidate lists per pattern vertex.
+	cands := make([][]VertexID, len(p.vertices))
+	for i, pv := range p.vertices {
+		var ids []VertexID
+		if pv.Label != "" {
+			ids = g.VerticesByLabel(pv.Label)
+		} else {
+			ids = g.VertexIDs()
+		}
+		if pv.Where != nil {
+			filtered := ids[:0:0]
+			for _, id := range ids {
+				if pv.Where(g.Vertex(id)) {
+					filtered = append(filtered, id)
+				}
+			}
+			ids = filtered
+		}
+		cands[i] = ids
+	}
+	// Order pattern vertices by selectivity (fewest candidates first), but
+	// prefer vertices connected to already-placed ones to keep joins cheap.
+	order := p.matchOrder(cands)
+
+	binding := make([]VertexID, len(p.vertices))
+	bound := make([]bool, len(p.vertices))
+	used := map[VertexID]int{} // graph vertex -> count of pattern vertices bound to it
+	var out []Match
+
+	var rec func(step int) bool // returns false to stop (limit reached)
+	rec = func(step int) bool {
+		if step == len(order) {
+			m, ok := g.checkEdges(p, binding)
+			if !ok {
+				return true
+			}
+			out = append(out, m)
+			return limit <= 0 || len(out) < limit
+		}
+		pi := order[step]
+		for _, id := range cands[pi] {
+			if p.InjectiveVertices && used[id] > 0 {
+				continue
+			}
+			// Prune: every pattern edge whose two endpoints are bound must be
+			// satisfiable; single-hop edges are checked immediately.
+			binding[pi] = id
+			bound[pi] = true
+			if !g.prunable(p, binding, bound) {
+				used[id]++
+				if !rec(step + 1) {
+					used[id]--
+					bound[pi] = false
+					return false
+				}
+				used[id]--
+			}
+			bound[pi] = false
+		}
+		return true
+	}
+	rec(0)
+	return out
+}
+
+// matchOrder returns the evaluation order of pattern vertex indexes.
+func (p *Pattern) matchOrder(cands [][]VertexID) []int {
+	n := len(p.vertices)
+	placed := make([]bool, n)
+	var order []int
+	adj := make([][]int, n)
+	for _, e := range p.edges {
+		f, t := p.vIndex[e.From], p.vIndex[e.To]
+		adj[f] = append(adj[f], t)
+		adj[t] = append(adj[t], f)
+	}
+	for len(order) < n {
+		best := -1
+		bestScore := 1 << 60
+		for i := 0; i < n; i++ {
+			if placed[i] {
+				continue
+			}
+			score := len(cands[i])
+			connected := len(order) == 0
+			for _, nb := range adj[i] {
+				if placed[nb] {
+					connected = true
+				}
+			}
+			if connected {
+				score -= 1 << 30 // strongly prefer connected vertices
+			}
+			if score < bestScore {
+				bestScore = score
+				best = i
+			}
+		}
+		placed[best] = true
+		order = append(order, best)
+	}
+	return order
+}
+
+// prunable reports whether the partial binding already violates a
+// single-hop pattern edge with both endpoints bound.
+func (g *Graph) prunable(p *Pattern, binding []VertexID, bound []bool) bool {
+	for _, pe := range p.edges {
+		f, t := p.vIndex[pe.From], p.vIndex[pe.To]
+		if !bound[f] || !bound[t] {
+			continue
+		}
+		if pe.MinHops == 1 && pe.MaxHops == 1 {
+			if g.findEdge(binding[f], binding[t], pe) == nil {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func (g *Graph) findEdge(from, to VertexID, pe PatternEdge) *Edge {
+	for _, e := range g.OutEdges(from) {
+		if e.To != to {
+			continue
+		}
+		if pe.Label != "" && e.Label != pe.Label {
+			continue
+		}
+		if pe.Where != nil && !pe.Where(e) {
+			continue
+		}
+		return e
+	}
+	if pe.AnyDir {
+		for _, e := range g.OutEdges(to) {
+			if e.To != from {
+				continue
+			}
+			if pe.Label != "" && e.Label != pe.Label {
+				continue
+			}
+			if pe.Where != nil && !pe.Where(e) {
+				continue
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// checkEdges validates all pattern edges under a complete binding and
+// collects the edge paths used.
+func (g *Graph) checkEdges(p *Pattern, binding []VertexID) (Match, bool) {
+	m := Match{Vertices: map[string]VertexID{}, Paths: make([][]EdgeID, len(p.edges))}
+	for name, i := range p.vIndex {
+		m.Vertices[name] = binding[i]
+	}
+	for ei, pe := range p.edges {
+		f, t := binding[p.vIndex[pe.From]], binding[p.vIndex[pe.To]]
+		if pe.MinHops == 1 && pe.MaxHops == 1 {
+			e := g.findEdge(f, t, pe)
+			if e == nil {
+				return Match{}, false
+			}
+			m.Paths[ei] = []EdgeID{e.ID}
+			continue
+		}
+		path := g.findPath(f, t, pe)
+		if path == nil {
+			return Match{}, false
+		}
+		m.Paths[ei] = path
+	}
+	return m, true
+}
+
+// findPath searches for a directed path from f to t of length within
+// [MinHops, MaxHops] whose edges all satisfy the constraint; shortest such
+// path is returned. Vertices may repeat but edges may not (Cypher trail
+// semantics).
+func (g *Graph) findPath(f, t VertexID, pe PatternEdge) []EdgeID {
+	minH, maxH := pe.MinHops, pe.MaxHops
+	if minH <= 0 {
+		minH = 1
+	}
+	if maxH < minH {
+		maxH = minH
+	}
+	type state struct {
+		at   VertexID
+		path []EdgeID
+	}
+	// A zero-length path is allowed when MinHops == 0 and f == t.
+	if pe.MinHops == 0 && f == t {
+		return []EdgeID{}
+	}
+	frontier := []state{{f, nil}}
+	for hops := 0; hops < maxH; hops++ {
+		var next []state
+		for _, st := range frontier {
+			expand := func(e *Edge, dest VertexID) {
+				if pe.Label != "" && e.Label != pe.Label {
+					return
+				}
+				if pe.Where != nil && !pe.Where(e) {
+					return
+				}
+				if containsEdge(st.path, e.ID) {
+					return
+				}
+				np := append(append([]EdgeID(nil), st.path...), e.ID)
+				next = append(next, state{dest, np})
+			}
+			for _, e := range g.OutEdges(st.at) {
+				expand(e, e.To)
+			}
+			if pe.AnyDir {
+				for _, e := range g.InEdges(st.at) {
+					expand(e, e.From)
+				}
+			}
+		}
+		for _, st := range next {
+			if st.at == t && len(st.path) >= minH {
+				return st.path
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+func containsEdge(path []EdgeID, id EdgeID) bool {
+	for _, e := range path {
+		if e == id {
+			return true
+		}
+	}
+	return false
+}
+
+// SortMatches orders matches deterministically by their vertex bindings.
+func SortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		keys := make([]string, 0, len(a.Vertices))
+		for k := range a.Vertices {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if a.Vertices[k] != b.Vertices[k] {
+				return a.Vertices[k] < b.Vertices[k]
+			}
+		}
+		return false
+	})
+}

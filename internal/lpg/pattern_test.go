@@ -1,0 +1,211 @@
+package lpg
+
+import (
+	"testing"
+)
+
+// fraudToy builds the Figure-2-like toy graph: users -USES-> cards -TX->
+// merchants.
+func fraudToy() (*Graph, map[string]VertexID) {
+	g := NewGraph()
+	ids := map[string]VertexID{}
+	add := func(name, label string) VertexID {
+		id := g.AddVertex(label)
+		g.SetVertexProp(id, "name", Str(name))
+		ids[name] = id
+		return id
+	}
+	u1 := add("u1", "User")
+	u2 := add("u2", "User")
+	c1 := add("c1", "CreditCard")
+	c2 := add("c2", "CreditCard")
+	m1 := add("m1", "Merchant")
+	m2 := add("m2", "Merchant")
+	m3 := add("m3", "Merchant")
+	g.AddEdge(u1, c1, "USES")
+	g.AddEdge(u2, c2, "USES")
+	for _, m := range []VertexID{m1, m2, m3} {
+		e := g.AddEdge(c1, m, "TX")
+		g.SetEdgeProp(e, "amount", Float(2000))
+	}
+	e := g.AddEdge(c2, m1, "TX")
+	g.SetEdgeProp(e, "amount", Float(50))
+	return g, ids
+}
+
+func TestMatchSimpleTriple(t *testing.T) {
+	g, ids := fraudToy()
+	p := NewPattern().
+		V("u", "User", nil).
+		V("c", "CreditCard", nil).
+		V("m", "Merchant", nil).
+		E("u", "c", "USES", nil).
+		E("c", "m", "TX", nil)
+	ms := g.MatchPattern(p, 0)
+	if len(ms) != 4 { // u1 has 3 TX, u2 has 1
+		t.Fatalf("matches=%d", len(ms))
+	}
+	for _, m := range ms {
+		if len(m.Paths) != 2 || len(m.Paths[0]) != 1 || len(m.Paths[1]) != 1 {
+			t.Fatalf("paths=%v", m.Paths)
+		}
+	}
+	_ = ids
+}
+
+func TestMatchWithPredicates(t *testing.T) {
+	g, ids := fraudToy()
+	p := NewPattern().
+		V("u", "User", nil).
+		V("c", "CreditCard", nil).
+		V("m", "Merchant", nil).
+		E("u", "c", "USES", nil).
+		E("c", "m", "TX", func(e *Edge) bool {
+			f, _ := e.Prop("amount").AsFloat()
+			return f > 1000
+		})
+	ms := g.MatchPattern(p, 0)
+	if len(ms) != 3 {
+		t.Fatalf("high-amount matches=%d", len(ms))
+	}
+	for _, m := range ms {
+		if m.Vertices["u"] != ids["u1"] {
+			t.Fatalf("wrong user: %v", m.Vertices)
+		}
+	}
+}
+
+func TestMatchVertexPredicate(t *testing.T) {
+	g, ids := fraudToy()
+	p := NewPattern().
+		V("u", "User", func(v *Vertex) bool { return v.Prop("name").String() == "u2" }).
+		V("c", "CreditCard", nil).
+		E("u", "c", "USES", nil)
+	ms := g.MatchPattern(p, 0)
+	if len(ms) != 1 || ms[0].Vertices["c"] != ids["c2"] {
+		t.Fatalf("ms=%v", ms)
+	}
+}
+
+func TestMatchLimit(t *testing.T) {
+	g, _ := fraudToy()
+	p := NewPattern().
+		V("c", "CreditCard", nil).
+		V("m", "Merchant", nil).
+		E("c", "m", "TX", nil)
+	ms := g.MatchPattern(p, 2)
+	if len(ms) != 2 {
+		t.Fatalf("limit ignored: %d", len(ms))
+	}
+}
+
+func TestMatchInjectivity(t *testing.T) {
+	// Path a->b with pattern (x)->(y): injective forbids x=y binding even
+	// with a self-loop present.
+	g := NewGraph()
+	a := g.AddVertex("V")
+	g.AddEdge(a, a, "e") // self loop
+	b := g.AddVertex("V")
+	g.AddEdge(a, b, "e")
+	p := NewPattern().V("x", "V", nil).V("y", "V", nil).E("x", "y", "e", nil)
+	ms := g.MatchPattern(p, 0)
+	if len(ms) != 1 {
+		t.Fatalf("injective matches=%d", len(ms))
+	}
+	p2 := NewPattern().V("x", "V", nil).V("y", "V", nil).E("x", "y", "e", nil)
+	p2.InjectiveVertices = false
+	ms2 := g.MatchPattern(p2, 0)
+	if len(ms2) != 2 { // self-loop now allowed
+		t.Fatalf("homomorphic matches=%d", len(ms2))
+	}
+}
+
+func TestMatchVariableLengthPath(t *testing.T) {
+	g, ids := chain(6)
+	p := NewPattern().
+		V("a", "", func(v *Vertex) bool { return v.ID == ids[0] }).
+		V("b", "", func(v *Vertex) bool { return v.ID == ids[4] }).
+		Path("a", "b", "next", 1, 6, nil)
+	ms := g.MatchPattern(p, 0)
+	if len(ms) != 1 {
+		t.Fatalf("varlen matches=%d", len(ms))
+	}
+	if len(ms[0].Paths[0]) != 4 {
+		t.Fatalf("path len=%d want 4", len(ms[0].Paths[0]))
+	}
+	// Too-short bound: no match.
+	p2 := NewPattern().
+		V("a", "", func(v *Vertex) bool { return v.ID == ids[0] }).
+		V("b", "", func(v *Vertex) bool { return v.ID == ids[4] }).
+		Path("a", "b", "next", 1, 3, nil)
+	if ms := g.MatchPattern(p2, 0); len(ms) != 0 {
+		t.Fatalf("bounded varlen matched: %v", ms)
+	}
+}
+
+func TestMatchTriangleStructure(t *testing.T) {
+	// One triangle + one open wedge; triangle pattern must match the
+	// triangle only (6 rotations/orientations... here directed, so exactly
+	// the one orientation present).
+	g := NewGraph()
+	a, b, c := g.AddVertex("V"), g.AddVertex("V"), g.AddVertex("V")
+	g.AddEdge(a, b, "e")
+	g.AddEdge(b, c, "e")
+	g.AddEdge(c, a, "e")
+	d, e2 := g.AddVertex("V"), g.AddVertex("V")
+	g.AddEdge(d, e2, "e")
+	p := NewPattern().
+		V("x", "V", nil).V("y", "V", nil).V("z", "V", nil).
+		E("x", "y", "e", nil).E("y", "z", "e", nil).E("z", "x", "e", nil)
+	ms := g.MatchPattern(p, 0)
+	if len(ms) != 3 { // 3 rotations of the directed triangle
+		t.Fatalf("triangle matches=%d", len(ms))
+	}
+}
+
+func TestMatchEmptyPattern(t *testing.T) {
+	g, _ := fraudToy()
+	if ms := g.MatchPattern(NewPattern(), 0); ms != nil {
+		t.Fatalf("empty pattern matched: %v", ms)
+	}
+}
+
+func TestMatchNoCandidates(t *testing.T) {
+	g, _ := fraudToy()
+	p := NewPattern().V("x", "Nonexistent", nil)
+	if ms := g.MatchPattern(p, 0); len(ms) != 0 {
+		t.Fatalf("matched nonexistent label: %v", ms)
+	}
+}
+
+func TestListing1StyleQuery(t *testing.T) {
+	// The paper's Listing 1: users with TXs > 1000 to at least 3 merchants
+	// within an hour and 1km — structural part here: user -USES-> card with
+	// >=3 high-amount TX edges to distinct merchants.
+	g, ids := fraudToy()
+	p := NewPattern().
+		V("u", "User", nil).
+		V("c", "CreditCard", nil).
+		V("m1", "Merchant", nil).
+		V("m2", "Merchant", nil).
+		V("m3", "Merchant", nil).
+		E("u", "c", "USES", nil).
+		E("c", "m1", "TX", highAmount).
+		E("c", "m2", "TX", highAmount).
+		E("c", "m3", "TX", highAmount)
+	ms := g.MatchPattern(p, 0)
+	// 3! orderings of the three merchants for u1; u2 has no high TX.
+	if len(ms) != 6 {
+		t.Fatalf("listing1 matches=%d", len(ms))
+	}
+	for _, m := range ms {
+		if m.Vertices["u"] != ids["u1"] {
+			t.Fatalf("flagged wrong user")
+		}
+	}
+}
+
+func highAmount(e *Edge) bool {
+	f, _ := e.Prop("amount").AsFloat()
+	return f > 1000
+}

@@ -1,0 +1,238 @@
+package lpg
+
+import (
+	"container/heap"
+	"math"
+)
+
+// Direction selects which edges a traversal follows.
+type Direction int
+
+// Traversal directions.
+const (
+	Out  Direction = iota // follow edges from source to target
+	In                    // follow edges from target to source
+	Both                  // follow edges in either direction
+)
+
+// step yields the neighbors of id reachable over one edge in the given
+// direction, with the edge used.
+func (g *Graph) step(id VertexID, dir Direction, fn func(next VertexID, via *Edge) bool) {
+	if dir == Out || dir == Both {
+		for _, e := range g.OutEdges(id) {
+			if !fn(e.To, e) {
+				return
+			}
+		}
+	}
+	if dir == In || dir == Both {
+		for _, e := range g.InEdges(id) {
+			if !fn(e.From, e) {
+				return
+			}
+		}
+	}
+}
+
+// BFS visits vertices reachable from start in breadth-first order, calling
+// fn with each vertex and its hop distance. fn returning false stops the
+// traversal.
+func (g *Graph) BFS(start VertexID, dir Direction, fn func(id VertexID, depth int) bool) {
+	if g.Vertex(start) == nil {
+		return
+	}
+	seen := map[VertexID]bool{start: true}
+	frontier := []VertexID{start}
+	depth := 0
+	for len(frontier) > 0 {
+		var next []VertexID
+		for _, id := range frontier {
+			if !fn(id, depth) {
+				return
+			}
+			g.step(id, dir, func(n VertexID, _ *Edge) bool {
+				if !seen[n] {
+					seen[n] = true
+					next = append(next, n)
+				}
+				return true
+			})
+		}
+		frontier = next
+		depth++
+	}
+}
+
+// DFS visits vertices reachable from start in depth-first (preorder),
+// calling fn with each vertex. fn returning false prunes that branch.
+func (g *Graph) DFS(start VertexID, dir Direction, fn func(id VertexID) bool) {
+	if g.Vertex(start) == nil {
+		return
+	}
+	seen := map[VertexID]bool{}
+	var rec func(VertexID)
+	rec = func(id VertexID) {
+		if seen[id] {
+			return
+		}
+		seen[id] = true
+		if !fn(id) {
+			return
+		}
+		g.step(id, dir, func(n VertexID, _ *Edge) bool { rec(n); return true })
+	}
+	rec(start)
+}
+
+// Reachable reports whether target is reachable from start within maxHops
+// edges (maxHops < 0 means unbounded). This is the paper's Q3 graph
+// primitive (reachability, Table 2).
+func (g *Graph) Reachable(start, target VertexID, dir Direction, maxHops int) bool {
+	found := false
+	g.BFS(start, dir, func(id VertexID, depth int) bool {
+		if maxHops >= 0 && depth > maxHops {
+			return false
+		}
+		if id == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// ShortestPath returns the vertex sequence of a minimum-hop path from start
+// to target, or nil if unreachable.
+func (g *Graph) ShortestPath(start, target VertexID, dir Direction) []VertexID {
+	if g.Vertex(start) == nil || g.Vertex(target) == nil {
+		return nil
+	}
+	if start == target {
+		return []VertexID{start}
+	}
+	prev := map[VertexID]VertexID{start: start}
+	frontier := []VertexID{start}
+	for len(frontier) > 0 {
+		var next []VertexID
+		for _, id := range frontier {
+			done := false
+			g.step(id, dir, func(n VertexID, _ *Edge) bool {
+				if _, ok := prev[n]; ok {
+					return true
+				}
+				prev[n] = id
+				if n == target {
+					done = true
+					return false
+				}
+				next = append(next, n)
+				return true
+			})
+			if done {
+				return buildPath(prev, start, target)
+			}
+		}
+		frontier = next
+	}
+	return nil
+}
+
+func buildPath(prev map[VertexID]VertexID, start, target VertexID) []VertexID {
+	var rev []VertexID
+	for at := target; ; at = prev[at] {
+		rev = append(rev, at)
+		if at == start {
+			break
+		}
+	}
+	out := make([]VertexID, len(rev))
+	for i, v := range rev {
+		out[len(rev)-1-i] = v
+	}
+	return out
+}
+
+// WeightedShortestPath runs Dijkstra from start to target using the given
+// non-negative edge weight function and returns the path and its total
+// weight; ok is false if unreachable.
+func (g *Graph) WeightedShortestPath(start, target VertexID, dir Direction, weight func(*Edge) float64) (path []VertexID, total float64, ok bool) {
+	if g.Vertex(start) == nil || g.Vertex(target) == nil {
+		return nil, 0, false
+	}
+	dist := map[VertexID]float64{start: 0}
+	prev := map[VertexID]VertexID{start: start}
+	pq := &vertexHeap{{start, 0}}
+	for pq.Len() > 0 {
+		cur := heap.Pop(pq).(vertexDist)
+		if cur.d > dist[cur.id] {
+			continue
+		}
+		if cur.id == target {
+			return buildPath(prev, start, target), cur.d, true
+		}
+		g.step(cur.id, dir, func(n VertexID, e *Edge) bool {
+			nd := cur.d + weight(e)
+			if old, seen := dist[n]; !seen || nd < old {
+				dist[n] = nd
+				prev[n] = cur.id
+				heap.Push(pq, vertexDist{n, nd})
+			}
+			return true
+		})
+	}
+	return nil, math.Inf(1), false
+}
+
+type vertexDist struct {
+	id VertexID
+	d  float64
+}
+
+type vertexHeap []vertexDist
+
+func (h vertexHeap) Len() int            { return len(h) }
+func (h vertexHeap) Less(i, j int) bool  { return h[i].d < h[j].d }
+func (h vertexHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *vertexHeap) Push(x interface{}) { *h = append(*h, x.(vertexDist)) }
+func (h *vertexHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// ConnectedComponents returns, for each live vertex, a component id
+// (undirected connectivity). Component ids are dense, assigned in order of
+// the smallest vertex in each component.
+func (g *Graph) ConnectedComponents() map[VertexID]int {
+	comp := make(map[VertexID]int, g.nLive)
+	next := 0
+	g.Vertices(func(v *Vertex) bool {
+		if _, done := comp[v.ID]; done {
+			return true
+		}
+		g.BFS(v.ID, Both, func(id VertexID, _ int) bool {
+			comp[id] = next
+			return true
+		})
+		next++
+		return true
+	})
+	return comp
+}
+
+// WithinHops returns all vertices within maxHops of start (including start),
+// in BFS order.
+func (g *Graph) WithinHops(start VertexID, dir Direction, maxHops int) []VertexID {
+	var out []VertexID
+	g.BFS(start, dir, func(id VertexID, depth int) bool {
+		if depth > maxHops {
+			return false
+		}
+		out = append(out, id)
+		return true
+	})
+	return out
+}

@@ -1,0 +1,200 @@
+package lpg
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// chain builds a -> b -> c -> ... of n vertices and returns the graph + ids.
+func chain(n int) (*Graph, []VertexID) {
+	g := NewGraph()
+	ids := make([]VertexID, n)
+	for i := range ids {
+		ids[i] = g.AddVertex("V")
+	}
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(ids[i], ids[i+1], "next")
+	}
+	return g, ids
+}
+
+func TestBFSDepths(t *testing.T) {
+	g, ids := chain(5)
+	depths := map[VertexID]int{}
+	g.BFS(ids[0], Out, func(id VertexID, d int) bool {
+		depths[id] = d
+		return true
+	})
+	for i, id := range ids {
+		if depths[id] != i {
+			t.Fatalf("depth[%d]=%d", i, depths[id])
+		}
+	}
+	// In-direction from the tail reaches everything.
+	count := 0
+	g.BFS(ids[4], In, func(VertexID, int) bool { count++; return true })
+	if count != 5 {
+		t.Fatalf("reverse BFS visited %d", count)
+	}
+	// Out-direction from tail reaches only itself.
+	count = 0
+	g.BFS(ids[4], Out, func(VertexID, int) bool { count++; return true })
+	if count != 1 {
+		t.Fatalf("forward BFS from tail visited %d", count)
+	}
+	// Missing start is a no-op.
+	g.BFS(999, Out, func(VertexID, int) bool { t.Fatal("visited"); return true })
+}
+
+func TestDFSVisitsAll(t *testing.T) {
+	g := NewGraph()
+	root := g.AddVertex("R")
+	l := g.AddVertex("L")
+	r := g.AddVertex("R2")
+	g.AddEdge(root, l, "e")
+	g.AddEdge(root, r, "e")
+	g.AddEdge(l, r, "e") // diamond
+	var order []VertexID
+	g.DFS(root, Out, func(id VertexID) bool { order = append(order, id); return true })
+	if len(order) != 3 || order[0] != root {
+		t.Fatalf("dfs order=%v", order)
+	}
+}
+
+func TestReachable(t *testing.T) {
+	g, ids := chain(6)
+	if !g.Reachable(ids[0], ids[5], Out, -1) {
+		t.Fatal("unbounded reach")
+	}
+	if g.Reachable(ids[0], ids[5], Out, 4) {
+		t.Fatal("5 hops should not fit in 4")
+	}
+	if !g.Reachable(ids[0], ids[5], Out, 5) {
+		t.Fatal("5 hops in 5")
+	}
+	if g.Reachable(ids[5], ids[0], Out, -1) {
+		t.Fatal("directed reachability must respect direction")
+	}
+	if !g.Reachable(ids[5], ids[0], Both, -1) {
+		t.Fatal("Both direction")
+	}
+	if !g.Reachable(ids[2], ids[2], Out, 0) {
+		t.Fatal("self reach at 0 hops")
+	}
+}
+
+func TestShortestPath(t *testing.T) {
+	// Diamond with a long way around: a->b->d (2 hops) vs a->c1->c2->d.
+	g := NewGraph()
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	c1 := g.AddVertex("C1")
+	c2 := g.AddVertex("C2")
+	d := g.AddVertex("D")
+	g.AddEdge(a, c1, "e")
+	g.AddEdge(c1, c2, "e")
+	g.AddEdge(c2, d, "e")
+	g.AddEdge(a, b, "e")
+	g.AddEdge(b, d, "e")
+	p := g.ShortestPath(a, d, Out)
+	if len(p) != 3 || p[0] != a || p[1] != b || p[2] != d {
+		t.Fatalf("path=%v", p)
+	}
+	if got := g.ShortestPath(d, a, Out); got != nil {
+		t.Fatalf("unreachable path=%v", got)
+	}
+	if got := g.ShortestPath(a, a, Out); len(got) != 1 {
+		t.Fatalf("self path=%v", got)
+	}
+}
+
+func TestWeightedShortestPath(t *testing.T) {
+	// Two routes: short-hop expensive vs long-hop cheap.
+	g := NewGraph()
+	a := g.AddVertex("A")
+	b := g.AddVertex("B")
+	c1 := g.AddVertex("C1")
+	c2 := g.AddVertex("C2")
+	d := g.AddVertex("D")
+	e1 := g.AddEdge(a, b, "e")
+	e2 := g.AddEdge(b, d, "e")
+	e3 := g.AddEdge(a, c1, "e")
+	e4 := g.AddEdge(c1, c2, "e")
+	e5 := g.AddEdge(c2, d, "e")
+	w := map[EdgeID]float64{e1: 10, e2: 10, e3: 1, e4: 1, e5: 1}
+	path, total, ok := g.WeightedShortestPath(a, d, Out, func(e *Edge) float64 { return w[e.ID] })
+	if !ok || total != 3 {
+		t.Fatalf("total=%v ok=%v", total, ok)
+	}
+	if len(path) != 4 || path[1] != c1 {
+		t.Fatalf("path=%v", path)
+	}
+	if _, _, ok := g.WeightedShortestPath(d, a, Out, func(*Edge) float64 { return 1 }); ok {
+		t.Fatal("unreachable must be !ok")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	g := NewGraph()
+	a1, a2 := g.AddVertex("A"), g.AddVertex("A")
+	b1, b2, b3 := g.AddVertex("B"), g.AddVertex("B"), g.AddVertex("B")
+	g.AddEdge(a1, a2, "e")
+	g.AddEdge(b1, b2, "e")
+	g.AddEdge(b3, b2, "e")
+	lone := g.AddVertex("L")
+	comp := g.ConnectedComponents()
+	if comp[a1] != comp[a2] {
+		t.Fatal("a-component split")
+	}
+	if comp[b1] != comp[b2] || comp[b2] != comp[b3] {
+		t.Fatal("b-component split")
+	}
+	if comp[a1] == comp[b1] || comp[a1] == comp[lone] || comp[b1] == comp[lone] {
+		t.Fatal("components merged")
+	}
+	// Dense ids 0..2 ordered by smallest member.
+	if comp[a1] != 0 || comp[b1] != 1 || comp[lone] != 2 {
+		t.Fatalf("dense ids: %v", comp)
+	}
+}
+
+func TestWithinHops(t *testing.T) {
+	g, ids := chain(10)
+	got := g.WithinHops(ids[0], Out, 3)
+	if len(got) != 4 {
+		t.Fatalf("within 3 hops: %v", got)
+	}
+}
+
+// Property: ShortestPath length equals BFS depth of the target.
+func TestQuickShortestPathMatchesBFS(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for iter := 0; iter < 30; iter++ {
+		g := NewGraph()
+		n := 2 + rng.Intn(30)
+		ids := make([]VertexID, n)
+		for i := range ids {
+			ids[i] = g.AddVertex("V")
+		}
+		for e := 0; e < n*2; e++ {
+			g.AddEdge(ids[rng.Intn(n)], ids[rng.Intn(n)], "e")
+		}
+		src := ids[rng.Intn(n)]
+		dst := ids[rng.Intn(n)]
+		depth := -1
+		g.BFS(src, Out, func(id VertexID, d int) bool {
+			if id == dst {
+				depth = d
+				return false
+			}
+			return true
+		})
+		p := g.ShortestPath(src, dst, Out)
+		switch {
+		case depth == -1 && p != nil:
+			t.Fatalf("BFS says unreachable, path=%v", p)
+		case depth >= 0 && len(p) != depth+1:
+			t.Fatalf("path len %d vs BFS depth %d", len(p), depth)
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// blobs generates k Gaussian blobs of size per, spaced far apart, returning
+// rows and true labels.
+func blobs(k, per int, seed int64) ([][]float64, []int) {
+	rng := rand.New(rand.NewSource(seed))
+	var rows [][]float64
+	var labels []int
+	for c := 0; c < k; c++ {
+		cx, cy := float64(c*20), float64(c*-10)
+		for i := 0; i < per; i++ {
+			rows = append(rows, []float64{cx + rng.NormFloat64(), cy + rng.NormFloat64()})
+			labels = append(labels, c)
+		}
+	}
+	return rows, labels
+}
+
+func TestKMeansRecoverBlobs(t *testing.T) {
+	rows, truth := blobs(3, 30, 1)
+	res := KMeans(rows, 3, 100, 1)
+	if ari := AdjustedRandIndex(res.Assign, truth); ari < 0.95 {
+		t.Fatalf("ARI=%v", ari)
+	}
+	if res.Inertia <= 0 {
+		t.Fatalf("inertia=%v", res.Inertia)
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("centroids=%d", len(res.Centroids))
+	}
+}
+
+func TestKMeansDegenerate(t *testing.T) {
+	if res := KMeans(nil, 3, 10, 1); res.Assign != nil {
+		t.Fatal("empty input")
+	}
+	rows := [][]float64{{1, 1}, {2, 2}}
+	res := KMeans(rows, 5, 10, 1) // k > n clamps
+	if len(res.Centroids) != 2 {
+		t.Fatalf("clamped k=%d", len(res.Centroids))
+	}
+	// Identical points.
+	same := [][]float64{{3, 3}, {3, 3}, {3, 3}}
+	res = KMeans(same, 2, 10, 1)
+	if res.Inertia != 0 {
+		t.Fatalf("identical points inertia=%v", res.Inertia)
+	}
+}
+
+func TestSilhouetteOrdering(t *testing.T) {
+	rows, truth := blobs(2, 20, 2)
+	good := Silhouette(rows, truth)
+	bad := make([]int, len(truth))
+	for i := range bad {
+		bad[i] = i % 2 // random-ish split across blobs
+	}
+	if good <= Silhouette(rows, bad) {
+		t.Fatalf("good %v <= bad %v", good, Silhouette(rows, bad))
+	}
+	if good < 0.7 {
+		t.Fatalf("well-separated blobs silhouette=%v", good)
+	}
+}
+
+func TestKNN(t *testing.T) {
+	rows, labels := blobs(2, 25, 3)
+	knn := NewKNN(5, rows, labels)
+	if got := knn.Predict([]float64{0, 0}); got != 0 {
+		t.Fatalf("predict near blob0=%d", got)
+	}
+	if got := knn.Predict([]float64{20, -10}); got != 1 {
+		t.Fatalf("predict near blob1=%d", got)
+	}
+	// k larger than dataset still works.
+	small := NewKNN(100, rows[:3], labels[:3])
+	small.Predict([]float64{0, 0})
+}
+
+func TestLogRegSeparable(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var x [][]float64
+	var y []int
+	for i := 0; i < 200; i++ {
+		v := []float64{rng.NormFloat64(), rng.NormFloat64()}
+		label := 0
+		if v[0]+v[1] > 0.5 {
+			label = 1
+		}
+		x = append(x, v)
+		y = append(y, label)
+	}
+	m := TrainLogReg(x, y, 0.1, 1e-4, 50, 1)
+	pred := make([]int, len(x))
+	for i := range x {
+		pred[i] = m.Predict(x[i])
+	}
+	metrics := Evaluate(pred, y)
+	if metrics.Accuracy() < 0.95 {
+		t.Fatalf("accuracy=%v", metrics.Accuracy())
+	}
+	if m.Prob([]float64{5, 5}) < 0.99 {
+		t.Fatalf("deep positive prob=%v", m.Prob([]float64{5, 5}))
+	}
+	if m.Prob([]float64{-5, -5}) > 0.01 {
+		t.Fatalf("deep negative prob=%v", m.Prob([]float64{-5, -5}))
+	}
+}
+
+func TestBinaryMetrics(t *testing.T) {
+	pred := []int{1, 1, 0, 0, 1}
+	truth := []int{1, 0, 0, 1, 1}
+	m := Evaluate(pred, truth)
+	if m.TP != 2 || m.FP != 1 || m.TN != 1 || m.FN != 1 {
+		t.Fatalf("%+v", m)
+	}
+	if math.Abs(m.Precision()-2.0/3) > 1e-12 {
+		t.Fatalf("precision=%v", m.Precision())
+	}
+	if math.Abs(m.Recall()-2.0/3) > 1e-12 {
+		t.Fatalf("recall=%v", m.Recall())
+	}
+	if math.Abs(m.F1()-2.0/3) > 1e-12 {
+		t.Fatalf("f1=%v", m.F1())
+	}
+	if math.Abs(m.Accuracy()-0.6) > 1e-12 {
+		t.Fatalf("accuracy=%v", m.Accuracy())
+	}
+	var zero BinaryMetrics
+	if zero.Precision() != 0 || zero.Recall() != 0 || zero.F1() != 0 || zero.Accuracy() != 0 {
+		t.Fatal("zero metrics must not NaN")
+	}
+}
+
+func TestAdjustedRandIndex(t *testing.T) {
+	truth := []int{0, 0, 0, 1, 1, 1}
+	if ari := AdjustedRandIndex(truth, truth); math.Abs(ari-1) > 1e-12 {
+		t.Fatalf("perfect ARI=%v", ari)
+	}
+	// Permuted labels still perfect.
+	perm := []int{5, 5, 5, 9, 9, 9}
+	if ari := AdjustedRandIndex(perm, truth); math.Abs(ari-1) > 1e-12 {
+		t.Fatalf("permuted ARI=%v", ari)
+	}
+	// All-in-one vs split is 0 (max == expected edge case handled).
+	one := []int{0, 0, 0, 0, 0, 0}
+	if ari := AdjustedRandIndex(one, truth); math.Abs(ari) > 1e-9 {
+		t.Fatalf("degenerate ARI=%v", ari)
+	}
+}
+
+func TestEuclidean(t *testing.T) {
+	if d := Euclidean([]float64{0, 0}, []float64{3, 4}); d != 5 {
+		t.Fatalf("d=%v", d)
+	}
+}

@@ -1,0 +1,232 @@
+package graphstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Binary snapshot format: a magic header, then the string table, then node,
+// relationship and property records, all little-endian with uvarint lengths.
+// The format is versioned so future layouts can evolve.
+
+const (
+	snapshotMagic   = "HYGS"
+	snapshotVersion = 1
+)
+
+// Save writes a binary snapshot of the store.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, snapshotVersion)
+
+	writeUvarint(bw, uint64(len(db.strings)))
+	for _, s := range db.strings {
+		writeUvarint(bw, uint64(len(s)))
+		bw.WriteString(s)
+	}
+
+	writeUvarint(bw, uint64(len(db.nodes)))
+	for i := range db.nodes {
+		n := &db.nodes[i]
+		writeBool(bw, n.inUse)
+		writeUvarint(bw, uint64(len(n.labels)))
+		for _, l := range n.labels {
+			writeUvarint(bw, uint64(l))
+		}
+		writeUvarint(bw, uint64(n.firstRel))
+		writeUvarint(bw, uint64(n.firstProp))
+	}
+
+	writeUvarint(bw, uint64(len(db.rels)))
+	for i := range db.rels {
+		r := &db.rels[i]
+		writeBool(bw, r.inUse)
+		writeUvarint(bw, uint64(r.from))
+		writeUvarint(bw, uint64(r.to))
+		writeUvarint(bw, uint64(r.typ))
+		writeUvarint(bw, uint64(r.fromNext))
+		writeUvarint(bw, uint64(r.toNext))
+		writeUvarint(bw, uint64(r.firstProp))
+	}
+
+	writeUvarint(bw, uint64(len(db.props)))
+	for i := range db.props {
+		p := &db.props[i]
+		writeBool(bw, p.inUse)
+		writeUvarint(bw, uint64(p.key))
+		writeUvarint(bw, uint64(p.kind))
+		writeUvarint(bw, p.num)
+		writeUvarint(bw, uint64(p.str))
+		writeUvarint(bw, uint64(p.next))
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot written by Save into a fresh store.
+func Load(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("graphstore: reading magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("graphstore: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("graphstore: unsupported snapshot version %d", version)
+	}
+	db := New()
+
+	nStr, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	db.strings = make([]string, nStr)
+	for i := range db.strings {
+		l, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, l)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, err
+		}
+		db.strings[i] = string(buf)
+		db.strIndex[db.strings[i]] = uint32(i)
+	}
+
+	nNodes, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	db.nodes = make([]nodeRec, nNodes)
+	for i := range db.nodes {
+		n := &db.nodes[i]
+		if n.inUse, err = readBool(br); err != nil {
+			return nil, err
+		}
+		nl, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		n.labels = make([]uint32, nl)
+		for j := range n.labels {
+			v, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			n.labels[j] = uint32(v)
+			if n.inUse {
+				db.labelIndex[n.labels[j]] = append(db.labelIndex[n.labels[j]], NodeID(i))
+			}
+		}
+		if n.firstRel, err = readRef(br); err != nil {
+			return nil, err
+		}
+		if n.firstProp, err = readRef(br); err != nil {
+			return nil, err
+		}
+	}
+
+	nRels, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	db.rels = make([]relRec, nRels)
+	for i := range db.rels {
+		rr := &db.rels[i]
+		if rr.inUse, err = readBool(br); err != nil {
+			return nil, err
+		}
+		var v uint64
+		if v, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		rr.from = NodeID(v)
+		if v, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		rr.to = NodeID(v)
+		if v, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		rr.typ = uint32(v)
+		if rr.fromNext, err = readRef(br); err != nil {
+			return nil, err
+		}
+		if rr.toNext, err = readRef(br); err != nil {
+			return nil, err
+		}
+		if rr.firstProp, err = readRef(br); err != nil {
+			return nil, err
+		}
+	}
+
+	nProps, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	db.props = make([]propRec, nProps)
+	for i := range db.props {
+		p := &db.props[i]
+		if p.inUse, err = readBool(br); err != nil {
+			return nil, err
+		}
+		var v uint64
+		if v, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		p.key = uint32(v)
+		if v, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		p.kind = PropKind(v)
+		if p.num, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		if v, err = binary.ReadUvarint(br); err != nil {
+			return nil, err
+		}
+		p.str = uint32(v)
+		if p.next, err = readRef(br); err != nil {
+			return nil, err
+		}
+		if !p.inUse {
+			db.freeProps = append(db.freeProps, uint32(i))
+		}
+	}
+	return db, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeBool(w *bufio.Writer, b bool) {
+	if b {
+		w.WriteByte(1)
+	} else {
+		w.WriteByte(0)
+	}
+}
+
+func readBool(r *bufio.Reader) (bool, error) {
+	b, err := r.ReadByte()
+	return b != 0, err
+}
+
+func readRef(r *bufio.Reader) (uint32, error) {
+	v, err := binary.ReadUvarint(r)
+	return uint32(v), err
+}

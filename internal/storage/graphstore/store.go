@@ -1,0 +1,479 @@
+// Package graphstore implements a Neo4j-style record-oriented graph store:
+// node and relationship records with relationship linked lists per node, and
+// properties stored as *linked chains of property records* holding typed
+// payloads and interned keys.
+//
+// The design deliberately mirrors the storage layout that makes the paper's
+// Table 1 happen: when a time series is stored "all in graph" — every
+// (timestamp, value) pair as a separate property, as the paper's Neo4j
+// baseline does — each access walks an O(n) property chain and decodes
+// every record it passes. Range scans and aggregations over the series
+// therefore degrade linearly with series length per entity, which is exactly
+// the bottleneck the paper measures (Q4–Q8 at tens of seconds vs
+// milliseconds in the polyglot layout).
+package graphstore
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a node record.
+type NodeID uint32
+
+// RelID identifies a relationship record.
+type RelID uint32
+
+// nilRef is the null pointer of record chains.
+const nilRef = ^uint32(0)
+
+// PropKind is the type tag of a property record.
+type PropKind uint8
+
+// Property kinds.
+const (
+	PropInt PropKind = iota
+	PropFloat
+	PropString
+	PropBool
+)
+
+// PropValue is a decoded property value.
+type PropValue struct {
+	Kind PropKind
+	I    int64
+	F    float64
+	S    string
+	B    bool
+}
+
+// IntVal wraps an int64.
+func IntVal(i int64) PropValue { return PropValue{Kind: PropInt, I: i} }
+
+// FloatVal wraps a float64.
+func FloatVal(f float64) PropValue { return PropValue{Kind: PropFloat, F: f} }
+
+// StrVal wraps a string.
+func StrVal(s string) PropValue { return PropValue{Kind: PropString, S: s} }
+
+// BoolVal wraps a bool.
+func BoolVal(b bool) PropValue { return PropValue{Kind: PropBool, B: b} }
+
+// AsFloat widens numeric values to float64.
+func (v PropValue) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case PropFloat:
+		return v.F, true
+	case PropInt:
+		return float64(v.I), true
+	}
+	return 0, false
+}
+
+// String renders the value.
+func (v PropValue) String() string {
+	switch v.Kind {
+	case PropInt:
+		return fmt.Sprintf("%d", v.I)
+	case PropFloat:
+		return fmt.Sprintf("%g", v.F)
+	case PropString:
+		return v.S
+	case PropBool:
+		return fmt.Sprintf("%t", v.B)
+	}
+	return "?"
+}
+
+// nodeRec is a node record: label refs plus heads of its relationship and
+// property chains.
+type nodeRec struct {
+	inUse     bool
+	labels    []uint32
+	firstRel  uint32
+	firstProp uint32
+}
+
+// relRec is a relationship record. fromNext/toNext thread this record into
+// the source's and target's relationship chains (Neo4j's doubly-linked
+// relationship store, simplified to singly-linked).
+type relRec struct {
+	inUse     bool
+	from, to  NodeID
+	typ       uint32
+	fromNext  uint32
+	toNext    uint32
+	firstProp uint32
+}
+
+// propRec is one property record in a chain. num carries int64 bits, float64
+// bits, or bool; str references the interned string table.
+type propRec struct {
+	inUse bool
+	key   uint32
+	kind  PropKind
+	num   uint64
+	str   uint32
+	next  uint32
+}
+
+// DB is an in-memory record store. Not safe for concurrent mutation.
+type DB struct {
+	nodes []nodeRec
+	rels  []relRec
+	props []propRec
+
+	strings  []string
+	strIndex map[string]uint32
+
+	labelIndex map[uint32][]NodeID
+	freeProps  []uint32 // recycled property records
+}
+
+// New returns an empty store.
+func New() *DB {
+	return &DB{
+		strIndex:   map[string]uint32{},
+		labelIndex: map[uint32][]NodeID{},
+	}
+}
+
+// NumNodes returns the number of live nodes.
+func (db *DB) NumNodes() int {
+	n := 0
+	for i := range db.nodes {
+		if db.nodes[i].inUse {
+			n++
+		}
+	}
+	return n
+}
+
+// NumRels returns the number of live relationships.
+func (db *DB) NumRels() int {
+	n := 0
+	for i := range db.rels {
+		if db.rels[i].inUse {
+			n++
+		}
+	}
+	return n
+}
+
+// intern returns the id of s in the string table, adding it if new.
+func (db *DB) intern(s string) uint32 {
+	if id, ok := db.strIndex[s]; ok {
+		return id
+	}
+	id := uint32(len(db.strings))
+	db.strings = append(db.strings, s)
+	db.strIndex[s] = id
+	return id
+}
+
+// CreateNode allocates a node with the given labels.
+func (db *DB) CreateNode(labels ...string) NodeID {
+	id := NodeID(len(db.nodes))
+	rec := nodeRec{inUse: true, firstRel: nilRef, firstProp: nilRef}
+	for _, l := range labels {
+		lid := db.intern(l)
+		rec.labels = append(rec.labels, lid)
+		db.labelIndex[lid] = append(db.labelIndex[lid], id)
+	}
+	db.nodes = append(db.nodes, rec)
+	return id
+}
+
+// CreateRel allocates a relationship from -> to of the given type, threading
+// it into both endpoints' relationship chains.
+func (db *DB) CreateRel(from, to NodeID, typ string) (RelID, error) {
+	if !db.nodeOK(from) || !db.nodeOK(to) {
+		return 0, fmt.Errorf("graphstore: endpoints %d->%d missing", from, to)
+	}
+	id := RelID(len(db.rels))
+	rec := relRec{
+		inUse: true, from: from, to: to, typ: db.intern(typ),
+		fromNext:  db.nodes[from].firstRel,
+		toNext:    db.nodes[to].firstRel,
+		firstProp: nilRef,
+	}
+	db.rels = append(db.rels, rec)
+	db.nodes[from].firstRel = uint32(id)
+	if to != from {
+		db.nodes[to].firstRel = uint32(id)
+	}
+	return id, nil
+}
+
+func (db *DB) nodeOK(id NodeID) bool {
+	return int(id) < len(db.nodes) && db.nodes[id].inUse
+}
+
+func (db *DB) relOK(id RelID) bool {
+	return int(id) < len(db.rels) && db.rels[id].inUse
+}
+
+// NodesByLabel returns the nodes carrying the label in creation order.
+func (db *DB) NodesByLabel(label string) []NodeID {
+	lid, ok := db.strIndex[label]
+	if !ok {
+		return nil
+	}
+	var out []NodeID
+	for _, id := range db.labelIndex[lid] {
+		if db.nodeOK(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Labels returns a node's labels.
+func (db *DB) Labels(id NodeID) []string {
+	if !db.nodeOK(id) {
+		return nil
+	}
+	out := make([]string, len(db.nodes[id].labels))
+	for i, l := range db.nodes[id].labels {
+		out[i] = db.strings[l]
+	}
+	return out
+}
+
+// allocProp takes a record from the free list or grows the store.
+func (db *DB) allocProp() uint32 {
+	if n := len(db.freeProps); n > 0 {
+		ref := db.freeProps[n-1]
+		db.freeProps = db.freeProps[:n-1]
+		return ref
+	}
+	db.props = append(db.props, propRec{})
+	return uint32(len(db.props) - 1)
+}
+
+// setProp walks the chain rooted at *head; if key exists, the record is
+// updated in place, otherwise a new record is prepended (Neo4j prepends new
+// properties, so recently written properties are found fastest).
+func (db *DB) setProp(head *uint32, key string, val PropValue) {
+	kid := db.intern(key)
+	for ref := *head; ref != nilRef; ref = db.props[ref].next {
+		if db.props[ref].key == kid {
+			db.encodeProp(ref, kid, val)
+			return
+		}
+	}
+	ref := db.allocProp()
+	db.encodeProp(ref, kid, val)
+	db.props[ref].next = *head
+	*head = ref
+}
+
+func (db *DB) encodeProp(ref, kid uint32, val PropValue) {
+	p := &db.props[ref]
+	p.inUse = true
+	p.key = kid
+	p.kind = val.Kind
+	switch val.Kind {
+	case PropInt:
+		p.num = uint64(val.I)
+	case PropFloat:
+		p.num = math.Float64bits(val.F)
+	case PropBool:
+		if val.B {
+			p.num = 1
+		} else {
+			p.num = 0
+		}
+	case PropString:
+		p.str = db.intern(val.S)
+	}
+}
+
+func (db *DB) decodeProp(ref uint32) PropValue {
+	p := db.props[ref]
+	switch p.kind {
+	case PropInt:
+		return IntVal(int64(p.num))
+	case PropFloat:
+		return FloatVal(math.Float64frombits(p.num))
+	case PropBool:
+		return BoolVal(p.num != 0)
+	case PropString:
+		return StrVal(db.strings[p.str])
+	}
+	return PropValue{}
+}
+
+// getProp walks a chain for the key.
+func (db *DB) getProp(head uint32, key string) (PropValue, bool) {
+	kid, ok := db.strIndex[key]
+	if !ok {
+		return PropValue{}, false
+	}
+	for ref := head; ref != nilRef; ref = db.props[ref].next {
+		if db.props[ref].key == kid {
+			return db.decodeProp(ref), true
+		}
+	}
+	return PropValue{}, false
+}
+
+// removeProp unlinks a key's record from a chain and recycles it.
+func (db *DB) removeProp(head *uint32, key string) bool {
+	kid, ok := db.strIndex[key]
+	if !ok {
+		return false
+	}
+	prev := nilRef
+	for ref := *head; ref != nilRef; ref = db.props[ref].next {
+		if db.props[ref].key == kid {
+			if prev == nilRef {
+				*head = db.props[ref].next
+			} else {
+				db.props[prev].next = db.props[ref].next
+			}
+			db.props[ref] = propRec{}
+			db.freeProps = append(db.freeProps, ref)
+			return true
+		}
+		prev = ref
+	}
+	return false
+}
+
+// SetNodeProp sets a property on a node.
+func (db *DB) SetNodeProp(id NodeID, key string, val PropValue) error {
+	if !db.nodeOK(id) {
+		return fmt.Errorf("graphstore: no node %d", id)
+	}
+	db.setProp(&db.nodes[id].firstProp, key, val)
+	return nil
+}
+
+// NodeProp reads a property from a node, walking its chain.
+func (db *DB) NodeProp(id NodeID, key string) (PropValue, bool) {
+	if !db.nodeOK(id) {
+		return PropValue{}, false
+	}
+	return db.getProp(db.nodes[id].firstProp, key)
+}
+
+// RemoveNodeProp deletes a node property.
+func (db *DB) RemoveNodeProp(id NodeID, key string) bool {
+	if !db.nodeOK(id) {
+		return false
+	}
+	return db.removeProp(&db.nodes[id].firstProp, key)
+}
+
+// SetRelProp sets a property on a relationship.
+func (db *DB) SetRelProp(id RelID, key string, val PropValue) error {
+	if !db.relOK(id) {
+		return fmt.Errorf("graphstore: no rel %d", id)
+	}
+	db.setProp(&db.rels[id].firstProp, key, val)
+	return nil
+}
+
+// RelProp reads a relationship property.
+func (db *DB) RelProp(id RelID, key string) (PropValue, bool) {
+	if !db.relOK(id) {
+		return PropValue{}, false
+	}
+	return db.getProp(db.rels[id].firstProp, key)
+}
+
+// NodeProps walks a node's full property chain, calling fn with every
+// key/value. This is the scan primitive that all-in-graph time-series
+// queries are forced through.
+func (db *DB) NodeProps(id NodeID, fn func(key string, val PropValue) bool) {
+	if !db.nodeOK(id) {
+		return
+	}
+	for ref := db.nodes[id].firstProp; ref != nilRef; ref = db.props[ref].next {
+		if !fn(db.strings[db.props[ref].key], db.decodeProp(ref)) {
+			return
+		}
+	}
+}
+
+// NodePropCount returns the length of the node's property chain.
+func (db *DB) NodePropCount(id NodeID) int {
+	n := 0
+	db.NodeProps(id, func(string, PropValue) bool { n++; return true })
+	return n
+}
+
+// Rel describes a relationship during iteration.
+type Rel struct {
+	ID   RelID
+	From NodeID
+	To   NodeID
+	Type string
+}
+
+// Rels walks the relationship chain of a node (both directions interleaved,
+// most recent first), calling fn for each.
+func (db *DB) Rels(id NodeID, fn func(Rel) bool) {
+	if !db.nodeOK(id) {
+		return
+	}
+	for ref := db.nodes[id].firstRel; ref != nilRef; {
+		r := db.rels[ref]
+		if !fn(Rel{ID: RelID(ref), From: r.from, To: r.to, Type: db.strings[r.typ]}) {
+			return
+		}
+		switch {
+		case r.from == id:
+			ref = r.fromNext
+		case r.to == id:
+			ref = r.toNext
+		default:
+			return // corrupted chain; stop rather than loop
+		}
+	}
+}
+
+// OutNeighbors returns the targets of outgoing relationships of the given
+// type ("" matches all).
+func (db *DB) OutNeighbors(id NodeID, typ string) []NodeID {
+	var out []NodeID
+	db.Rels(id, func(r Rel) bool {
+		if r.From == id && (typ == "" || r.Type == typ) {
+			out = append(out, r.To)
+		}
+		return true
+	})
+	return out
+}
+
+// Neighbors returns distinct adjacent nodes over any relationship direction.
+func (db *DB) Neighbors(id NodeID, typ string) []NodeID {
+	seen := map[NodeID]bool{}
+	var out []NodeID
+	db.Rels(id, func(r Rel) bool {
+		if typ != "" && r.Type != typ {
+			return true
+		}
+		other := r.To
+		if r.To == id {
+			other = r.From
+		}
+		if other != id && !seen[other] {
+			seen[other] = true
+			out = append(out, other)
+		}
+		return true
+	})
+	return out
+}
+
+// Stats summarizes record usage for capacity reports.
+type Stats struct {
+	Nodes, Rels, Props, Strings int
+}
+
+// Stats returns record counts (including dead records in props).
+func (db *DB) Stats() Stats {
+	return Stats{Nodes: len(db.nodes), Rels: len(db.rels), Props: len(db.props), Strings: len(db.strings)}
+}

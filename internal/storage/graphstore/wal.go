@@ -1,0 +1,281 @@
+package graphstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// WAL is a write-ahead-logged view of a DB: every mutation is appended to
+// the log before being applied, so a crashed process can rebuild the store
+// by replaying the log (Replay). Combined with periodic Save snapshots this
+// gives the usual snapshot+log durability scheme of production stores.
+type WAL struct {
+	db  *DB
+	w   *bufio.Writer
+	err error // first write error; subsequent mutations fail fast
+}
+
+// Log record opcodes.
+const (
+	opCreateNode byte = iota + 1
+	opCreateRel
+	opSetNodeProp
+	opSetRelProp
+	opRemoveNodeProp
+)
+
+// NewWAL wraps a store with a log appended to w. The store should be empty
+// or match the snapshot the log continues from.
+func NewWAL(db *DB, w io.Writer) *WAL {
+	return &WAL{db: db, w: bufio.NewWriter(w)}
+}
+
+// DB exposes the underlying store for reads.
+func (l *WAL) DB() *DB { return l.db }
+
+// Flush forces buffered log records to the underlying writer. Callers
+// flush at commit points.
+func (l *WAL) Flush() error {
+	if l.err != nil {
+		return l.err
+	}
+	return l.w.Flush()
+}
+
+func (l *WAL) fail(err error) error {
+	if l.err == nil {
+		l.err = err
+	}
+	return l.err
+}
+
+func (l *WAL) writeOp(op byte, parts ...interface{}) error {
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.w.WriteByte(op); err != nil {
+		return l.fail(err)
+	}
+	for _, p := range parts {
+		switch v := p.(type) {
+		case uint64:
+			writeUvarint(l.w, v)
+		case string:
+			writeUvarint(l.w, uint64(len(v)))
+			if _, err := l.w.WriteString(v); err != nil {
+				return l.fail(err)
+			}
+		case PropValue:
+			if err := l.writeValue(v); err != nil {
+				return l.fail(err)
+			}
+		default:
+			return l.fail(fmt.Errorf("graphstore: unsupported WAL field %T", p))
+		}
+	}
+	return nil
+}
+
+func (l *WAL) writeValue(v PropValue) error {
+	l.w.WriteByte(byte(v.Kind))
+	switch v.Kind {
+	case PropInt:
+		writeUvarint(l.w, uint64(v.I))
+	case PropFloat:
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+		l.w.Write(buf[:])
+	case PropString:
+		writeUvarint(l.w, uint64(len(v.S)))
+		l.w.WriteString(v.S)
+	case PropBool:
+		writeBool(l.w, v.B)
+	}
+	return nil
+}
+
+// CreateNode logs and applies a node creation.
+func (l *WAL) CreateNode(labels ...string) (NodeID, error) {
+	if err := l.writeOp(opCreateNode, uint64(len(labels))); err != nil {
+		return 0, err
+	}
+	for _, lb := range labels {
+		if err := l.writeString(lb); err != nil {
+			return 0, err
+		}
+	}
+	return l.db.CreateNode(labels...), nil
+}
+
+// writeString appends a length-prefixed string to the log.
+func (l *WAL) writeString(s string) error {
+	if l.err != nil {
+		return l.err
+	}
+	writeUvarint(l.w, uint64(len(s)))
+	if _, err := l.w.WriteString(s); err != nil {
+		return l.fail(err)
+	}
+	return nil
+}
+
+// CreateRel logs and applies a relationship creation.
+func (l *WAL) CreateRel(from, to NodeID, typ string) (RelID, error) {
+	if err := l.writeOp(opCreateRel, uint64(from), uint64(to), typ); err != nil {
+		return 0, err
+	}
+	return l.db.CreateRel(from, to, typ)
+}
+
+// SetNodeProp logs and applies a node property write.
+func (l *WAL) SetNodeProp(id NodeID, key string, val PropValue) error {
+	if err := l.writeOp(opSetNodeProp, uint64(id), key, val); err != nil {
+		return err
+	}
+	return l.db.SetNodeProp(id, key, val)
+}
+
+// SetRelProp logs and applies a relationship property write.
+func (l *WAL) SetRelProp(id RelID, key string, val PropValue) error {
+	if err := l.writeOp(opSetRelProp, uint64(id), key, val); err != nil {
+		return err
+	}
+	return l.db.SetRelProp(id, key, val)
+}
+
+// RemoveNodeProp logs and applies a node property removal.
+func (l *WAL) RemoveNodeProp(id NodeID, key string) (bool, error) {
+	if err := l.writeOp(opRemoveNodeProp, uint64(id), key); err != nil {
+		return false, err
+	}
+	return l.db.RemoveNodeProp(id, key), nil
+}
+
+// Replay applies a log produced by WAL onto db (typically a fresh store or
+// one restored from the matching snapshot). It stops cleanly at EOF and
+// returns the number of operations applied.
+func Replay(db *DB, r io.Reader) (int, error) {
+	br := bufio.NewReader(r)
+	applied := 0
+	for {
+		op, err := br.ReadByte()
+		if err == io.EOF {
+			return applied, nil
+		}
+		if err != nil {
+			return applied, err
+		}
+		switch op {
+		case opCreateNode:
+			n, err := binary.ReadUvarint(br)
+			if err != nil {
+				return applied, err
+			}
+			labels := make([]string, n)
+			for i := range labels {
+				if labels[i], err = readString(br); err != nil {
+					return applied, err
+				}
+			}
+			db.CreateNode(labels...)
+		case opCreateRel:
+			from, err := binary.ReadUvarint(br)
+			if err != nil {
+				return applied, err
+			}
+			to, err := binary.ReadUvarint(br)
+			if err != nil {
+				return applied, err
+			}
+			typ, err := readString(br)
+			if err != nil {
+				return applied, err
+			}
+			if _, err := db.CreateRel(NodeID(from), NodeID(to), typ); err != nil {
+				return applied, err
+			}
+		case opSetNodeProp:
+			id, key, val, err := readPropRecord(br)
+			if err != nil {
+				return applied, err
+			}
+			if err := db.SetNodeProp(NodeID(id), key, val); err != nil {
+				return applied, err
+			}
+		case opSetRelProp:
+			id, key, val, err := readPropRecord(br)
+			if err != nil {
+				return applied, err
+			}
+			if err := db.SetRelProp(RelID(id), key, val); err != nil {
+				return applied, err
+			}
+		case opRemoveNodeProp:
+			id, err := binary.ReadUvarint(br)
+			if err != nil {
+				return applied, err
+			}
+			key, err := readString(br)
+			if err != nil {
+				return applied, err
+			}
+			db.RemoveNodeProp(NodeID(id), key)
+		default:
+			return applied, fmt.Errorf("graphstore: corrupt WAL opcode %d", op)
+		}
+		applied++
+	}
+}
+
+func readString(br *bufio.Reader) (string, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func readPropRecord(br *bufio.Reader) (uint64, string, PropValue, error) {
+	id, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, "", PropValue{}, err
+	}
+	key, err := readString(br)
+	if err != nil {
+		return 0, "", PropValue{}, err
+	}
+	val, err := readValue(br)
+	return id, key, val, err
+}
+
+func readValue(br *bufio.Reader) (PropValue, error) {
+	kind, err := br.ReadByte()
+	if err != nil {
+		return PropValue{}, err
+	}
+	switch PropKind(kind) {
+	case PropInt:
+		v, err := binary.ReadUvarint(br)
+		return IntVal(int64(v)), err
+	case PropFloat:
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return PropValue{}, err
+		}
+		return FloatVal(math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))), nil
+	case PropString:
+		s, err := readString(br)
+		return StrVal(s), err
+	case PropBool:
+		b, err := readBool(br)
+		return BoolVal(b), err
+	}
+	return PropValue{}, fmt.Errorf("graphstore: corrupt WAL value kind %d", kind)
+}

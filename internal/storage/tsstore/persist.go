@@ -1,0 +1,164 @@
+package tsstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"hygraph/internal/ts"
+)
+
+// Binary snapshot format mirroring graphstore's: magic, version, chunk
+// width, then per-series key and chunk payloads. Timestamps are
+// delta-encoded within a chunk; values are raw float64 bits.
+
+const (
+	snapshotMagic   = "HYTS"
+	snapshotVersion = 1
+)
+
+// Save writes a binary snapshot of the store.
+func (db *DB) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(snapshotMagic); err != nil {
+		return err
+	}
+	writeUvarint(bw, snapshotVersion)
+	writeUvarint(bw, uint64(db.chunkWidth))
+	writeUvarint(bw, uint64(len(db.keys)))
+	for _, key := range db.keys {
+		writeUvarint(bw, uint64(key.Entity))
+		writeUvarint(bw, uint64(len(key.Metric)))
+		bw.WriteString(key.Metric)
+		s := db.data[key]
+		writeUvarint(bw, uint64(len(s.chunks)))
+		for _, c := range s.chunks {
+			writeVarint(bw, c.slot)
+			writeUvarint(bw, uint64(len(c.times)))
+			prev := ts.Time(0)
+			for i, t := range c.times {
+				if i == 0 {
+					writeVarint(bw, int64(t))
+				} else {
+					writeVarint(bw, int64(t-prev))
+				}
+				prev = t
+			}
+			for _, v := range c.vals {
+				var buf [8]byte
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+				bw.Write(buf[:])
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a snapshot written by Save. Chunk summaries are recomputed on
+// load so the on-disk format stays minimal.
+func Load(r io.Reader) (*DB, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, len(snapshotMagic))
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("tsstore: reading magic: %w", err)
+	}
+	if string(magic) != snapshotMagic {
+		return nil, fmt.Errorf("tsstore: bad magic %q", magic)
+	}
+	version, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if version != snapshotVersion {
+		return nil, fmt.Errorf("tsstore: unsupported snapshot version %d", version)
+	}
+	width, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	db := New(ts.Time(width))
+	nKeys, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	for k := uint64(0); k < nKeys; k++ {
+		entity, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		mlen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		mbuf := make([]byte, mlen)
+		if _, err := io.ReadFull(br, mbuf); err != nil {
+			return nil, err
+		}
+		key := SeriesKey{Entity: uint32(entity), Metric: string(mbuf)}
+		s := &series{}
+		db.data[key] = s
+		db.keys = append(db.keys, key)
+		nChunks, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		for ci := uint64(0); ci < nChunks; ci++ {
+			slot, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			nPts, err := binary.ReadUvarint(br)
+			if err != nil {
+				return nil, err
+			}
+			c := &chunk{slot: slot, times: make([]ts.Time, nPts), vals: make([]float64, nPts)}
+			prev := int64(0)
+			for i := uint64(0); i < nPts; i++ {
+				d, err := binary.ReadVarint(br)
+				if err != nil {
+					return nil, err
+				}
+				if i == 0 {
+					prev = d
+				} else {
+					prev += d
+				}
+				c.times[i] = ts.Time(prev)
+			}
+			var buf [8]byte
+			for i := uint64(0); i < nPts; i++ {
+				if _, err := io.ReadFull(br, buf[:]); err != nil {
+					return nil, err
+				}
+				c.vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+			}
+			// Recompute the summary.
+			c.minV, c.maxV = math.Inf(1), math.Inf(-1)
+			for _, v := range c.vals {
+				c.sum += v
+				if v < c.minV {
+					c.minV = v
+				}
+				if v > c.maxV {
+					c.maxV = v
+				}
+			}
+			s.chunks = append(s.chunks, c)
+		}
+	}
+	return db, nil
+}
+
+func writeUvarint(w *bufio.Writer, v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	w.Write(buf[:n])
+}
+
+func writeVarint(w *bufio.Writer, v int64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(buf[:], v)
+	w.Write(buf[:n])
+}

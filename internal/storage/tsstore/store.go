@@ -1,0 +1,409 @@
+// Package tsstore implements a TimescaleDB-style time-series store: a
+// "hypertable" per metric, partitioned into fixed-width time chunks. Each
+// chunk keeps its points in timestamp order for O(log n) range location and
+// maintains a small summary (count/sum/min/max) so aggregations over ranges
+// that cover whole chunks are answered from summaries without touching the
+// points — the pushdown that keeps the paper's TTDB rows flat at tens of
+// milliseconds in Table 1.
+package tsstore
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"hygraph/internal/ts"
+)
+
+// SeriesKey identifies one series within the store: an entity id plus a
+// metric name (mirroring TimescaleDB's (device, metric) hypertable schema).
+type SeriesKey struct {
+	Entity uint32
+	Metric string
+}
+
+// chunk holds the points of one series within one time slot.
+type chunk struct {
+	slot  int64 // slot index = floor(time / chunkWidth)
+	times []ts.Time
+	vals  []float64
+	// summary
+	sum  float64
+	minV float64
+	maxV float64
+}
+
+func (c *chunk) add(t ts.Time, v float64) {
+	if n := len(c.times); n > 0 && t <= c.times[n-1] {
+		// Out-of-order within a chunk: insert to keep sortedness. Rare path.
+		i := sort.Search(n, func(i int) bool { return c.times[i] >= t })
+		if i < n && c.times[i] == t {
+			old := c.vals[i]
+			c.vals[i] = v
+			c.sum += v - old
+			c.recomputeMinMax()
+			return
+		}
+		c.times = append(c.times, 0)
+		c.vals = append(c.vals, 0)
+		copy(c.times[i+1:], c.times[i:])
+		copy(c.vals[i+1:], c.vals[i:])
+		c.times[i] = t
+		c.vals[i] = v
+	} else {
+		c.times = append(c.times, t)
+		c.vals = append(c.vals, v)
+	}
+	c.sum += v
+	if len(c.times) == 1 {
+		c.minV, c.maxV = v, v
+		return
+	}
+	if v < c.minV {
+		c.minV = v
+	}
+	if v > c.maxV {
+		c.maxV = v
+	}
+}
+
+func (c *chunk) recomputeMinMax() {
+	c.minV, c.maxV = math.Inf(1), math.Inf(-1)
+	for _, v := range c.vals {
+		if v < c.minV {
+			c.minV = v
+		}
+		if v > c.maxV {
+			c.maxV = v
+		}
+	}
+}
+
+// series is one hypertable row stream: its chunks ordered by slot.
+type series struct {
+	chunks []*chunk // sorted by slot
+}
+
+func (s *series) chunkFor(slot int64, create bool) *chunk {
+	i := sort.Search(len(s.chunks), func(i int) bool { return s.chunks[i].slot >= slot })
+	if i < len(s.chunks) && s.chunks[i].slot == slot {
+		return s.chunks[i]
+	}
+	if !create {
+		return nil
+	}
+	c := &chunk{slot: slot}
+	s.chunks = append(s.chunks, nil)
+	copy(s.chunks[i+1:], s.chunks[i:])
+	s.chunks[i] = c
+	return c
+}
+
+// DB is the time-series store. Not safe for concurrent mutation.
+type DB struct {
+	chunkWidth ts.Time
+	data       map[SeriesKey]*series
+	keys       []SeriesKey // insertion order for deterministic scans
+}
+
+// DefaultChunkWidth partitions series into week-long chunks, matching
+// TimescaleDB's default interval ethos.
+const DefaultChunkWidth = 7 * ts.Day
+
+// New returns an empty store with the given chunk width (<= 0 selects
+// DefaultChunkWidth).
+func New(chunkWidth ts.Time) *DB {
+	if chunkWidth <= 0 {
+		chunkWidth = DefaultChunkWidth
+	}
+	return &DB{chunkWidth: chunkWidth, data: map[SeriesKey]*series{}}
+}
+
+// NumSeries returns how many distinct series the store holds.
+func (db *DB) NumSeries() int { return len(db.data) }
+
+// Keys returns all series keys in first-insertion order.
+func (db *DB) Keys() []SeriesKey { return append([]SeriesKey(nil), db.keys...) }
+
+func (db *DB) slotOf(t ts.Time) int64 {
+	s := int64(t / db.chunkWidth)
+	if t < 0 && t%db.chunkWidth != 0 {
+		s--
+	}
+	return s
+}
+
+// Insert adds one point. Upserts on duplicate timestamps.
+func (db *DB) Insert(key SeriesKey, t ts.Time, v float64) {
+	s, ok := db.data[key]
+	if !ok {
+		s = &series{}
+		db.data[key] = s
+		db.keys = append(db.keys, key)
+	}
+	s.chunkFor(db.slotOf(t), true).add(t, v)
+}
+
+// InsertSeries bulk-loads a whole series under the key.
+func (db *DB) InsertSeries(key SeriesKey, src *ts.Series) {
+	for i := 0; i < src.Len(); i++ {
+		db.Insert(key, src.TimeAt(i), src.ValueAt(i))
+	}
+}
+
+// Range returns the points of a series with start <= t < end in time order.
+func (db *DB) Range(key SeriesKey, start, end ts.Time) []ts.Point {
+	var out []ts.Point
+	db.scanRange(key, start, end, func(t ts.Time, v float64) {
+		out = append(out, ts.Point{T: t, V: v})
+	})
+	return out
+}
+
+// RangeSeries is Range materialized as a ts.Series named after the metric.
+func (db *DB) RangeSeries(key SeriesKey, start, end ts.Time) *ts.Series {
+	s := ts.New(fmt.Sprintf("%s@%d", key.Metric, key.Entity))
+	db.scanRange(key, start, end, func(t ts.Time, v float64) { s.MustAppend(t, v) })
+	return s
+}
+
+// scanRange visits points in [start, end), locating the first chunk by
+// binary search and the range within each chunk by binary search.
+func (db *DB) scanRange(key SeriesKey, start, end ts.Time, fn func(ts.Time, float64)) {
+	s, ok := db.data[key]
+	if !ok || start >= end {
+		return
+	}
+	loSlot, hiSlot := db.slotOf(start), db.slotOf(end-1)
+	i := sort.Search(len(s.chunks), func(i int) bool { return s.chunks[i].slot >= loSlot })
+	for ; i < len(s.chunks) && s.chunks[i].slot <= hiSlot; i++ {
+		c := s.chunks[i]
+		lo := sort.Search(len(c.times), func(j int) bool { return c.times[j] >= start })
+		for j := lo; j < len(c.times) && c.times[j] < end; j++ {
+			fn(c.times[j], c.vals[j])
+		}
+	}
+}
+
+// RangeFunc streams the points of a series with start <= t < end in time
+// order without materializing them — the pushdown path for filters.
+func (db *DB) RangeFunc(key SeriesKey, start, end ts.Time, fn func(ts.Time, float64)) {
+	db.scanRange(key, start, end, fn)
+}
+
+// Correlate computes the Pearson correlation of two series over [start, end)
+// by merge-joining their points on exact timestamps inside the store — the
+// pushdown analogue of SQL corr() in TimescaleDB, avoiding client-side
+// extraction entirely. NaN when fewer than two joint points exist or a side
+// is constant.
+func (db *DB) Correlate(a, b SeriesKey, start, end ts.Time) float64 {
+	pa := db.Range(a, start, end)
+	pb := db.Range(b, start, end)
+	var n float64
+	var sx, sy, sxx, syy, sxy float64
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		switch {
+		case pa[i].T < pb[j].T:
+			i++
+		case pa[i].T > pb[j].T:
+			j++
+		default:
+			x, y := pa[i].V, pb[j].V
+			n++
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+			i++
+			j++
+		}
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	cov := sxy - sx*sy/n
+	vx := sxx - sx*sx/n
+	vy := syy - sy*sy/n
+	if vx <= 0 || vy <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Summary aggregates a series over [start, end) using chunk summaries for
+// fully covered chunks and point scans only at the range edges.
+type Summary struct {
+	Count int
+	Sum   float64
+	Min   float64
+	Max   float64
+}
+
+// Mean returns Sum/Count (NaN when empty).
+func (s Summary) Mean() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return s.Sum / float64(s.Count)
+}
+
+// Aggregate computes the summary of a series over [start, end).
+func (db *DB) Aggregate(key SeriesKey, start, end ts.Time) Summary {
+	out := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
+	s, ok := db.data[key]
+	if !ok || start >= end {
+		return normalize(out)
+	}
+	loSlot, hiSlot := db.slotOf(start), db.slotOf(end-1)
+	i := sort.Search(len(s.chunks), func(i int) bool { return s.chunks[i].slot >= loSlot })
+	for ; i < len(s.chunks) && s.chunks[i].slot <= hiSlot; i++ {
+		c := s.chunks[i]
+		chunkStart := ts.Time(c.slot) * db.chunkWidth
+		chunkEnd := chunkStart + db.chunkWidth
+		if start <= chunkStart && chunkEnd <= end {
+			// Pushdown: the whole chunk is inside the range.
+			out.Count += len(c.times)
+			out.Sum += c.sum
+			if c.minV < out.Min {
+				out.Min = c.minV
+			}
+			if c.maxV > out.Max {
+				out.Max = c.maxV
+			}
+			continue
+		}
+		lo := sort.Search(len(c.times), func(j int) bool { return c.times[j] >= start })
+		for j := lo; j < len(c.times) && c.times[j] < end; j++ {
+			v := c.vals[j]
+			out.Count++
+			out.Sum += v
+			if v < out.Min {
+				out.Min = v
+			}
+			if v > out.Max {
+				out.Max = v
+			}
+		}
+	}
+	return normalize(out)
+}
+
+func normalize(s Summary) Summary {
+	if s.Count == 0 {
+		s.Min, s.Max = math.NaN(), math.NaN()
+	}
+	return s
+}
+
+// AggregateAll aggregates every series of the given metric over [start,
+// end), returning per-entity summaries.
+func (db *DB) AggregateAll(metric string, start, end ts.Time) map[uint32]Summary {
+	out := map[uint32]Summary{}
+	for _, key := range db.keys {
+		if key.Metric != metric {
+			continue
+		}
+		out[key.Entity] = db.Aggregate(key, start, end)
+	}
+	return out
+}
+
+// AggregateAllParallel is AggregateAll fanned out over `workers` goroutines
+// — the horizontal-scaling lever of requirement R4. Aggregation per series
+// is independent, so the speedup is near-linear until memory bandwidth
+// saturates. workers <= 1 falls back to the serial path.
+func (db *DB) AggregateAllParallel(metric string, start, end ts.Time, workers int) map[uint32]Summary {
+	if workers <= 1 {
+		return db.AggregateAll(metric, start, end)
+	}
+	var keys []SeriesKey
+	for _, key := range db.keys {
+		if key.Metric == metric {
+			keys = append(keys, key)
+		}
+	}
+	type result struct {
+		entity uint32
+		s      Summary
+	}
+	jobs := make(chan SeriesKey)
+	results := make(chan result, len(keys))
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for key := range jobs {
+				results <- result{key.Entity, db.Aggregate(key, start, end)}
+			}
+		}()
+	}
+	for _, key := range keys {
+		jobs <- key
+	}
+	close(jobs)
+	wg.Wait()
+	close(results)
+	out := make(map[uint32]Summary, len(keys))
+	for r := range results {
+		out[r.entity] = r.s
+	}
+	return out
+}
+
+// TopKByMean returns the k entities with the highest mean of the metric over
+// the range, best first; ties break by ascending entity id.
+func (db *DB) TopKByMean(metric string, start, end ts.Time, k int) []uint32 {
+	type pair struct {
+		entity uint32
+		mean   float64
+	}
+	var ps []pair
+	for e, s := range db.AggregateAll(metric, start, end) {
+		if s.Count > 0 {
+			ps = append(ps, pair{e, s.Mean()})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].mean != ps[j].mean {
+			return ps[i].mean > ps[j].mean
+		}
+		return ps[i].entity < ps[j].entity
+	})
+	if k > len(ps) {
+		k = len(ps)
+	}
+	out := make([]uint32, k)
+	for i := 0; i < k; i++ {
+		out[i] = ps[i].entity
+	}
+	return out
+}
+
+// Downsample buckets a series over [start, end) at the given width with the
+// aggregation — a continuous-aggregate style query.
+func (db *DB) Downsample(key SeriesKey, start, end, bucket ts.Time, agg ts.AggFunc) *ts.Series {
+	return db.RangeSeries(key, start, end).Resample(bucket, agg)
+}
+
+// Stats describes storage shape for capacity reports.
+type Stats struct {
+	Series int
+	Chunks int
+	Points int
+}
+
+// Stats returns storage counts.
+func (db *DB) Stats() Stats {
+	st := Stats{Series: len(db.data)}
+	for _, s := range db.data {
+		st.Chunks += len(s.chunks)
+		for _, c := range s.chunks {
+			st.Points += len(c.times)
+		}
+	}
+	return st
+}

@@ -1,0 +1,391 @@
+// Package ttdb reproduces the two storage architectures benchmarked in the
+// paper's Table 1:
+//
+//   - AllInGraph: the "Neo4j" baseline — time series stored inside the graph
+//     store, every (timestamp, value) observation as a separate property on
+//     its node (the paper: "each timestamp and its corresponding value are
+//     stored as separate properties ... significantly increases the number
+//     of properties, resulting in high write overhead" and property-chain
+//     scans at query time).
+//
+//   - Polyglot: the TimeTravelDB architecture — graph topology in the graph
+//     store, series in the time-series store, linked by node id (polyglot
+//     persistence). Queries route the structural part to the graph store and
+//     the temporal part to the hypertable.
+//
+// Both engines expose the same eight queries Q1–Q8 over a bike-sharing
+// network so the Table 1 harness can time them head-to-head. Q1 is a plain
+// time-range probe (the one query the paper shows Neo4j winning), Q2–Q3 add
+// filters and single-entity aggregation, and Q4–Q8 aggregate, join, rank and
+// correlate across many entities — the regime where all-in-graph storage
+// collapses.
+package ttdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"hygraph/internal/storage/graphstore"
+	"hygraph/internal/storage/tsstore"
+	"hygraph/internal/ts"
+)
+
+// Metric is the series name used by the bike-sharing workload.
+const Metric = "availability"
+
+// StationID identifies a station in either engine (the graph-store node id).
+type StationID = graphstore.NodeID
+
+// Engine is the common query surface of both storage architectures.
+type Engine interface {
+	// Name identifies the engine in reports ("neo4j-sim" / "ttdb").
+	Name() string
+	// AddStation registers a station with its district; returns its id.
+	AddStation(name, district string) StationID
+	// AddTrip records an aggregated trip edge between two stations.
+	AddTrip(a, b StationID, count int)
+	// LoadSeries attaches the metric series to a station.
+	LoadSeries(st StationID, s *ts.Series)
+
+	// Q1: raw time-range fetch for one station.
+	Q1TimeRange(st StationID, start, end ts.Time) []ts.Point
+	// Q2: range fetch keeping only values below the threshold.
+	Q2FilteredRange(st StationID, start, end ts.Time, below float64) []ts.Point
+	// Q3: mean of one station over the range.
+	Q3StationMean(st StationID, start, end ts.Time) float64
+	// Q4: mean per station over the range, for every station.
+	Q4AllStationMeans(start, end ts.Time) map[StationID]float64
+	// Q5: total availability per district over the range.
+	Q5DistrictSums(start, end ts.Time) map[string]float64
+	// Q6: the k stations with the highest mean over the range.
+	Q6TopKStations(start, end ts.Time, k int) []StationID
+	// Q7: Pearson correlation of two stations' series over the range.
+	Q7Correlation(a, b StationID, start, end, bucket ts.Time) float64
+	// Q8: mean availability of every station adjacent to st via trips.
+	Q8NeighborMeans(st StationID, start, end ts.Time) map[StationID]float64
+}
+
+// ---------------------------------------------------------------------------
+// All-in-graph engine (the Neo4j baseline of Table 1)
+
+// AllInGraph stores series points as individual node properties named
+// "<metric>@<timestamp>".
+type AllInGraph struct {
+	G *graphstore.DB
+}
+
+// NewAllInGraph returns an empty all-in-graph engine.
+func NewAllInGraph() *AllInGraph { return &AllInGraph{G: graphstore.New()} }
+
+// Name implements Engine.
+func (a *AllInGraph) Name() string { return "neo4j-sim" }
+
+// AddStation implements Engine.
+func (a *AllInGraph) AddStation(name, district string) StationID {
+	id := a.G.CreateNode("Station")
+	a.G.SetNodeProp(id, "name", graphstore.StrVal(name))
+	a.G.SetNodeProp(id, "district", graphstore.StrVal(district))
+	return id
+}
+
+// AddTrip implements Engine.
+func (a *AllInGraph) AddTrip(x, y StationID, count int) {
+	rel, err := a.G.CreateRel(x, y, "TRIP")
+	if err != nil {
+		panic(err)
+	}
+	a.G.SetRelProp(rel, "count", graphstore.IntVal(int64(count)))
+}
+
+// pointKey encodes one observation's property name.
+func pointKey(t ts.Time) string { return Metric + "@" + strconv.FormatInt(int64(t), 10) }
+
+// parsePointKey decodes a property name back into a timestamp.
+func parsePointKey(key string) (ts.Time, bool) {
+	rest, ok := strings.CutPrefix(key, Metric+"@")
+	if !ok {
+		return 0, false
+	}
+	v, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0, false
+	}
+	return ts.Time(v), true
+}
+
+// LoadSeries implements Engine: one property record per observation.
+func (a *AllInGraph) LoadSeries(st StationID, s *ts.Series) {
+	for i := 0; i < s.Len(); i++ {
+		a.G.SetNodeProp(st, pointKey(s.TimeAt(i)), graphstore.FloatVal(s.ValueAt(i)))
+	}
+}
+
+// scan walks the whole property chain of a station, decoding every record
+// and yielding the points inside [start, end). There is no index over the
+// chain, so this is O(total properties) per call — the measured bottleneck.
+func (a *AllInGraph) scan(st StationID, start, end ts.Time, fn func(ts.Time, float64)) {
+	a.G.NodeProps(st, func(key string, val graphstore.PropValue) bool {
+		t, ok := parsePointKey(key)
+		if !ok || t < start || t >= end {
+			return true
+		}
+		if f, ok := val.AsFloat(); ok {
+			fn(t, f)
+		}
+		return true
+	})
+}
+
+// Q1TimeRange implements Engine.
+func (a *AllInGraph) Q1TimeRange(st StationID, start, end ts.Time) []ts.Point {
+	var pts []ts.Point
+	a.scan(st, start, end, func(t ts.Time, v float64) { pts = append(pts, ts.Point{T: t, V: v}) })
+	sort.Slice(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+	return pts
+}
+
+// Q2FilteredRange implements Engine.
+func (a *AllInGraph) Q2FilteredRange(st StationID, start, end ts.Time, below float64) []ts.Point {
+	var pts []ts.Point
+	a.scan(st, start, end, func(t ts.Time, v float64) {
+		if v < below {
+			pts = append(pts, ts.Point{T: t, V: v})
+		}
+	})
+	sort.Slice(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
+	return pts
+}
+
+// Q3StationMean implements Engine.
+func (a *AllInGraph) Q3StationMean(st StationID, start, end ts.Time) float64 {
+	var sum float64
+	var n int
+	a.scan(st, start, end, func(_ ts.Time, v float64) { sum += v; n++ })
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Q4AllStationMeans implements Engine.
+func (a *AllInGraph) Q4AllStationMeans(start, end ts.Time) map[StationID]float64 {
+	out := map[StationID]float64{}
+	for _, st := range a.G.NodesByLabel("Station") {
+		out[st] = a.Q3StationMean(st, start, end)
+	}
+	return out
+}
+
+// Q5DistrictSums implements Engine.
+func (a *AllInGraph) Q5DistrictSums(start, end ts.Time) map[string]float64 {
+	out := map[string]float64{}
+	for _, st := range a.G.NodesByLabel("Station") {
+		district := "?"
+		if v, ok := a.G.NodeProp(st, "district"); ok {
+			district = v.S
+		}
+		var sum float64
+		a.scan(st, start, end, func(_ ts.Time, v float64) { sum += v })
+		out[district] += sum
+	}
+	return out
+}
+
+// Q6TopKStations implements Engine.
+func (a *AllInGraph) Q6TopKStations(start, end ts.Time, k int) []StationID {
+	means := a.Q4AllStationMeans(start, end)
+	return topK(means, k)
+}
+
+// Q7Correlation implements Engine.
+func (a *AllInGraph) Q7Correlation(x, y StationID, start, end, bucket ts.Time) float64 {
+	sx := ts.FromPoints("x", a.Q1TimeRange(x, start, end))
+	sy := ts.FromPoints("y", a.Q1TimeRange(y, start, end))
+	return ts.Correlation(sx, sy, bucket)
+}
+
+// Q8NeighborMeans implements Engine.
+func (a *AllInGraph) Q8NeighborMeans(st StationID, start, end ts.Time) map[StationID]float64 {
+	out := map[StationID]float64{}
+	for _, n := range a.G.Neighbors(st, "TRIP") {
+		out[n] = a.Q3StationMean(n, start, end)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Polyglot engine (TimeTravelDB)
+
+// Polyglot keeps topology in the graph store and series in the hypertable.
+type Polyglot struct {
+	G *graphstore.DB
+	T *tsstore.DB
+}
+
+// NewPolyglot returns an empty polyglot engine with the given chunk width
+// (<= 0 selects the default).
+func NewPolyglot(chunkWidth ts.Time) *Polyglot {
+	return &Polyglot{G: graphstore.New(), T: tsstore.New(chunkWidth)}
+}
+
+// Name implements Engine.
+func (p *Polyglot) Name() string { return "ttdb" }
+
+// AddStation implements Engine.
+func (p *Polyglot) AddStation(name, district string) StationID {
+	id := p.G.CreateNode("Station")
+	p.G.SetNodeProp(id, "name", graphstore.StrVal(name))
+	p.G.SetNodeProp(id, "district", graphstore.StrVal(district))
+	return id
+}
+
+// AddTrip implements Engine.
+func (p *Polyglot) AddTrip(x, y StationID, count int) {
+	rel, err := p.G.CreateRel(x, y, "TRIP")
+	if err != nil {
+		panic(err)
+	}
+	p.G.SetRelProp(rel, "count", graphstore.IntVal(int64(count)))
+}
+
+func key(st StationID) tsstore.SeriesKey {
+	return tsstore.SeriesKey{Entity: uint32(st), Metric: Metric}
+}
+
+// LoadSeries implements Engine: points go to the hypertable, keyed by node.
+func (p *Polyglot) LoadSeries(st StationID, s *ts.Series) {
+	p.T.InsertSeries(key(st), s)
+}
+
+// Q1TimeRange implements Engine.
+func (p *Polyglot) Q1TimeRange(st StationID, start, end ts.Time) []ts.Point {
+	return p.T.Range(key(st), start, end)
+}
+
+// Q2FilteredRange implements Engine: the value filter is pushed into the
+// chunk scan so only matching points are materialized.
+func (p *Polyglot) Q2FilteredRange(st StationID, start, end ts.Time, below float64) []ts.Point {
+	var out []ts.Point
+	p.T.RangeFunc(key(st), start, end, func(t ts.Time, v float64) {
+		if v < below {
+			out = append(out, ts.Point{T: t, V: v})
+		}
+	})
+	return out
+}
+
+// Q3StationMean implements Engine.
+func (p *Polyglot) Q3StationMean(st StationID, start, end ts.Time) float64 {
+	s := p.T.Aggregate(key(st), start, end)
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Mean()
+}
+
+// Q4AllStationMeans implements Engine.
+func (p *Polyglot) Q4AllStationMeans(start, end ts.Time) map[StationID]float64 {
+	out := map[StationID]float64{}
+	for e, s := range p.T.AggregateAll(Metric, start, end) {
+		if s.Count > 0 {
+			out[StationID(e)] = s.Mean()
+		} else {
+			out[StationID(e)] = 0
+		}
+	}
+	return out
+}
+
+// Q5DistrictSums implements Engine: topology (district) from the graph
+// store, aggregation pushdown in the hypertable.
+func (p *Polyglot) Q5DistrictSums(start, end ts.Time) map[string]float64 {
+	out := map[string]float64{}
+	for e, s := range p.T.AggregateAll(Metric, start, end) {
+		district := "?"
+		if v, ok := p.G.NodeProp(StationID(e), "district"); ok {
+			district = v.S
+		}
+		out[district] += s.Sum
+	}
+	return out
+}
+
+// Q6TopKStations implements Engine.
+func (p *Polyglot) Q6TopKStations(start, end ts.Time, k int) []StationID {
+	ids := p.T.TopKByMean(Metric, start, end, k)
+	out := make([]StationID, len(ids))
+	for i, e := range ids {
+		out[i] = StationID(e)
+	}
+	return out
+}
+
+// Q7Correlation implements Engine: correlation is pushed down into the
+// time-series store (merge-join on timestamps), the way a TimescaleDB
+// deployment computes corr() in SQL instead of shipping points to a client.
+func (p *Polyglot) Q7Correlation(x, y StationID, start, end, _ ts.Time) float64 {
+	return p.T.Correlate(key(x), key(y), start, end)
+}
+
+// Q8NeighborMeans implements Engine.
+func (p *Polyglot) Q8NeighborMeans(st StationID, start, end ts.Time) map[StationID]float64 {
+	out := map[StationID]float64{}
+	for _, n := range p.G.Neighbors(st, "TRIP") {
+		out[n] = p.Q3StationMean(n, start, end)
+	}
+	return out
+}
+
+// topK returns the k keys with the largest values, ties by ascending id.
+func topK(m map[StationID]float64, k int) []StationID {
+	type pair struct {
+		id StationID
+		v  float64
+	}
+	ps := make([]pair, 0, len(m))
+	for id, v := range m {
+		ps = append(ps, pair{id, v})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].v != ps[j].v {
+			return ps[i].v > ps[j].v
+		}
+		return ps[i].id < ps[j].id
+	})
+	if k > len(ps) {
+		k = len(ps)
+	}
+	out := make([]StationID, k)
+	for i := range out {
+		out[i] = ps[i].id
+	}
+	return out
+}
+
+// QueryNames lists the Table 1 query ids in order.
+var QueryNames = []string{"Q1", "Q2", "Q3", "Q4", "Q5", "Q6", "Q7", "Q8"}
+
+// Describe returns the human description of a Table 1 query id.
+func Describe(q string) string {
+	switch q {
+	case "Q1":
+		return "time-range fetch, one station"
+	case "Q2":
+		return "filtered range (value threshold), one station"
+	case "Q3":
+		return "mean over range, one station"
+	case "Q4":
+		return "mean over range, all stations"
+	case "Q5":
+		return "sum per district (topology join + aggregation)"
+	case "Q6":
+		return "top-k stations by mean"
+	case "Q7":
+		return "correlation of two stations"
+	case "Q8":
+		return "graph neighbors + per-neighbor mean (hybrid)"
+	}
+	return fmt.Sprintf("unknown query %s", q)
+}

@@ -1,0 +1,172 @@
+package ttdb
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hygraph/internal/ts"
+)
+
+// loadWorkload fills an engine with a small deterministic bike-sharing
+// workload and returns the station ids.
+func loadWorkload(e Engine) []StationID {
+	rng := rand.New(rand.NewSource(42))
+	districts := []string{"north", "south", "east"}
+	var sts []StationID
+	for i := 0; i < 9; i++ {
+		sts = append(sts, e.AddStation("st", districts[i%3]))
+	}
+	for i := 0; i < 9; i++ {
+		e.AddTrip(sts[i], sts[(i+1)%9], 1+rng.Intn(5))
+	}
+	for i, st := range sts {
+		s := ts.New(Metric)
+		for h := 0; h < 24*14; h++ { // 14 days hourly
+			v := 10 + float64(i) + 3*math.Sin(2*math.Pi*float64(h%24)/24)
+			s.MustAppend(ts.Time(h)*ts.Hour, v)
+		}
+		e.LoadSeries(st, s)
+	}
+	return sts
+}
+
+// Both engines must return identical answers on every query: the polyglot
+// layout is an optimization, not a semantics change.
+func TestEnginesAgree(t *testing.T) {
+	neo := NewAllInGraph()
+	pg := NewPolyglot(ts.Day)
+	stN := loadWorkload(neo)
+	stP := loadWorkload(pg)
+	start, end := 2*ts.Day, 9*ts.Day
+
+	// Q1
+	p1 := neo.Q1TimeRange(stN[0], start, end)
+	p2 := pg.Q1TimeRange(stP[0], start, end)
+	if len(p1) != len(p2) || len(p1) != 24*7 {
+		t.Fatalf("Q1 lens %d vs %d", len(p1), len(p2))
+	}
+	for i := range p1 {
+		if p1[i] != p2[i] {
+			t.Fatalf("Q1[%d]: %v vs %v", i, p1[i], p2[i])
+		}
+	}
+	// Q2
+	f1 := neo.Q2FilteredRange(stN[1], start, end, 9.5)
+	f2 := pg.Q2FilteredRange(stP[1], start, end, 9.5)
+	if len(f1) != len(f2) || len(f1) == 0 {
+		t.Fatalf("Q2 lens %d vs %d", len(f1), len(f2))
+	}
+	for _, p := range f1 {
+		if p.V >= 9.5 {
+			t.Fatalf("Q2 filter leaked %v", p)
+		}
+	}
+	// Q3
+	m1 := neo.Q3StationMean(stN[2], start, end)
+	m2 := pg.Q3StationMean(stP[2], start, end)
+	if math.Abs(m1-m2) > 1e-9 || math.Abs(m1-12) > 0.01 {
+		t.Fatalf("Q3 %v vs %v", m1, m2)
+	}
+	// Q4
+	a1 := neo.Q4AllStationMeans(start, end)
+	a2 := pg.Q4AllStationMeans(start, end)
+	if len(a1) != 9 || len(a2) != 9 {
+		t.Fatalf("Q4 sizes %d/%d", len(a1), len(a2))
+	}
+	for i := range stN {
+		if math.Abs(a1[stN[i]]-a2[stP[i]]) > 1e-9 {
+			t.Fatalf("Q4 station %d: %v vs %v", i, a1[stN[i]], a2[stP[i]])
+		}
+	}
+	// Q5
+	d1 := neo.Q5DistrictSums(start, end)
+	d2 := pg.Q5DistrictSums(start, end)
+	if len(d1) != 3 || len(d2) != 3 {
+		t.Fatalf("Q5 sizes %d/%d", len(d1), len(d2))
+	}
+	for k, v := range d1 {
+		if math.Abs(v-d2[k]) > 1e-6 {
+			t.Fatalf("Q5 %s: %v vs %v", k, v, d2[k])
+		}
+	}
+	// Q6: highest-index stations have the highest base level.
+	k1 := neo.Q6TopKStations(start, end, 3)
+	k2 := pg.Q6TopKStations(start, end, 3)
+	if len(k1) != 3 || len(k2) != 3 {
+		t.Fatalf("Q6 %v / %v", k1, k2)
+	}
+	for i := range k1 {
+		if k1[i] != stN[8-i] || k2[i] != stP[8-i] {
+			t.Fatalf("Q6 order: %v vs expected descending", k1)
+		}
+	}
+	// Q7: all stations share the same daily shape → correlation ≈ 1.
+	c1 := neo.Q7Correlation(stN[0], stN[5], start, end, ts.Hour)
+	c2 := pg.Q7Correlation(stP[0], stP[5], start, end, ts.Hour)
+	if math.Abs(c1-c2) > 1e-6 || c1 < 0.99 {
+		t.Fatalf("Q7 %v vs %v", c1, c2)
+	}
+	// Q8: ring topology → exactly two neighbors each.
+	n1 := neo.Q8NeighborMeans(stN[0], start, end)
+	n2 := pg.Q8NeighborMeans(stP[0], start, end)
+	if len(n1) != 2 || len(n2) != 2 {
+		t.Fatalf("Q8 sizes %d/%d", len(n1), len(n2))
+	}
+	for i := range stN {
+		if v, ok := n1[stN[i]]; ok {
+			if math.Abs(v-n2[stP[i]]) > 1e-9 {
+				t.Fatalf("Q8 neighbor %d: %v vs %v", i, v, n2[stP[i]])
+			}
+		}
+	}
+}
+
+func TestAllInGraphPropertyExplosion(t *testing.T) {
+	// The paper's observation: storing points as properties explodes the
+	// property count (series length + metadata per station).
+	neo := NewAllInGraph()
+	st := neo.AddStation("x", "d")
+	s := ts.New(Metric)
+	n := 500
+	for i := 0; i < n; i++ {
+		s.MustAppend(ts.Time(i), float64(i))
+	}
+	neo.LoadSeries(st, s)
+	if got := neo.G.NodePropCount(st); got != n+2 { // + name + district
+		t.Fatalf("prop chain length=%d want %d", got, n+2)
+	}
+}
+
+func TestPointKeyRoundTrip(t *testing.T) {
+	for _, tt := range []ts.Time{0, 1, 999999999999} {
+		k := pointKey(tt)
+		got, ok := parsePointKey(k)
+		if !ok || got != tt {
+			t.Fatalf("round trip %d via %q -> %d,%v", tt, k, got, ok)
+		}
+	}
+	if _, ok := parsePointKey("name"); ok {
+		t.Fatal("non-point key parsed")
+	}
+	if _, ok := parsePointKey(Metric + "@abc"); ok {
+		t.Fatal("garbage timestamp parsed")
+	}
+}
+
+func TestDescribeAndNames(t *testing.T) {
+	if len(QueryNames) != 8 {
+		t.Fatalf("names=%v", QueryNames)
+	}
+	for _, q := range QueryNames {
+		if Describe(q) == "" || Describe(q) == Describe("Q99") {
+			t.Fatalf("describe(%s)=%q", q, Describe(q))
+		}
+	}
+}
+
+func TestEngineNames(t *testing.T) {
+	if NewAllInGraph().Name() != "neo4j-sim" || NewPolyglot(0).Name() != "ttdb" {
+		t.Fatal("engine names")
+	}
+}

@@ -1,0 +1,78 @@
+package tpg
+
+import (
+	"fmt"
+
+	"hygraph/internal/lpg"
+	"hygraph/internal/ts"
+)
+
+// MetricEvolution computes a per-vertex graph metric at regularly sampled
+// instants and returns one series per temporal vertex, sampled only while
+// the vertex is valid. This is the paper's metricEvolution operator
+// (Section 5): it turns graph structure into time series, demonstrating the
+// HyGraphTo<X> duality. metric receives each snapshot and returns the metric
+// per snapshot vertex.
+func (g *Graph) MetricEvolution(start, end, step ts.Time, name string,
+	metric func(*lpg.Graph) map[lpg.VertexID]float64) map[VID]*ts.Series {
+
+	out := map[VID]*ts.Series{}
+	if step <= 0 || start >= end {
+		return out
+	}
+	for t := start; t < end; t += step {
+		snap := g.SnapshotAt(t)
+		vals := metric(snap.Graph)
+		for sid, v := range vals {
+			tid := snap.TempV[sid]
+			s, ok := out[tid]
+			if !ok {
+				s = ts.New(fmt.Sprintf("%s_v%d", name, tid))
+				out[tid] = s
+			}
+			s.MustAppend(t, v)
+		}
+	}
+	return out
+}
+
+// DegreeEvolution is MetricEvolution for total vertex degree — the concrete
+// example the paper draws from "Evolution of Degree Metrics in Large
+// Temporal Graphs".
+func (g *Graph) DegreeEvolution(start, end, step ts.Time) map[VID]*ts.Series {
+	return g.MetricEvolution(start, end, step, "degree", func(snap *lpg.Graph) map[lpg.VertexID]float64 {
+		out := make(map[lpg.VertexID]float64, snap.NumVertices())
+		for id, d := range snap.Degrees() {
+			out[id] = float64(d)
+		}
+		return out
+	})
+}
+
+// CommunityEvolution is MetricEvolution for label-propagation community ids,
+// producing a step series per vertex. The seed makes runs reproducible.
+func (g *Graph) CommunityEvolution(start, end, step ts.Time, seed int64) map[VID]*ts.Series {
+	return g.MetricEvolution(start, end, step, "community", func(snap *lpg.Graph) map[lpg.VertexID]float64 {
+		c := snap.LabelPropagation(50, seed)
+		out := make(map[lpg.VertexID]float64, len(c.Of))
+		for id, cm := range c.Of {
+			out[id] = float64(cm)
+		}
+		return out
+	})
+}
+
+// ActivitySeries samples the number of active edges over time — a global
+// structural-activity series whose segmentation drives the paper's Q4
+// hybrid operator (segmentation-driven snapshots).
+func (g *Graph) ActivitySeries(start, end, step ts.Time) *ts.Series {
+	s := ts.New("active_edges")
+	if step <= 0 {
+		return s
+	}
+	for t := start; t < end; t += step {
+		_, e := g.ActiveCounts(t)
+		s.MustAppend(t, float64(e))
+	}
+	return s
+}

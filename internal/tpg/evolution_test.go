@@ -1,0 +1,100 @@
+package tpg
+
+import (
+	"testing"
+
+	"hygraph/internal/ts"
+)
+
+func TestDegreeEvolution(t *testing.T) {
+	// b's degree: 0 before edge, 1 during [10,20), 0 after.
+	g := NewGraph()
+	a := g.MustAddVertex(Always, "V")
+	b := g.MustAddVertex(Always, "V")
+	g.MustAddEdge(a, b, "e", Between(10, 20))
+	evo := g.DegreeEvolution(0, 30, 5)
+	sb := evo[b]
+	if sb == nil || sb.Len() != 6 {
+		t.Fatalf("b evolution=%v", sb)
+	}
+	wants := []float64{0, 0, 1, 1, 0, 0} // t=0,5,10,15,20,25
+	for i, w := range wants {
+		if sb.ValueAt(i) != w {
+			t.Fatalf("degree(b) at t=%d is %v want %v", 5*i, sb.ValueAt(i), w)
+		}
+	}
+}
+
+func TestDegreeEvolutionRespectsVertexValidity(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddVertex(Between(10, 20), "V")
+	evo := g.DegreeEvolution(0, 30, 5)
+	sa := evo[a]
+	if sa == nil {
+		t.Fatal("no series for a")
+	}
+	// Samples only at t=10,15.
+	if sa.Len() != 2 || sa.TimeAt(0) != 10 || sa.TimeAt(1) != 15 {
+		t.Fatalf("a sampled at %v", sa.Times())
+	}
+}
+
+func TestCommunityEvolution(t *testing.T) {
+	// Two pairs joined later: communities merge at t=50.
+	g := NewGraph()
+	a := g.MustAddVertex(Always, "V")
+	b := g.MustAddVertex(Always, "V")
+	c := g.MustAddVertex(Always, "V")
+	d := g.MustAddVertex(Always, "V")
+	g.MustAddEdge(a, b, "e", Always)
+	g.MustAddEdge(c, d, "e", Always)
+	g.MustAddEdge(b, c, "e", From(50))
+	evo := g.CommunityEvolution(0, 100, 25, 1)
+	// Before 50: a,b in one community, c,d in another. After: same.
+	for _, tt := range []int{0, 1} { // samples t=0, 25
+		if evo[a].ValueAt(tt) != evo[b].ValueAt(tt) {
+			t.Fatal("a,b split early")
+		}
+		if evo[a].ValueAt(tt) == evo[c].ValueAt(tt) {
+			t.Fatal("a,c merged early")
+		}
+	}
+	for _, tt := range []int{2, 3} { // samples t=50, 75
+		if evo[a].ValueAt(tt) != evo[d].ValueAt(tt) {
+			t.Fatal("not merged after bridge")
+		}
+	}
+}
+
+func TestActivitySeries(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddVertex(Always, "V")
+	b := g.MustAddVertex(Always, "V")
+	g.MustAddEdge(a, b, "e", Between(10, 30))
+	g.MustAddEdge(b, a, "e", Between(20, 40))
+	s := g.ActivitySeries(0, 50, 10)
+	wants := []float64{0, 1, 2, 1, 0}
+	if s.Len() != len(wants) {
+		t.Fatalf("len=%d", s.Len())
+	}
+	for i, w := range wants {
+		if s.ValueAt(i) != w {
+			t.Fatalf("activity[%d]=%v want %v", i, s.ValueAt(i), w)
+		}
+	}
+	if got := g.ActivitySeries(0, 50, 0); got.Len() != 0 {
+		t.Fatal("step=0")
+	}
+}
+
+func TestMetricEvolutionDegenerate(t *testing.T) {
+	g := NewGraph()
+	g.MustAddVertex(Always, "V")
+	if got := g.DegreeEvolution(100, 100, 10); len(got) != 0 {
+		t.Fatal("empty window")
+	}
+	if got := g.DegreeEvolution(0, 100, 0); len(got) != 0 {
+		t.Fatal("zero step")
+	}
+	_ = ts.MaxTime
+}

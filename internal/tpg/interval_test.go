@@ -1,0 +1,85 @@
+package tpg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hygraph/internal/ts"
+)
+
+func TestIntervalContains(t *testing.T) {
+	iv := Between(10, 20)
+	for _, tc := range []struct {
+		t    ts.Time
+		want bool
+	}{{9, false}, {10, true}, {15, true}, {19, true}, {20, false}} {
+		if got := iv.Contains(tc.t); got != tc.want {
+			t.Errorf("Contains(%d)=%v", tc.t, got)
+		}
+	}
+	if !Always.Contains(0) || !Always.Contains(1<<60) {
+		t.Error("Always should contain everything non-negative")
+	}
+	if !From(5).Contains(5) || From(5).Contains(4) {
+		t.Error("From(5)")
+	}
+}
+
+func TestIntervalOverlapIntersect(t *testing.T) {
+	a := Between(0, 10)
+	b := Between(5, 15)
+	c := Between(10, 20) // adjacent to a, half-open → disjoint
+	if !a.Overlaps(b) || !b.Overlaps(a) {
+		t.Error("a/b overlap")
+	}
+	if a.Overlaps(c) {
+		t.Error("adjacent intervals must not overlap")
+	}
+	iv, ok := a.Intersect(b)
+	if !ok || iv.Start != 5 || iv.End != 10 {
+		t.Errorf("intersect=%v", iv)
+	}
+	if _, ok := a.Intersect(c); ok {
+		t.Error("adjacent intersect must fail")
+	}
+	if !Between(0, 100).Covers(Between(10, 20)) || Between(10, 20).Covers(Between(0, 100)) {
+		t.Error("covers")
+	}
+	if Between(3, 9).Duration() != 6 {
+		t.Error("duration")
+	}
+}
+
+// Property: Intersect is commutative and its result is covered by both.
+func TestQuickIntersect(t *testing.T) {
+	f := func(a1, a2, b1, b2 int16) bool {
+		a := Between(ts.Time(min16(a1, a2)), ts.Time(max16(a1, a2)))
+		b := Between(ts.Time(min16(b1, b2)), ts.Time(max16(b1, b2)))
+		i1, ok1 := a.Intersect(b)
+		i2, ok2 := b.Intersect(a)
+		if ok1 != ok2 {
+			return false
+		}
+		if !ok1 {
+			return !a.Overlaps(b)
+		}
+		return i1 == i2 && a.Covers(i1) && b.Covers(i1) && a.Overlaps(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min16(a, b int16) int16 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max16(a, b int16) int16 {
+	if a > b {
+		return a
+	}
+	return b
+}

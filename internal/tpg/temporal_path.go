@@ -1,0 +1,74 @@
+package tpg
+
+import (
+	"sort"
+
+	"hygraph/internal/ts"
+)
+
+// EarliestArrival computes, for every vertex reachable from start by a
+// time-respecting path beginning at or after startTime, the earliest instant
+// it can be reached. An edge can be traversed at any instant within its
+// validity at or after the current arrival time; traversal itself is
+// instantaneous. This follows the path semantics of Wu et al. ("Path
+// Problems in Temporal Graphs"), which the paper cites as the canonical TPG
+// operation.
+func (g *Graph) EarliestArrival(start VID, startTime ts.Time) map[VID]ts.Time {
+	arrival := map[VID]ts.Time{}
+	v := g.Vertex(start)
+	if v == nil {
+		return arrival
+	}
+	// If the start vertex only becomes valid after startTime, the journey
+	// begins when it appears.
+	st := startTime
+	if v.Valid.Start > st {
+		st = v.Valid.Start
+	}
+	if !v.Valid.Contains(st) {
+		return arrival
+	}
+	arrival[start] = st
+	// Dijkstra-like relaxation ordered by arrival time.
+	type item struct {
+		id VID
+		at ts.Time
+	}
+	queue := []item{{start, st}}
+	for len(queue) > 0 {
+		sort.Slice(queue, func(i, j int) bool { return queue[i].at < queue[j].at })
+		cur := queue[0]
+		queue = queue[1:]
+		if best, ok := arrival[cur.id]; ok && cur.at > best {
+			continue
+		}
+		for _, e := range g.OutEdges(cur.id) {
+			// Earliest instant we can use this edge.
+			dep := cur.at
+			if e.Valid.Start > dep {
+				dep = e.Valid.Start
+			}
+			if !e.Valid.Contains(dep) {
+				continue // edge already expired
+			}
+			// The target must be valid when we arrive.
+			tv := g.Vertex(e.To)
+			if tv == nil || !tv.Valid.Contains(dep) {
+				continue
+			}
+			if best, ok := arrival[e.To]; !ok || dep < best {
+				arrival[e.To] = dep
+				queue = append(queue, item{e.To, dep})
+			}
+		}
+	}
+	return arrival
+}
+
+// TemporalReachable reports whether target can be reached from start by a
+// time-respecting path starting at or after startTime and arriving before
+// deadline.
+func (g *Graph) TemporalReachable(start, target VID, startTime, deadline ts.Time) bool {
+	at, ok := g.EarliestArrival(start, startTime)[target]
+	return ok && at < deadline
+}

@@ -1,0 +1,112 @@
+package tpg
+
+import (
+	"testing"
+
+	"hygraph/internal/ts"
+)
+
+func TestEarliestArrivalRespectsTime(t *testing.T) {
+	// a -e1[0,100)-> b -e2[50,200)-> c : leaving a at 0, arrive b at 0,
+	// then must wait until 50 for e2 → arrive c at 50.
+	g := NewGraph()
+	a := g.MustAddVertex(Always, "V")
+	b := g.MustAddVertex(Always, "V")
+	c := g.MustAddVertex(Always, "V")
+	g.MustAddEdge(a, b, "e", Between(0, 100))
+	g.MustAddEdge(b, c, "e", Between(50, 200))
+	arr := g.EarliestArrival(a, 0)
+	if arr[a] != 0 || arr[b] != 0 || arr[c] != 50 {
+		t.Fatalf("arrivals=%v", arr)
+	}
+}
+
+func TestEarliestArrivalExpiredEdge(t *testing.T) {
+	// a -e1[0,10)-> b -e2[0,5)-> c : arriving at b at 0 is fine, but if we
+	// start at 7, e1 still works (valid until 10) yet e2 is expired → c
+	// unreachable.
+	g := NewGraph()
+	a := g.MustAddVertex(Always, "V")
+	b := g.MustAddVertex(Always, "V")
+	c := g.MustAddVertex(Always, "V")
+	g.MustAddEdge(a, b, "e", Between(0, 10))
+	g.MustAddEdge(b, c, "e", Between(0, 5))
+	arr := g.EarliestArrival(a, 7)
+	if arr[b] != 7 {
+		t.Fatalf("b arrival=%v", arr[b])
+	}
+	if _, ok := arr[c]; ok {
+		t.Fatalf("c should be unreachable: %v", arr)
+	}
+	// Starting at 0 reaches c at 0.
+	arr = g.EarliestArrival(a, 0)
+	if arr[c] != 0 {
+		t.Fatalf("c arrival from 0: %v", arr)
+	}
+}
+
+func TestEarliestArrivalTargetInvalid(t *testing.T) {
+	// Target vertex not yet valid when the edge fires.
+	g := NewGraph()
+	a := g.MustAddVertex(Always, "V")
+	late := g.MustAddVertex(From(100), "V")
+	// Edge clipped to [100, ...) by endpoint validity.
+	g.MustAddEdge(a, late, "e", Always)
+	arr := g.EarliestArrival(a, 0)
+	if arr[late] != 100 {
+		t.Fatalf("late arrival=%v", arr[late])
+	}
+}
+
+func TestEarliestArrivalStartNotYetValid(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddVertex(From(50), "V")
+	b := g.MustAddVertex(Always, "V")
+	g.MustAddEdge(a, b, "e", Always)
+	arr := g.EarliestArrival(a, 0)
+	if arr[a] != 50 || arr[b] != 50 {
+		t.Fatalf("arrivals=%v", arr)
+	}
+	// A dead start vertex yields nothing.
+	dead := g.MustAddVertex(Between(0, 10), "V")
+	if got := g.EarliestArrival(dead, 20); len(got) != 0 {
+		t.Fatalf("dead start: %v", got)
+	}
+	if got := g.EarliestArrival(99, 0); len(got) != 0 {
+		t.Fatalf("missing start: %v", got)
+	}
+}
+
+func TestTemporalReachable(t *testing.T) {
+	g := NewGraph()
+	a := g.MustAddVertex(Always, "V")
+	b := g.MustAddVertex(Always, "V")
+	g.MustAddEdge(a, b, "e", Between(100, 200))
+	if !g.TemporalReachable(a, b, 0, 150) {
+		t.Fatal("reachable at 100 < 150")
+	}
+	if g.TemporalReachable(a, b, 0, 100) {
+		t.Fatal("deadline 100 should exclude arrival at 100")
+	}
+	if g.TemporalReachable(a, b, 250, ts.MaxTime) {
+		t.Fatal("edge expired")
+	}
+}
+
+func TestEarliestArrivalPrefersWaitingPath(t *testing.T) {
+	// Two routes to d: via b (edges valid late) and via c (valid early but
+	// c's second hop opens even later). Earliest arrival must pick min.
+	g := NewGraph()
+	a := g.MustAddVertex(Always, "V")
+	b := g.MustAddVertex(Always, "V")
+	c := g.MustAddVertex(Always, "V")
+	d := g.MustAddVertex(Always, "V")
+	g.MustAddEdge(a, b, "e", From(80))
+	g.MustAddEdge(b, d, "e", From(90))
+	g.MustAddEdge(a, c, "e", From(0))
+	g.MustAddEdge(c, d, "e", From(120))
+	arr := g.EarliestArrival(a, 0)
+	if arr[d] != 90 {
+		t.Fatalf("d arrival=%v want 90 (via b)", arr[d])
+	}
+}

@@ -1,0 +1,92 @@
+package ts
+
+import "math"
+
+// Pearson returns the Pearson correlation coefficient between two
+// equal-length float sequences, or NaN when either is constant or empty.
+func Pearson(a, b []float64) float64 {
+	if len(a) != len(b) || len(a) == 0 {
+		return math.NaN()
+	}
+	ma, mb := mean(a), mean(b)
+	var sab, saa, sbb float64
+	for i := range a {
+		da := a[i] - ma
+		db := b[i] - mb
+		sab += da * db
+		saa += da * da
+		sbb += db * db
+	}
+	if saa == 0 || sbb == 0 {
+		return math.NaN()
+	}
+	return sab / math.Sqrt(saa*sbb)
+}
+
+// Correlation aligns two series onto a shared bucket grid (bucket mean) and
+// returns their Pearson correlation. It is the paper's Q3 time-series
+// primitive (Table 2); core.CorrelationEdges uses it to build similarity
+// edges between time-series vertices. NaN is returned when fewer than two
+// shared buckets exist or a side is constant.
+func Correlation(a, b *Series, bucket Time) float64 {
+	av, bv, _ := Align(a, b, bucket, AggMean)
+	if len(av) < 2 {
+		return math.NaN()
+	}
+	return Pearson(av, bv)
+}
+
+// CrossCorrelation returns the Pearson correlation of a against b shifted by
+// lag buckets, for each lag in [-maxLag, maxLag], after aligning both onto a
+// shared grid. Index i of the result corresponds to lag i-maxLag. Lags with
+// fewer than two overlapping buckets yield NaN.
+func CrossCorrelation(a, b *Series, bucket Time, maxLag int) []float64 {
+	av, bv, _ := Align(a, b, bucket, AggMean)
+	out := make([]float64, 2*maxLag+1)
+	for l := -maxLag; l <= maxLag; l++ {
+		out[l+maxLag] = laggedPearson(av, bv, l)
+	}
+	return out
+}
+
+// BestLag returns the lag in [-maxLag, maxLag] with the highest absolute
+// cross-correlation and that correlation value.
+func BestLag(a, b *Series, bucket Time, maxLag int) (lag int, r float64) {
+	cc := CrossCorrelation(a, b, bucket, maxLag)
+	bestAbs := math.Inf(-1)
+	for i, v := range cc {
+		if !math.IsNaN(v) && math.Abs(v) > bestAbs {
+			bestAbs = math.Abs(v)
+			lag = i - maxLag
+			r = v
+		}
+	}
+	return lag, r
+}
+
+// laggedPearson correlates a[i] with b[i+lag] over the overlapping range.
+func laggedPearson(a, b []float64, lag int) float64 {
+	var xa, xb []float64
+	for i := range a {
+		j := i + lag
+		if j < 0 || j >= len(b) {
+			continue
+		}
+		xa = append(xa, a[i])
+		xb = append(xb, b[j])
+	}
+	if len(xa) < 2 {
+		return math.NaN()
+	}
+	return Pearson(xa, xb)
+}
+
+// AutoCorrelation returns the autocorrelation of the series at the given
+// point lags; index i corresponds to lags[i].
+func (s *Series) AutoCorrelation(lags ...int) []float64 {
+	out := make([]float64, len(lags))
+	for i, l := range lags {
+		out[i] = laggedPearson(s.vals, s.vals, l)
+	}
+	return out
+}

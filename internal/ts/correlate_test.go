@@ -1,0 +1,119 @@
+package ts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPearsonKnownValues(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	if r := Pearson(a, a); !almost(r, 1, 1e-12) {
+		t.Fatalf("self correlation=%v", r)
+	}
+	b := []float64{5, 4, 3, 2, 1}
+	if r := Pearson(a, b); !almost(r, -1, 1e-12) {
+		t.Fatalf("anti correlation=%v", r)
+	}
+	if r := Pearson(a, []float64{7, 7, 7, 7, 7}); !math.IsNaN(r) {
+		t.Fatalf("constant side should be NaN, got %v", r)
+	}
+	if r := Pearson(a, []float64{1, 2}); !math.IsNaN(r) {
+		t.Fatalf("length mismatch should be NaN, got %v", r)
+	}
+}
+
+func TestCorrelationAligned(t *testing.T) {
+	a := FromSamples("a", 0, 10, []float64{1, 2, 3, 4, 5, 6})
+	b := a.Map(func(v float64) float64 { return 3*v - 1 })
+	b.SetName("b")
+	if r := Correlation(a, b, 10); !almost(r, 1, 1e-9) {
+		t.Fatalf("affine correlation=%v", r)
+	}
+	// Disjoint time ranges → no shared buckets → NaN.
+	c := FromSamples("c", 10000, 10, []float64{1, 2, 3})
+	if r := Correlation(a, c, 10); !math.IsNaN(r) {
+		t.Fatalf("disjoint correlation=%v", r)
+	}
+}
+
+func TestCrossCorrelationFindsLag(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	n := 200
+	base := make([]float64, n+5)
+	for i := range base {
+		base[i] = math.Sin(float64(i)/7) + 0.05*rng.NormFloat64()
+	}
+	a := FromSamples("a", 0, 1, base[:n])
+	bb := FromSamples("b", 0, 1, base[3:n+3]) // b leads a by 3 buckets
+	lag, r := BestLag(a, bb, 1, 6)
+	if lag != -3 && lag != 3 {
+		t.Fatalf("best lag=%d (r=%v), want ±3", lag, r)
+	}
+	if math.Abs(r) < 0.9 {
+		t.Fatalf("best correlation too weak: %v", r)
+	}
+}
+
+func TestCrossCorrelationShape(t *testing.T) {
+	a := FromSamples("a", 0, 1, []float64{1, 2, 3, 4, 5, 6, 7, 8})
+	cc := CrossCorrelation(a, a, 1, 2)
+	if len(cc) != 5 {
+		t.Fatalf("len=%d want 5", len(cc))
+	}
+	if !almost(cc[2], 1, 1e-12) { // lag 0
+		t.Fatalf("lag0=%v", cc[2])
+	}
+}
+
+func TestAutoCorrelation(t *testing.T) {
+	// Period-4 square wave → strong positive ACF at lag 4, negative at lag 2.
+	vals := make([]float64, 64)
+	for i := range vals {
+		if i%4 < 2 {
+			vals[i] = 1
+		} else {
+			vals[i] = -1
+		}
+	}
+	s := FromSamples("sq", 0, 1, vals)
+	acf := s.AutoCorrelation(2, 4)
+	if acf[0] > -0.9 {
+		t.Fatalf("acf(2)=%v want strongly negative", acf[0])
+	}
+	if acf[1] < 0.9 {
+		t.Fatalf("acf(4)=%v want strongly positive", acf[1])
+	}
+}
+
+// Property: Pearson is symmetric, bounded in [-1,1], and invariant under
+// positive affine transforms.
+func TestQuickPearsonProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 100; iter++ {
+		n := 3 + rng.Intn(50)
+		a := make([]float64, n)
+		b := make([]float64, n)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		r := Pearson(a, b)
+		if math.IsNaN(r) {
+			continue
+		}
+		if r < -1-1e-9 || r > 1+1e-9 {
+			t.Fatalf("r=%v out of range", r)
+		}
+		if !almost(Pearson(b, a), r, 1e-12) {
+			t.Fatal("pearson asymmetric")
+		}
+		scaled := make([]float64, n)
+		for i := range a {
+			scaled[i] = 2.5*a[i] + 7
+		}
+		if !almost(Pearson(scaled, b), r, 1e-9) {
+			t.Fatal("pearson not affine invariant")
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package ts
+
+import "math"
+
+// FeatureNames lists, in order, the statistical features produced by
+// Features. They are the "temporal FAT, trends" style descriptors the paper
+// cites for time-series classification (Table 2, C1) and feed the hybrid
+// embeddings of internal/embed.
+var FeatureNames = []string{
+	"mean", "std", "min", "max", "median",
+	"iqr", "slope", "acf1", "acf24", "burstiness",
+	"crossings", "entropy",
+}
+
+// NumFeatures is the length of the vector returned by Features.
+const NumFeatures = 12
+
+// Features extracts a fixed-length statistical feature vector from the
+// series. An empty series yields a zero vector. All features are finite
+// (NaNs from degenerate inputs are mapped to 0) so downstream ML never sees
+// non-finite values.
+func (s *Series) Features() []float64 {
+	f := make([]float64, NumFeatures)
+	if s.Len() == 0 {
+		return f
+	}
+	_, slope := s.Trend()
+	acf := s.AutoCorrelation(1, 24)
+	f[0] = s.Mean()
+	f[1] = s.Std()
+	f[2] = s.Min()
+	f[3] = s.Max()
+	f[4] = s.Median()
+	f[5] = s.Quantile(0.75) - s.Quantile(0.25)
+	f[6] = slope
+	f[7] = acf[0]
+	f[8] = acf[1]
+	f[9] = s.burstiness()
+	f[10] = float64(s.meanCrossings())
+	f[11] = s.binnedEntropy(10)
+	for i, v := range f {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			f[i] = 0
+		}
+	}
+	return f
+}
+
+// burstiness is (σ−μ)/(σ+μ) of the inter-event magnitude proxy |diff|;
+// near +1 for bursty signals, near −1 for periodic ones.
+func (s *Series) burstiness() float64 {
+	d := s.Diff()
+	if d.Len() == 0 {
+		return 0
+	}
+	absd := d.Map(math.Abs)
+	mu := absd.Mean()
+	sd := absd.Std()
+	if mu+sd == 0 {
+		return 0
+	}
+	return (sd - mu) / (sd + mu)
+}
+
+// meanCrossings counts sign changes of the mean-removed series.
+func (s *Series) meanCrossings() int {
+	mu := s.Mean()
+	count := 0
+	prev := 0.0
+	for _, v := range s.vals {
+		c := v - mu
+		if prev*c < 0 {
+			count++
+		}
+		if c != 0 {
+			prev = c
+		}
+	}
+	return count
+}
+
+// binnedEntropy is the Shannon entropy of the value histogram with the given
+// number of equal-width bins, in nats.
+func (s *Series) binnedEntropy(bins int) float64 {
+	if s.Len() == 0 || bins < 2 {
+		return 0
+	}
+	lo, hi := s.Min(), s.Max()
+	if hi == lo {
+		return 0
+	}
+	counts := make([]int, bins)
+	for _, v := range s.vals {
+		b := int(float64(bins) * (v - lo) / (hi - lo))
+		if b == bins {
+			b--
+		}
+		counts[b]++
+	}
+	var h float64
+	n := float64(s.Len())
+	for _, c := range counts {
+		if c == 0 {
+			continue
+		}
+		p := float64(c) / n
+		h -= p * math.Log(p)
+	}
+	return h
+}

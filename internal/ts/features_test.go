@@ -1,0 +1,100 @@
+package ts
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestFeaturesLengthAndFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range []*Series{
+		New("empty"),
+		FromSamples("one", 0, 1, []float64{3}),
+		FromSamples("const", 0, 1, []float64{2, 2, 2, 2}),
+		noisySeriesWithSpikes(rng, 200, 50),
+	} {
+		f := s.Features()
+		if len(f) != NumFeatures || len(f) != len(FeatureNames) {
+			t.Fatalf("%s: feature len=%d", s.Name(), len(f))
+		}
+		for i, v := range f {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("%s: feature %s non-finite", s.Name(), FeatureNames[i])
+			}
+		}
+	}
+}
+
+func TestFeaturesDiscriminate(t *testing.T) {
+	// A smooth sine and a bursty spike train must differ in burstiness.
+	n := 256
+	smooth := New("smooth")
+	bursty := New("bursty")
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < n; i++ {
+		smooth.MustAppend(Time(i), math.Sin(float64(i)/10))
+		v := 0.0
+		if rng.Intn(20) == 0 {
+			v = 50
+		}
+		bursty.MustAppend(Time(i), v)
+	}
+	fs := smooth.Features()
+	fb := bursty.Features()
+	// burstiness is index 9.
+	if fb[9] <= fs[9] {
+		t.Fatalf("burstiness: bursty=%v smooth=%v", fb[9], fs[9])
+	}
+	// acf1 (index 7) is high for the smooth signal.
+	if fs[7] < 0.8 {
+		t.Fatalf("smooth acf1=%v", fs[7])
+	}
+}
+
+func TestFeatureValues(t *testing.T) {
+	s := FromSamples("lin", 0, 1, []float64{0, 1, 2, 3, 4, 5, 6, 7})
+	f := s.Features()
+	if !almost(f[0], 3.5, 1e-9) { // mean
+		t.Fatalf("mean feature=%v", f[0])
+	}
+	if !almost(f[6], 1, 1e-9) { // slope
+		t.Fatalf("slope feature=%v", f[6])
+	}
+	if f[2] != 0 || f[3] != 7 { // min, max
+		t.Fatalf("min/max features=%v/%v", f[2], f[3])
+	}
+}
+
+func TestBinnedEntropy(t *testing.T) {
+	// Uniform over bins has higher entropy than concentrated.
+	uniform := New("u")
+	for i := 0; i < 100; i++ {
+		uniform.MustAppend(Time(i), float64(i%10))
+	}
+	concentrated := New("c")
+	for i := 0; i < 100; i++ {
+		v := 0.0
+		if i == 50 {
+			v = 9
+		}
+		concentrated.MustAppend(Time(i), v)
+	}
+	if uniform.binnedEntropy(10) <= concentrated.binnedEntropy(10) {
+		t.Fatal("entropy ordering wrong")
+	}
+	if got := FromSamples("k", 0, 1, []float64{5, 5}).binnedEntropy(10); got != 0 {
+		t.Fatalf("constant entropy=%v", got)
+	}
+}
+
+func TestMeanCrossings(t *testing.T) {
+	s := FromSamples("alt", 0, 1, []float64{1, -1, 1, -1, 1})
+	if got := s.meanCrossings(); got != 4 {
+		t.Fatalf("crossings=%d want 4", got)
+	}
+	c := FromSamples("c", 0, 1, []float64{3, 3, 3})
+	if got := c.meanCrossings(); got != 0 {
+		t.Fatalf("constant crossings=%d", got)
+	}
+}

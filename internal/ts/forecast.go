@@ -1,0 +1,207 @@
+package ts
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrTooShort is returned by forecasters when the series has too few points
+// to fit the model.
+var ErrTooShort = errors.New("ts: series too short for this model")
+
+// SES fits simple exponential smoothing with factor alpha in (0,1] and
+// forecasts steps future points at the given step width, continuing from the
+// series end. The forecast of SES is flat at the last smoothed level.
+func (s *Series) SES(alpha float64, steps int, step Time) (*Series, error) {
+	if s.Len() < 1 {
+		return nil, ErrTooShort
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, errors.New("ts: SES alpha must be in (0,1]")
+	}
+	level := s.vals[0]
+	for _, v := range s.vals[1:] {
+		level = alpha*v + (1-alpha)*level
+	}
+	out := New(s.name + "_ses")
+	t := s.End()
+	for i := 0; i < steps; i++ {
+		t += step
+		out.MustAppend(t, level)
+	}
+	return out, nil
+}
+
+// Holt fits Holt's linear-trend double exponential smoothing (level factor
+// alpha, trend factor beta, both in (0,1]) and forecasts steps future points.
+func (s *Series) Holt(alpha, beta float64, steps int, step Time) (*Series, error) {
+	if s.Len() < 2 {
+		return nil, ErrTooShort
+	}
+	if alpha <= 0 || alpha > 1 || beta <= 0 || beta > 1 {
+		return nil, errors.New("ts: Holt factors must be in (0,1]")
+	}
+	level := s.vals[0]
+	trend := s.vals[1] - s.vals[0]
+	for _, v := range s.vals[1:] {
+		prev := level
+		level = alpha*v + (1-alpha)*(level+trend)
+		trend = beta*(level-prev) + (1-beta)*trend
+	}
+	out := New(s.name + "_holt")
+	t := s.End()
+	for i := 1; i <= steps; i++ {
+		t += step
+		out.MustAppend(t, level+float64(i)*trend)
+	}
+	return out, nil
+}
+
+// HoltWinters fits additive triple exponential smoothing with the given
+// season length (in points) and smoothing factors alpha (level), beta
+// (trend), gamma (seasonal), each in (0,1], and forecasts steps future
+// points. Initial seasonals come from the first season against the first
+// season's mean; at least two full seasons of data are required. This is
+// the model of choice for the bike-sharing workload's daily cycle.
+func (s *Series) HoltWinters(alpha, beta, gamma float64, season, steps int, step Time) (*Series, error) {
+	if season < 2 || s.Len() < 2*season {
+		return nil, ErrTooShort
+	}
+	for _, f := range []float64{alpha, beta, gamma} {
+		if f <= 0 || f > 1 {
+			return nil, errors.New("ts: Holt-Winters factors must be in (0,1]")
+		}
+	}
+	vals := s.vals
+	// Initial level: mean of season 1. Initial trend: mean per-step change
+	// between season 1 and season 2. Initial seasonals: deviation of season
+	// 1 from its mean.
+	var mean1 float64
+	for i := 0; i < season; i++ {
+		mean1 += vals[i]
+	}
+	mean1 /= float64(season)
+	level := mean1
+	trend := 0.0
+	for i := 0; i < season; i++ {
+		trend += (vals[season+i] - vals[i]) / float64(season)
+	}
+	trend /= float64(season)
+	seas := make([]float64, season)
+	for i := 0; i < season; i++ {
+		seas[i] = vals[i] - mean1
+	}
+	for t := season; t < len(vals); t++ {
+		si := t % season
+		prevLevel := level
+		level = alpha*(vals[t]-seas[si]) + (1-alpha)*(level+trend)
+		trend = beta*(level-prevLevel) + (1-beta)*trend
+		seas[si] = gamma*(vals[t]-level) + (1-gamma)*seas[si]
+	}
+	out := New(s.name + "_hw")
+	t := s.End()
+	n := len(vals)
+	for i := 1; i <= steps; i++ {
+		t += step
+		si := (n + i - 1) % season
+		out.MustAppend(t, level+float64(i)*trend+seas[si])
+	}
+	return out, nil
+}
+
+// ARForecast fits an AR(p) model on the mean-removed series via Yule-Walker
+// (Levinson-Durbin) and forecasts steps future points.
+func (s *Series) ARForecast(p, steps int, step Time) (*Series, error) {
+	if p < 1 || s.Len() < p+2 {
+		return nil, ErrTooShort
+	}
+	mu := s.Mean()
+	x := make([]float64, s.Len())
+	for i, v := range s.vals {
+		x[i] = v - mu
+	}
+	// Autocovariance up to lag p.
+	r := make([]float64, p+1)
+	for lag := 0; lag <= p; lag++ {
+		var acc float64
+		for i := lag; i < len(x); i++ {
+			acc += x[i] * x[i-lag]
+		}
+		r[lag] = acc / float64(len(x))
+	}
+	if r[0] == 0 {
+		// Constant series: forecast the constant.
+		out := New(s.name + "_ar")
+		t := s.End()
+		for i := 0; i < steps; i++ {
+			t += step
+			out.MustAppend(t, mu)
+		}
+		return out, nil
+	}
+	phi, err := levinsonDurbin(r, p)
+	if err != nil {
+		return nil, err
+	}
+	hist := append([]float64(nil), x...)
+	out := New(s.name + "_ar")
+	t := s.End()
+	for i := 0; i < steps; i++ {
+		var pred float64
+		for j := 0; j < p; j++ {
+			pred += phi[j] * hist[len(hist)-1-j]
+		}
+		hist = append(hist, pred)
+		t += step
+		out.MustAppend(t, pred+mu)
+	}
+	return out, nil
+}
+
+// levinsonDurbin solves the Yule-Walker equations for AR coefficients
+// phi[0..p-1] from autocovariances r[0..p].
+func levinsonDurbin(r []float64, p int) ([]float64, error) {
+	phi := make([]float64, p)
+	prev := make([]float64, p)
+	e := r[0]
+	for k := 1; k <= p; k++ {
+		acc := r[k]
+		for j := 1; j < k; j++ {
+			acc -= prev[j-1] * r[k-j]
+		}
+		if e == 0 {
+			return nil, errors.New("ts: Yule-Walker system is singular")
+		}
+		kappa := acc / e
+		phi[k-1] = kappa
+		for j := 1; j < k; j++ {
+			phi[j-1] = prev[j-1] - kappa*prev[k-j-1]
+		}
+		e *= 1 - kappa*kappa
+		copy(prev, phi[:k])
+	}
+	for _, c := range phi {
+		if math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, errors.New("ts: AR fit diverged")
+		}
+	}
+	return phi, nil
+}
+
+// MAE returns the mean absolute error between a forecast and actual values
+// at matching timestamps; timestamps present in only one series are ignored.
+// NaN is returned when there is no overlap.
+func MAE(forecast, actual *Series) float64 {
+	var acc float64
+	var n int
+	for i := 0; i < forecast.Len(); i++ {
+		if v, ok := actual.Lookup(forecast.TimeAt(i)); ok {
+			acc += math.Abs(forecast.ValueAt(i) - v)
+			n++
+		}
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return acc / float64(n)
+}
