@@ -1,0 +1,30 @@
+# Tier-1 verification gate (see ROADMAP.md). `make verify` must stay green.
+
+GO ?= go
+FUZZTIME ?= 10s
+
+.PHONY: verify vet build test race fuzz bench
+
+verify: vet build race fuzz
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short fuzz runs of the corpus-seeded fuzzers: the WAL replayer must never
+# panic or mis-recover on arbitrary log bytes, and the HyQL parser must never
+# panic on arbitrary query text.
+fuzz:
+	$(GO) test ./internal/storage/graphstore -run FuzzWALReplay -fuzz FuzzWALReplay -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/hyql -run FuzzParse -fuzz FuzzParse -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench . -benchmem ./...

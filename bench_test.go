@@ -52,8 +52,13 @@ func bikeFixture() {
 		bikeData = dataset.GenerateBike(cfg)
 		neoEng = ttdb.NewAllInGraph()
 		pgEng = ttdb.NewPolyglot(ts.Week)
-		neoIDs = bikeData.LoadEngine(neoEng)
-		pgIDs = bikeData.LoadEngine(pgEng)
+		var err error
+		if neoIDs, err = bikeData.LoadEngine(neoEng); err != nil {
+			panic(err)
+		}
+		if pgIDs, err = bikeData.LoadEngine(pgEng); err != nil {
+			panic(err)
+		}
 	})
 }
 
@@ -143,7 +148,10 @@ func BenchmarkTable1_Harness(b *testing.B) {
 		Reps: 3,
 	}
 	for i := 0; i < b.N; i++ {
-		rows := bench.Run(cfg)
+		rows, err := bench.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(rows) != 8 {
 			b.Fatal("expected 8 rows")
 		}
@@ -162,15 +170,25 @@ func BenchmarkFig1_StorageApproaches(b *testing.B) {
 	b.Run("LoadSeries/AllInGraph", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := ttdb.NewAllInGraph()
-			st := e.AddStation("s", "d")
-			e.LoadSeries(st, s)
+			st, err := e.AddStation("s", "d")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.LoadSeries(st, s); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 	b.Run("LoadSeries/Polyglot", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			e := ttdb.NewPolyglot(ts.Week)
-			st := e.AddStation("s", "d")
-			e.LoadSeries(st, s)
+			st, err := e.AddStation("s", "d")
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := e.LoadSeries(st, s); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -55,7 +55,11 @@ func main() {
 	fmt.Printf("Table 1 reproduction — %d stations, %d days (%d points), %d reps/query\n\n",
 		cfg.Bike.Stations, cfg.Bike.Days, points, cfg.Reps)
 
-	rows := bench.Run(cfg)
+	rows, err := bench.Run(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Print(bench.Format(rows))
 
 	fmt.Println()

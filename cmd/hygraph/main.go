@@ -8,6 +8,8 @@
 //	hygraph query    -dataset bike|fraud|iot [-seed S] [-at MS] 'MATCH ... RETURN ...'
 //	hygraph analyze  -dataset bike|fraud|iot [-seed S] -op correlate|aggregate|segment|anomalies|motifs
 //	hygraph repl     -dataset bike|fraud|iot [-seed S]
+//	hygraph ingest   -dir DIR [-stations N] [-seed S] [-crash POINT[:NTH]]
+//	hygraph recover  -dir DIR [-compact]
 package main
 
 import (
@@ -34,7 +36,22 @@ func main() {
 	seed := fs.Int64("seed", 1, "generator seed")
 	at := fs.Int64("at", -1, "query instant in epoch ms (-1 = mid-series)")
 	op := fs.String("op", "correlate", "analyze operator: correlate, aggregate, segment, anomalies, motifs")
+	dir := fs.String("dir", "hygraph-data", "durable store directory (ingest/recover)")
+	stations := fs.Int("stations", 8, "stations to ingest (ingest)")
+	crash := fs.String("crash", "", "fault point to crash at, e.g. ttdb.ingest.ts[:nth] (ingest)")
+	compact := fs.Bool("compact", false, "snapshot and truncate logs after recovery (recover)")
 	fs.Parse(os.Args[2:])
+
+	// The durable-storage commands operate on a data directory, not on a
+	// generated HyGraph instance.
+	switch cmd {
+	case "ingest":
+		runIngest(*dir, *stations, *crash, *seed)
+		return
+	case "recover":
+		runRecover(*dir, *compact)
+		return
+	}
 
 	h, mid := buildDataset(*ds, *seed)
 	when := ts.Time(*at)
@@ -68,7 +85,9 @@ func usage() {
   hygraph generate -dataset bike|fraud|iot [-seed S]
   hygraph query    -dataset ... [-at MS] 'MATCH ... RETURN ...'
   hygraph analyze  -dataset ... -op correlate|aggregate|segment|anomalies|motifs
-  hygraph repl     -dataset ...`)
+  hygraph repl     -dataset ...
+  hygraph ingest   -dir DIR [-stations N] [-seed S] [-crash POINT[:NTH]]
+  hygraph recover  -dir DIR [-compact]`)
 }
 
 func fail(msg string) {

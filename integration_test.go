@@ -29,7 +29,10 @@ func TestTable1ShapeSmall(t *testing.T) {
 			StepMinutes: 60, TripsPerSt: 4, Seed: 7},
 		Reps: 3,
 	}
-	rows := bench.Run(cfg)
+	rows, err := bench.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 8 {
 		t.Fatalf("rows=%d", len(rows))
 	}
@@ -52,8 +55,14 @@ func TestEnginesAgreeOnGeneratedWorkload(t *testing.T) {
 		Stations: 25, Districts: 5, Days: 21, StepMinutes: 60, TripsPerSt: 3, Seed: 11})
 	neo := ttdb.NewAllInGraph()
 	pg := ttdb.NewPolyglot(ts.Week)
-	idsN := data.LoadEngine(neo)
-	idsP := data.LoadEngine(pg)
+	idsN, err := data.LoadEngine(neo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idsP, err := data.LoadEngine(pg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	start, end := data.Span()
 	qs, qe := start+3*ts.Day, end-3*ts.Day
 

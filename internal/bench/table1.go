@@ -51,12 +51,18 @@ func PaperScaleConfig() Config {
 
 // Run generates the workload, loads both engines and times all eight
 // queries, returning the table rows in query order.
-func Run(cfg Config) []Row {
+func Run(cfg Config) ([]Row, error) {
 	data := dataset.GenerateBike(cfg.Bike)
 	neo := ttdb.NewAllInGraph()
 	pg := ttdb.NewPolyglot(ts.Week)
-	idsNeo := data.LoadEngine(neo)
-	idsPg := data.LoadEngine(pg)
+	idsNeo, err := data.LoadEngine(neo)
+	if err != nil {
+		return nil, fmt.Errorf("bench: loading %s: %w", neo.Name(), err)
+	}
+	idsPg, err := data.LoadEngine(pg)
+	if err != nil {
+		return nil, fmt.Errorf("bench: loading %s: %w", pg.Name(), err)
+	}
 	start, end := data.Span()
 	// The queried window: the middle half of the data.
 	qStart := start + (end-start)/4
@@ -116,7 +122,7 @@ func Run(cfg Config) []Row {
 		}
 		rows = append(rows, row)
 	}
-	return rows
+	return rows, nil
 }
 
 // stats returns mean and coefficient of variation (%) of samples.

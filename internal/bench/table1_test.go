@@ -16,7 +16,10 @@ func tinyConfig() Config {
 }
 
 func TestRunProducesAllRows(t *testing.T) {
-	rows := Run(tinyConfig())
+	rows, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 8 {
 		t.Fatalf("rows=%d", len(rows))
 	}
@@ -34,7 +37,10 @@ func TestRunProducesAllRows(t *testing.T) {
 }
 
 func TestFormatContainsEveryQuery(t *testing.T) {
-	rows := Run(tinyConfig())
+	rows, err := Run(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
 	out := Format(rows)
 	for _, q := range []string{"Q1", "Q4", "Q8", "MRS", "speedup"} {
 		if !strings.Contains(out, q) {

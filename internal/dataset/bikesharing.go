@@ -123,18 +123,26 @@ func (d *BikeData) Span() (start, end ts.Time) {
 
 // LoadEngine loads the dataset into a Table 1 storage engine, returning the
 // station ids in generation order.
-func (d *BikeData) LoadEngine(e ttdb.Engine) []ttdb.StationID {
+func (d *BikeData) LoadEngine(e ttdb.Engine) ([]ttdb.StationID, error) {
 	ids := make([]ttdb.StationID, len(d.Stations))
 	for i, st := range d.Stations {
-		ids[i] = e.AddStation(st.Name, st.District)
+		id, err := e.AddStation(st.Name, st.District)
+		if err != nil {
+			return nil, fmt.Errorf("dataset: station %s: %w", st.Name, err)
+		}
+		ids[i] = id
 	}
 	for _, tr := range d.Trips {
-		e.AddTrip(ids[tr.From], ids[tr.To], tr.Count)
+		if err := e.AddTrip(ids[tr.From], ids[tr.To], tr.Count); err != nil {
+			return nil, fmt.Errorf("dataset: trip %d->%d: %w", tr.From, tr.To, err)
+		}
 	}
 	for i, st := range d.Stations {
-		e.LoadSeries(ids[i], st.Availability)
+		if err := e.LoadSeries(ids[i], st.Availability); err != nil {
+			return nil, fmt.Errorf("dataset: series for %s: %w", st.Name, err)
+		}
 	}
-	return ids
+	return ids, nil
 }
 
 // ToHyGraph builds a HyGraph instance: stations as PG vertices, their

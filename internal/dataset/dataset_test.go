@@ -67,7 +67,10 @@ func TestBikeDailySeasonality(t *testing.T) {
 func TestBikeLoadEngineAndHyGraph(t *testing.T) {
 	d := GenerateBike(BikeConfig{Stations: 10, Districts: 2, Days: 2, StepMinutes: 60, TripsPerSt: 2, Seed: 3})
 	eng := ttdb.NewPolyglot(ts.Day)
-	ids := d.LoadEngine(eng)
+	ids, err := d.LoadEngine(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ids) != 10 {
 		t.Fatalf("ids=%d", len(ids))
 	}

@@ -1,0 +1,117 @@
+package faults
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestUnarmedCheckIsNil(t *testing.T) {
+	Reset()
+	if err := Check("nope"); err != nil {
+		t.Fatalf("unarmed point fired: %v", err)
+	}
+	if Hits("nope") != 0 {
+		t.Fatal("hits counted with empty registry")
+	}
+}
+
+func TestErrorOnNth(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("p", Spec{Nth: 3})
+	for i := 1; i <= 2; i++ {
+		if err := Check("p"); err != nil {
+			t.Fatalf("fired on visit %d", i)
+		}
+	}
+	if err := Check("p"); err == nil {
+		t.Fatal("did not fire on 3rd visit")
+	}
+	// Count=0: keeps firing (store stays down).
+	if err := Check("p"); err == nil {
+		t.Fatal("stopped firing after Nth")
+	}
+	if Hits("p") != 4 {
+		t.Fatalf("hits=%d", Hits("p"))
+	}
+}
+
+func TestBoundedCountAndTransient(t *testing.T) {
+	Reset()
+	defer Reset()
+	cause := errors.New("boom")
+	Enable("q", Spec{Err: cause, Transient: true, Count: 2})
+	for i := 0; i < 2; i++ {
+		err := Check("q")
+		if err == nil {
+			t.Fatalf("visit %d did not fire", i)
+		}
+		if !IsTransient(err) || !errors.Is(err, cause) {
+			t.Fatalf("error chain wrong: %v", err)
+		}
+	}
+	if err := Check("q"); err != nil {
+		t.Fatal("fired beyond Count")
+	}
+}
+
+func TestProbabilisticDeterministic(t *testing.T) {
+	Reset()
+	defer Reset()
+	run := func() []bool {
+		Enable("r", Spec{P: 0.5, Seed: 42})
+		out := make([]bool, 20)
+		for i := range out {
+			out[i] = Check("r") != nil
+		}
+		return out
+	}
+	a, b := run(), run()
+	var fired int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("probabilistic sequence not deterministic under same seed")
+		}
+		if a[i] {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times", fired, len(a))
+	}
+}
+
+func TestLatencyInjection(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("slow", Spec{Delay: 5 * time.Millisecond, Nth: 1000000})
+	t0 := time.Now()
+	if err := Check("slow"); err != nil {
+		t.Fatal("latency-only point returned an error")
+	}
+	if d := time.Since(t0); d < 4*time.Millisecond {
+		t.Fatalf("no latency injected (%v)", d)
+	}
+}
+
+func TestDisableAndActive(t *testing.T) {
+	Reset()
+	defer Reset()
+	Enable("a", Spec{})
+	Enable("b", Spec{})
+	if got := len(Active()); got != 2 {
+		t.Fatalf("active=%d", got)
+	}
+	Disable("a")
+	if err := Check("a"); err != nil {
+		t.Fatal("disabled point fired")
+	}
+	if err := Check("b"); err == nil {
+		t.Fatal("armed point silent")
+	}
+	Reset()
+	if len(Active()) != 0 || Hits("b") != 0 {
+		t.Fatal("reset incomplete")
+	}
+}

@@ -207,6 +207,29 @@ func Load(r io.Reader) (*DB, error) {
 	return db, nil
 }
 
+// Recover rebuilds a store from an optional snapshot plus an optional WAL:
+// the snapshot+log scheme. Either reader may be nil (no snapshot = start
+// empty; no log = snapshot only). A torn or corrupt log tail is truncated
+// and reported in the summary; mid-log corruption is an error, returning
+// the store as recovered up to the corruption point.
+func Recover(snapshot, log io.Reader) (*DB, RecoverySummary, error) {
+	db := New()
+	if snapshot != nil {
+		var err error
+		if db, err = Load(snapshot); err != nil {
+			return nil, RecoverySummary{}, fmt.Errorf("graphstore: snapshot: %w", err)
+		}
+	}
+	var sum RecoverySummary
+	if log != nil {
+		var err error
+		if sum, err = ReplayWithSummary(db, log); err != nil {
+			return db, sum, fmt.Errorf("graphstore: log: %w", err)
+		}
+	}
+	return db, sum, nil
+}
+
 func writeUvarint(w *bufio.Writer, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)

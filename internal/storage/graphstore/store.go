@@ -213,6 +213,106 @@ func (db *DB) relOK(id RelID) bool {
 	return int(id) < len(db.rels) && db.rels[id].inUse
 }
 
+// NextNodeID returns the id the next CreateNode call will allocate. Ids are
+// assigned by append order and never reused, so replaying a WAL assigns the
+// same ids — the polyglot ingest journal relies on this to name a node in
+// its intent record before the node exists.
+func (db *DB) NextNodeID() NodeID { return NodeID(len(db.nodes)) }
+
+// NodeExists reports whether id names a live node (false for deleted ids).
+func (db *DB) NodeExists(id NodeID) bool { return db.nodeOK(id) }
+
+// relNextFor returns the next pointer that threads rel record ref into node
+// n's relationship chain.
+func (db *DB) relNextFor(ref uint32, n NodeID) uint32 {
+	if db.rels[ref].from == n {
+		return db.rels[ref].fromNext
+	}
+	return db.rels[ref].toNext
+}
+
+// unlinkRel removes rel record rid from node n's relationship chain.
+func (db *DB) unlinkRel(n NodeID, rid uint32) {
+	head := &db.nodes[n].firstRel
+	prev := nilRef
+	for ref := *head; ref != nilRef; ref = db.relNextFor(ref, n) {
+		if ref == rid {
+			next := db.relNextFor(ref, n)
+			if prev == nilRef {
+				*head = next
+			} else if db.rels[prev].from == n {
+				db.rels[prev].fromNext = next
+			} else {
+				db.rels[prev].toNext = next
+			}
+			return
+		}
+		prev = ref
+	}
+}
+
+// freePropChain recycles every record of a property chain.
+func (db *DB) freePropChain(head uint32) {
+	for ref := head; ref != nilRef; {
+		next := db.props[ref].next
+		db.props[ref] = propRec{}
+		db.freeProps = append(db.freeProps, ref)
+		ref = next
+	}
+}
+
+// DeleteRel removes a relationship: unlinks it from both endpoints' chains,
+// recycles its properties and marks the record dead. Record ids are never
+// reused.
+func (db *DB) DeleteRel(id RelID) error {
+	if !db.relOK(id) {
+		return fmt.Errorf("graphstore: no rel %d", id)
+	}
+	r := db.rels[id]
+	db.unlinkRel(r.from, uint32(id))
+	if r.to != r.from {
+		db.unlinkRel(r.to, uint32(id))
+	}
+	db.freePropChain(r.firstProp)
+	db.rels[id] = relRec{}
+	db.rels[id].inUse = false
+	return nil
+}
+
+// DeleteNode removes a node along with its incident relationships and
+// properties, and drops it from the label index. The crash-recovery layer
+// uses this to roll back a half-ingested entity; node ids are never reused,
+// so later WAL records stay valid.
+func (db *DB) DeleteNode(id NodeID) error {
+	if !db.nodeOK(id) {
+		return fmt.Errorf("graphstore: no node %d", id)
+	}
+	// Collect incident rels first: deletion mutates the chain being walked.
+	var incident []RelID
+	for ref := db.nodes[id].firstRel; ref != nilRef; ref = db.relNextFor(ref, id) {
+		incident = append(incident, RelID(ref))
+	}
+	for _, rid := range incident {
+		if db.relOK(rid) {
+			if err := db.DeleteRel(rid); err != nil {
+				return err
+			}
+		}
+	}
+	db.freePropChain(db.nodes[id].firstProp)
+	for _, lid := range db.nodes[id].labels {
+		ids := db.labelIndex[lid]
+		for i, nid := range ids {
+			if nid == id {
+				db.labelIndex[lid] = append(ids[:i], ids[i+1:]...)
+				break
+			}
+		}
+	}
+	db.nodes[id] = nodeRec{firstRel: nilRef, firstProp: nilRef}
+	return nil
+}
+
 // NodesByLabel returns the nodes carrying the label in creation order.
 func (db *DB) NodesByLabel(label string) []NodeID {
 	lid, ok := db.strIndex[label]

@@ -1,21 +1,38 @@
 package graphstore
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"io"
 	"math"
+
+	"hygraph/internal/faults"
+	"hygraph/internal/storage/walrec"
+)
+
+// Fault points consulted by the graph-store WAL (see internal/faults).
+const (
+	// FaultWALAppend fires before a record is applied or buffered; an
+	// injected error leaves both the store and the log untouched, so
+	// transient injections are safely retryable.
+	FaultWALAppend = "graphstore.wal.append"
+	// FaultWALFlush fires before buffered records reach the underlying
+	// writer — the classic "crash at commit" moment.
+	FaultWALFlush = "graphstore.wal.flush"
 )
 
 // WAL is a write-ahead-logged view of a DB: every mutation is appended to
 // the log before being applied, so a crashed process can rebuild the store
-// by replaying the log (Replay). Combined with periodic Save snapshots this
-// gives the usual snapshot+log durability scheme of production stores.
+// by replaying the log (Replay). Records are framed with a length prefix and
+// a CRC32C checksum (internal/storage/walrec), so replay detects torn tails
+// and flipped bits instead of resurrecting garbage. Combined with periodic
+// Save snapshots this gives the usual snapshot+log durability scheme of
+// production stores.
 type WAL struct {
-	db  *DB
-	w   *bufio.Writer
-	err error // first write error; subsequent mutations fail fast
+	db      *DB
+	fw      *walrec.Writer
+	scratch []byte // payload of the record being built
 }
 
 // Log record opcodes.
@@ -25,106 +42,97 @@ const (
 	opSetNodeProp
 	opSetRelProp
 	opRemoveNodeProp
+	opDeleteNode
 )
 
 // NewWAL wraps a store with a log appended to w. The store should be empty
 // or match the snapshot the log continues from.
 func NewWAL(db *DB, w io.Writer) *WAL {
-	return &WAL{db: db, w: bufio.NewWriter(w)}
+	return &WAL{db: db, fw: walrec.NewWriter(w)}
 }
 
 // DB exposes the underlying store for reads.
 func (l *WAL) DB() *DB { return l.db }
 
+// Err returns the WAL's latched write error, if any.
+func (l *WAL) Err() error { return l.fw.Err() }
+
 // Flush forces buffered log records to the underlying writer. Callers
 // flush at commit points.
 func (l *WAL) Flush() error {
-	if l.err != nil {
-		return l.err
+	if err := l.fw.Err(); err != nil {
+		return err
 	}
-	return l.w.Flush()
+	if err := faults.Check(FaultWALFlush); err != nil {
+		return err
+	}
+	return l.fw.Flush()
 }
 
-func (l *WAL) fail(err error) error {
-	if l.err == nil {
-		l.err = err
-	}
-	return l.err
+// Payload builders: a record is fully materialized in scratch before any
+// byte reaches the framed writer, so a failed record is never half-buffered
+// and a latched error can never flush a partial record (the old
+// byte-at-a-time writer could leave half a record in the buffer).
+
+func (l *WAL) begin(op byte) {
+	l.scratch = append(l.scratch[:0], op)
 }
 
-func (l *WAL) writeOp(op byte, parts ...interface{}) error {
-	if l.err != nil {
-		return l.err
-	}
-	if err := l.w.WriteByte(op); err != nil {
-		return l.fail(err)
-	}
-	for _, p := range parts {
-		switch v := p.(type) {
-		case uint64:
-			writeUvarint(l.w, v)
-		case string:
-			writeUvarint(l.w, uint64(len(v)))
-			if _, err := l.w.WriteString(v); err != nil {
-				return l.fail(err)
-			}
-		case PropValue:
-			if err := l.writeValue(v); err != nil {
-				return l.fail(err)
-			}
-		default:
-			return l.fail(fmt.Errorf("graphstore: unsupported WAL field %T", p))
-		}
-	}
-	return nil
+func (l *WAL) putUvarint(v uint64) {
+	l.scratch = binary.AppendUvarint(l.scratch, v)
 }
 
-func (l *WAL) writeValue(v PropValue) error {
-	l.w.WriteByte(byte(v.Kind))
+func (l *WAL) putString(s string) {
+	l.putUvarint(uint64(len(s)))
+	l.scratch = append(l.scratch, s...)
+}
+
+func (l *WAL) putValue(v PropValue) {
+	l.scratch = append(l.scratch, byte(v.Kind))
 	switch v.Kind {
 	case PropInt:
-		writeUvarint(l.w, uint64(v.I))
+		l.putUvarint(uint64(v.I))
 	case PropFloat:
-		var buf [8]byte
-		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
-		l.w.Write(buf[:])
+		l.scratch = binary.LittleEndian.AppendUint64(l.scratch, math.Float64bits(v.F))
 	case PropString:
-		writeUvarint(l.w, uint64(len(v.S)))
-		l.w.WriteString(v.S)
+		l.putString(v.S)
 	case PropBool:
-		writeBool(l.w, v.B)
+		if v.B {
+			l.scratch = append(l.scratch, 1)
+		} else {
+			l.scratch = append(l.scratch, 0)
+		}
 	}
-	return nil
+}
+
+// commit frames and buffers the record built in scratch.
+func (l *WAL) commit() error {
+	if err := faults.Check(FaultWALAppend); err != nil {
+		return err
+	}
+	return l.fw.Append(l.scratch)
 }
 
 // CreateNode logs and applies a node creation.
 func (l *WAL) CreateNode(labels ...string) (NodeID, error) {
-	if err := l.writeOp(opCreateNode, uint64(len(labels))); err != nil {
-		return 0, err
-	}
+	l.begin(opCreateNode)
+	l.putUvarint(uint64(len(labels)))
 	for _, lb := range labels {
-		if err := l.writeString(lb); err != nil {
-			return 0, err
-		}
+		l.putString(lb)
+	}
+	if err := l.commit(); err != nil {
+		return 0, err
 	}
 	return l.db.CreateNode(labels...), nil
 }
 
-// writeString appends a length-prefixed string to the log.
-func (l *WAL) writeString(s string) error {
-	if l.err != nil {
-		return l.err
-	}
-	writeUvarint(l.w, uint64(len(s)))
-	if _, err := l.w.WriteString(s); err != nil {
-		return l.fail(err)
-	}
-	return nil
-}
-
 // CreateRel logs and applies a relationship creation.
 func (l *WAL) CreateRel(from, to NodeID, typ string) (RelID, error) {
-	if err := l.writeOp(opCreateRel, uint64(from), uint64(to), typ); err != nil {
+	l.begin(opCreateRel)
+	l.putUvarint(uint64(from))
+	l.putUvarint(uint64(to))
+	l.putString(typ)
+	if err := l.commit(); err != nil {
 		return 0, err
 	}
 	return l.db.CreateRel(from, to, typ)
@@ -132,7 +140,11 @@ func (l *WAL) CreateRel(from, to NodeID, typ string) (RelID, error) {
 
 // SetNodeProp logs and applies a node property write.
 func (l *WAL) SetNodeProp(id NodeID, key string, val PropValue) error {
-	if err := l.writeOp(opSetNodeProp, uint64(id), key, val); err != nil {
+	l.begin(opSetNodeProp)
+	l.putUvarint(uint64(id))
+	l.putString(key)
+	l.putValue(val)
+	if err := l.commit(); err != nil {
 		return err
 	}
 	return l.db.SetNodeProp(id, key, val)
@@ -140,7 +152,11 @@ func (l *WAL) SetNodeProp(id NodeID, key string, val PropValue) error {
 
 // SetRelProp logs and applies a relationship property write.
 func (l *WAL) SetRelProp(id RelID, key string, val PropValue) error {
-	if err := l.writeOp(opSetRelProp, uint64(id), key, val); err != nil {
+	l.begin(opSetRelProp)
+	l.putUvarint(uint64(id))
+	l.putString(key)
+	l.putValue(val)
+	if err := l.commit(); err != nil {
 		return err
 	}
 	return l.db.SetRelProp(id, key, val)
@@ -148,92 +164,150 @@ func (l *WAL) SetRelProp(id RelID, key string, val PropValue) error {
 
 // RemoveNodeProp logs and applies a node property removal.
 func (l *WAL) RemoveNodeProp(id NodeID, key string) (bool, error) {
-	if err := l.writeOp(opRemoveNodeProp, uint64(id), key); err != nil {
+	l.begin(opRemoveNodeProp)
+	l.putUvarint(uint64(id))
+	l.putString(key)
+	if err := l.commit(); err != nil {
 		return false, err
 	}
 	return l.db.RemoveNodeProp(id, key), nil
 }
 
+// DeleteNode logs and applies a node deletion (used by the polyglot ingest
+// layer to roll back a half-applied station).
+func (l *WAL) DeleteNode(id NodeID) error {
+	l.begin(opDeleteNode)
+	l.putUvarint(uint64(id))
+	if err := l.commit(); err != nil {
+		return err
+	}
+	return l.db.DeleteNode(id)
+}
+
+// RecoverySummary reports what a replay recovered.
+type RecoverySummary struct {
+	walrec.Summary
+	Applied int // operations applied to the store
+}
+
 // Replay applies a log produced by WAL onto db (typically a fresh store or
-// one restored from the matching snapshot). It stops cleanly at EOF and
-// returns the number of operations applied.
+// one restored from the matching snapshot). It stops cleanly at EOF,
+// truncates a torn or checksum-corrupt tail (losing at most the final
+// record), and errors on mid-log corruption. It returns the number of
+// operations applied.
 func Replay(db *DB, r io.Reader) (int, error) {
-	br := bufio.NewReader(r)
-	applied := 0
+	sum, err := ReplayWithSummary(db, r)
+	return sum.Applied, err
+}
+
+// ReplayWithSummary is Replay with the full recovery report.
+func ReplayWithSummary(db *DB, r io.Reader) (RecoverySummary, error) {
+	sc := walrec.NewScanner(r)
+	var sum RecoverySummary
 	for {
-		op, err := br.ReadByte()
+		payload, err := sc.Next()
 		if err == io.EOF {
-			return applied, nil
+			sum.Summary = sc.Summary()
+			return sum, nil
 		}
 		if err != nil {
-			return applied, err
+			sum.Summary = sc.Summary()
+			return sum, err
 		}
-		switch op {
-		case opCreateNode:
-			n, err := binary.ReadUvarint(br)
-			if err != nil {
-				return applied, err
-			}
-			labels := make([]string, n)
-			for i := range labels {
-				if labels[i], err = readString(br); err != nil {
-					return applied, err
-				}
-			}
-			db.CreateNode(labels...)
-		case opCreateRel:
-			from, err := binary.ReadUvarint(br)
-			if err != nil {
-				return applied, err
-			}
-			to, err := binary.ReadUvarint(br)
-			if err != nil {
-				return applied, err
-			}
-			typ, err := readString(br)
-			if err != nil {
-				return applied, err
-			}
-			if _, err := db.CreateRel(NodeID(from), NodeID(to), typ); err != nil {
-				return applied, err
-			}
-		case opSetNodeProp:
-			id, key, val, err := readPropRecord(br)
-			if err != nil {
-				return applied, err
-			}
-			if err := db.SetNodeProp(NodeID(id), key, val); err != nil {
-				return applied, err
-			}
-		case opSetRelProp:
-			id, key, val, err := readPropRecord(br)
-			if err != nil {
-				return applied, err
-			}
-			if err := db.SetRelProp(RelID(id), key, val); err != nil {
-				return applied, err
-			}
-		case opRemoveNodeProp:
-			id, err := binary.ReadUvarint(br)
-			if err != nil {
-				return applied, err
-			}
-			key, err := readString(br)
-			if err != nil {
-				return applied, err
-			}
-			db.RemoveNodeProp(NodeID(id), key)
-		default:
-			return applied, fmt.Errorf("graphstore: corrupt WAL opcode %d", op)
+		if err := applyRecord(db, payload); err != nil {
+			sum.Summary = sc.Summary()
+			return sum, err
 		}
-		applied++
+		sum.Applied++
 	}
 }
 
-func readString(br *bufio.Reader) (string, error) {
+// applyRecord decodes and applies one checksummed record payload.
+func applyRecord(db *DB, payload []byte) error {
+	br := bytes.NewReader(payload)
+	op, err := br.ReadByte()
+	if err != nil {
+		return fmt.Errorf("graphstore: empty WAL record")
+	}
+	switch op {
+	case opCreateNode:
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if n > uint64(br.Len()) {
+			return fmt.Errorf("graphstore: corrupt WAL label count %d", n)
+		}
+		labels := make([]string, n)
+		for i := range labels {
+			if labels[i], err = readString(br); err != nil {
+				return err
+			}
+		}
+		db.CreateNode(labels...)
+	case opCreateRel:
+		from, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		to, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		typ, err := readString(br)
+		if err != nil {
+			return err
+		}
+		if _, err := db.CreateRel(NodeID(from), NodeID(to), typ); err != nil {
+			return err
+		}
+	case opSetNodeProp:
+		id, key, val, err := readPropRecord(br)
+		if err != nil {
+			return err
+		}
+		if err := db.SetNodeProp(NodeID(id), key, val); err != nil {
+			return err
+		}
+	case opSetRelProp:
+		id, key, val, err := readPropRecord(br)
+		if err != nil {
+			return err
+		}
+		if err := db.SetRelProp(RelID(id), key, val); err != nil {
+			return err
+		}
+	case opRemoveNodeProp:
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		key, err := readString(br)
+		if err != nil {
+			return err
+		}
+		db.RemoveNodeProp(NodeID(id), key)
+	case opDeleteNode:
+		id, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		if err := db.DeleteNode(NodeID(id)); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("graphstore: corrupt WAL opcode %d", op)
+	}
+	return nil
+}
+
+func readString(br *bytes.Reader) (string, error) {
 	n, err := binary.ReadUvarint(br)
 	if err != nil {
 		return "", err
+	}
+	if n > uint64(br.Len()) {
+		return "", fmt.Errorf("graphstore: corrupt WAL string length %d", n)
 	}
 	buf := make([]byte, n)
 	if _, err := io.ReadFull(br, buf); err != nil {
@@ -242,7 +316,7 @@ func readString(br *bufio.Reader) (string, error) {
 	return string(buf), nil
 }
 
-func readPropRecord(br *bufio.Reader) (uint64, string, PropValue, error) {
+func readPropRecord(br *bytes.Reader) (uint64, string, PropValue, error) {
 	id, err := binary.ReadUvarint(br)
 	if err != nil {
 		return 0, "", PropValue{}, err
@@ -255,7 +329,7 @@ func readPropRecord(br *bufio.Reader) (uint64, string, PropValue, error) {
 	return id, key, val, err
 }
 
-func readValue(br *bufio.Reader) (PropValue, error) {
+func readValue(br *bytes.Reader) (PropValue, error) {
 	kind, err := br.ReadByte()
 	if err != nil {
 		return PropValue{}, err
@@ -274,8 +348,11 @@ func readValue(br *bufio.Reader) (PropValue, error) {
 		s, err := readString(br)
 		return StrVal(s), err
 	case PropBool:
-		b, err := readBool(br)
-		return BoolVal(b), err
+		b, err := br.ReadByte()
+		if err != nil {
+			return PropValue{}, err
+		}
+		return BoolVal(b != 0), nil
 	}
 	return PropValue{}, fmt.Errorf("graphstore: corrupt WAL value kind %d", kind)
 }

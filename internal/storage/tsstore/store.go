@@ -123,6 +123,13 @@ func New(chunkWidth ts.Time) *DB {
 // NumSeries returns how many distinct series the store holds.
 func (db *DB) NumSeries() int { return len(db.data) }
 
+// HasSeries reports whether the key holds any points. The crash-recovery
+// layer uses it to decide whether a prepared ingest reached the TS side.
+func (db *DB) HasSeries(key SeriesKey) bool {
+	_, ok := db.data[key]
+	return ok
+}
+
 // Keys returns all series keys in first-insertion order.
 func (db *DB) Keys() []SeriesKey { return append([]SeriesKey(nil), db.keys...) }
 
@@ -150,6 +157,23 @@ func (db *DB) InsertSeries(key SeriesKey, src *ts.Series) {
 	for i := 0; i < src.Len(); i++ {
 		db.Insert(key, src.TimeAt(i), src.ValueAt(i))
 	}
+}
+
+// DeleteSeries removes a series and all its chunks. It reports whether the
+// key existed; deleting an absent key is a no-op, so crash-recovery rollback
+// can apply it idempotently.
+func (db *DB) DeleteSeries(key SeriesKey) bool {
+	if _, ok := db.data[key]; !ok {
+		return false
+	}
+	delete(db.data, key)
+	for i, k := range db.keys {
+		if k == key {
+			db.keys = append(db.keys[:i], db.keys[i+1:]...)
+			break
+		}
+	}
+	return true
 }
 
 // Range returns the points of a series with start <= t < end in time order.

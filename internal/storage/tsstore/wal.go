@@ -1,0 +1,256 @@
+package tsstore
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"hygraph/internal/faults"
+	"hygraph/internal/storage/walrec"
+	"hygraph/internal/ts"
+)
+
+// Fault points consulted by the time-series WAL (see internal/faults).
+const (
+	// FaultWALAppend fires before a record is applied or buffered, so
+	// transient injections leave both store and log untouched and are
+	// safely retryable.
+	FaultWALAppend = "tsstore.wal.append"
+	// FaultWALFlush fires before buffered records reach the underlying
+	// writer.
+	FaultWALFlush = "tsstore.wal.flush"
+)
+
+// WAL is a write-ahead-logged view of the time-series store. The paper's
+// polyglot architecture delegates series storage to a TimescaleDB-style
+// store, which in production is durable; the reproduction previously had no
+// log at all, so any crash silently lost every point. Records are framed
+// with length + CRC32C (internal/storage/walrec): replay truncates torn
+// tails and detects corruption, mirroring the graph-store WAL.
+type WAL struct {
+	db      *DB
+	fw      *walrec.Writer
+	scratch []byte
+}
+
+// Log record opcodes.
+const (
+	opInsert byte = iota + 1
+	opInsertBatch
+	opDeleteSeries
+)
+
+// NewWAL wraps a store with a log appended to w. The store should be empty
+// or match the snapshot the log continues from.
+func NewWAL(db *DB, w io.Writer) *WAL {
+	return &WAL{db: db, fw: walrec.NewWriter(w)}
+}
+
+// DB exposes the underlying store for reads.
+func (l *WAL) DB() *DB { return l.db }
+
+// Err returns the WAL's latched write error, if any.
+func (l *WAL) Err() error { return l.fw.Err() }
+
+// Flush forces buffered log records to the underlying writer.
+func (l *WAL) Flush() error {
+	if err := l.fw.Err(); err != nil {
+		return err
+	}
+	if err := faults.Check(FaultWALFlush); err != nil {
+		return err
+	}
+	return l.fw.Flush()
+}
+
+func (l *WAL) beginKey(op byte, key SeriesKey) {
+	l.scratch = append(l.scratch[:0], op)
+	l.scratch = binary.AppendUvarint(l.scratch, uint64(key.Entity))
+	l.scratch = binary.AppendUvarint(l.scratch, uint64(len(key.Metric)))
+	l.scratch = append(l.scratch, key.Metric...)
+}
+
+func (l *WAL) commit() error {
+	if err := faults.Check(FaultWALAppend); err != nil {
+		return err
+	}
+	return l.fw.Append(l.scratch)
+}
+
+// Insert logs and applies one point. Upserts on duplicate timestamps, so
+// replaying or retrying the same insert is idempotent.
+func (l *WAL) Insert(key SeriesKey, t ts.Time, v float64) error {
+	l.beginKey(opInsert, key)
+	l.scratch = binary.AppendVarint(l.scratch, int64(t))
+	l.scratch = binary.LittleEndian.AppendUint64(l.scratch, math.Float64bits(v))
+	if err := l.commit(); err != nil {
+		return err
+	}
+	l.db.Insert(key, t, v)
+	return nil
+}
+
+// InsertSeries logs and applies a whole series as one batch record:
+// delta-encoded timestamps followed by raw float64 bits. One record per
+// series keeps the ingest atomic at the record level — a torn tail drops
+// the whole batch, never half of it.
+func (l *WAL) InsertSeries(key SeriesKey, src *ts.Series) error {
+	l.beginKey(opInsertBatch, key)
+	n := src.Len()
+	l.scratch = binary.AppendUvarint(l.scratch, uint64(n))
+	prev := ts.Time(0)
+	for i := 0; i < n; i++ {
+		t := src.TimeAt(i)
+		l.scratch = binary.AppendVarint(l.scratch, int64(t-prev))
+		prev = t
+	}
+	for i := 0; i < n; i++ {
+		l.scratch = binary.LittleEndian.AppendUint64(l.scratch, math.Float64bits(src.ValueAt(i)))
+	}
+	if err := l.commit(); err != nil {
+		return err
+	}
+	l.db.InsertSeries(key, src)
+	return nil
+}
+
+// DeleteSeries logs and applies removal of a whole series (the rollback
+// primitive of the cross-store ingest protocol).
+func (l *WAL) DeleteSeries(key SeriesKey) error {
+	l.beginKey(opDeleteSeries, key)
+	if err := l.commit(); err != nil {
+		return err
+	}
+	l.db.DeleteSeries(key)
+	return nil
+}
+
+// RecoverySummary reports what a replay recovered.
+type RecoverySummary struct {
+	walrec.Summary
+	Applied int // operations applied
+	Points  int // points inserted
+}
+
+// Replay applies a log produced by WAL onto db. It truncates a torn or
+// checksum-corrupt tail (losing at most the final record) and errors on
+// mid-log corruption. It returns the number of operations applied.
+func Replay(db *DB, r io.Reader) (int, error) {
+	sum, err := ReplayWithSummary(db, r)
+	return sum.Applied, err
+}
+
+// ReplayWithSummary is Replay with the full recovery report.
+func ReplayWithSummary(db *DB, r io.Reader) (RecoverySummary, error) {
+	sc := walrec.NewScanner(r)
+	var sum RecoverySummary
+	for {
+		payload, err := sc.Next()
+		if err == io.EOF {
+			sum.Summary = sc.Summary()
+			return sum, nil
+		}
+		if err != nil {
+			sum.Summary = sc.Summary()
+			return sum, err
+		}
+		pts, err := applyTSRecord(db, payload)
+		if err != nil {
+			sum.Summary = sc.Summary()
+			return sum, err
+		}
+		sum.Applied++
+		sum.Points += pts
+	}
+}
+
+func applyTSRecord(db *DB, payload []byte) (int, error) {
+	br := bytes.NewReader(payload)
+	op, err := br.ReadByte()
+	if err != nil {
+		return 0, fmt.Errorf("tsstore: empty WAL record")
+	}
+	entity, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, err
+	}
+	mlen, err := binary.ReadUvarint(br)
+	if err != nil {
+		return 0, err
+	}
+	if mlen > uint64(br.Len()) {
+		return 0, fmt.Errorf("tsstore: corrupt WAL metric length %d", mlen)
+	}
+	mbuf := make([]byte, mlen)
+	if _, err := io.ReadFull(br, mbuf); err != nil {
+		return 0, err
+	}
+	key := SeriesKey{Entity: uint32(entity), Metric: string(mbuf)}
+	switch op {
+	case opInsert:
+		t, err := binary.ReadVarint(br)
+		if err != nil {
+			return 0, err
+		}
+		var buf [8]byte
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return 0, err
+		}
+		db.Insert(key, ts.Time(t), math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+		return 1, nil
+	case opInsertBatch:
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return 0, err
+		}
+		// Each point needs >= 9 payload bytes (1+ delta byte, 8 value).
+		if n > uint64(br.Len()) {
+			return 0, fmt.Errorf("tsstore: corrupt WAL batch count %d", n)
+		}
+		times := make([]ts.Time, n)
+		prev := int64(0)
+		for i := range times {
+			d, err := binary.ReadVarint(br)
+			if err != nil {
+				return 0, err
+			}
+			prev += d
+			times[i] = ts.Time(prev)
+		}
+		var buf [8]byte
+		for i := range times {
+			if _, err := io.ReadFull(br, buf[:]); err != nil {
+				return 0, err
+			}
+			db.Insert(key, times[i], math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
+		}
+		return int(n), nil
+	case opDeleteSeries:
+		db.DeleteSeries(key)
+		return 0, nil
+	}
+	return 0, fmt.Errorf("tsstore: corrupt WAL opcode %d", op)
+}
+
+// Recover rebuilds a store from an optional snapshot plus an optional WAL.
+// Either reader may be nil. chunkWidth is used only when there is no
+// snapshot (a snapshot carries its own width).
+func Recover(snapshot, log io.Reader, chunkWidth ts.Time) (*DB, RecoverySummary, error) {
+	db := New(chunkWidth)
+	if snapshot != nil {
+		var err error
+		if db, err = Load(snapshot); err != nil {
+			return nil, RecoverySummary{}, fmt.Errorf("tsstore: snapshot: %w", err)
+		}
+	}
+	var sum RecoverySummary
+	if log != nil {
+		var err error
+		if sum, err = ReplayWithSummary(db, log); err != nil {
+			return db, sum, fmt.Errorf("tsstore: log: %w", err)
+		}
+	}
+	return db, sum, nil
+}

@@ -1,0 +1,166 @@
+package tsstore
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"hygraph/internal/ts"
+)
+
+func sampleSeries(n int, base float64) *ts.Series {
+	s := ts.New("availability")
+	for i := 0; i < n; i++ {
+		s.MustAppend(ts.Time(i)*ts.Hour, base+math.Sin(float64(i)/5))
+	}
+	return s
+}
+
+func TestTSWALReplayReconstructs(t *testing.T) {
+	var log bytes.Buffer
+	wal := NewWAL(New(ts.Day), &log)
+	k1 := SeriesKey{Entity: 1, Metric: "availability"}
+	k2 := SeriesKey{Entity: 2, Metric: "availability"}
+	if err := wal.InsertSeries(k1, sampleSeries(24*10, 10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.InsertSeries(k2, sampleSeries(24*10, 20)); err != nil {
+		t.Fatal(err)
+	}
+	if err := wal.Insert(k1, 5*ts.Hour, 99); err != nil { // upsert one point
+		t.Fatal(err)
+	}
+	if err := wal.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	rebuilt := New(ts.Day)
+	sum, err := ReplayWithSummary(rebuilt, bytes.NewReader(log.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Applied != 3 || sum.Points != 2*24*10+1 {
+		t.Fatalf("sum=%+v", sum)
+	}
+	orig := wal.DB()
+	for _, k := range []SeriesKey{k1, k2} {
+		a := orig.Range(k, 0, 1000*ts.Hour)
+		b := rebuilt.Range(k, 0, 1000*ts.Hour)
+		if len(a) != len(b) || len(a) == 0 {
+			t.Fatalf("series %v: %d vs %d points", k, len(a), len(b))
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("series %v point %d: %v vs %v", k, i, a[i], b[i])
+			}
+		}
+	}
+	if pts := rebuilt.Range(k1, 5*ts.Hour, 6*ts.Hour); len(pts) != 1 || pts[0].V != 99 {
+		t.Fatalf("upsert lost: %v", pts)
+	}
+}
+
+func TestTSWALDeleteSeries(t *testing.T) {
+	var log bytes.Buffer
+	wal := NewWAL(New(0), &log)
+	k := SeriesKey{Entity: 7, Metric: "availability"}
+	wal.InsertSeries(k, sampleSeries(48, 5))
+	if err := wal.DeleteSeries(k); err != nil {
+		t.Fatal(err)
+	}
+	wal.Flush()
+	if wal.DB().NumSeries() != 0 {
+		t.Fatal("live delete did not apply")
+	}
+	rebuilt := New(0)
+	if _, err := Replay(rebuilt, bytes.NewReader(log.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if rebuilt.NumSeries() != 0 || len(rebuilt.Keys()) != 0 {
+		t.Fatalf("replayed delete left %d series", rebuilt.NumSeries())
+	}
+	// Idempotent on absent keys.
+	if rebuilt.DeleteSeries(k) {
+		t.Fatal("deleting absent series reported true")
+	}
+}
+
+// Torn tails lose at most the final record: truncate the log at every byte
+// offset of the last batch record and recover.
+func TestTSWALTornTailAtEveryOffset(t *testing.T) {
+	k1 := SeriesKey{Entity: 1, Metric: "m"}
+	k2 := SeriesKey{Entity: 2, Metric: "m"}
+	writeLog := func(withLast bool) []byte {
+		var log bytes.Buffer
+		wal := NewWAL(New(ts.Day), &log)
+		wal.InsertSeries(k1, sampleSeries(24, 1))
+		if withLast {
+			wal.InsertSeries(k2, sampleSeries(24, 2))
+		}
+		wal.Flush()
+		return log.Bytes()
+	}
+	full := writeLog(true)
+	prefix := writeLog(false)
+	for cut := len(prefix); cut < len(full); cut += 7 { // stride keeps runtime sane
+		rebuilt := New(ts.Day)
+		sum, err := ReplayWithSummary(rebuilt, bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if sum.Applied != 1 || rebuilt.NumSeries() != 1 {
+			t.Fatalf("cut %d: applied=%d series=%d", cut, sum.Applied, rebuilt.NumSeries())
+		}
+	}
+}
+
+func TestTSWALMidLogCorruption(t *testing.T) {
+	var log bytes.Buffer
+	wal := NewWAL(New(0), &log)
+	wal.InsertSeries(SeriesKey{Entity: 1, Metric: "m"}, sampleSeries(24, 1))
+	wal.InsertSeries(SeriesKey{Entity: 2, Metric: "m"}, sampleSeries(24, 2))
+	wal.Flush()
+	raw := append([]byte(nil), log.Bytes()...)
+	raw[8] ^= 0x20
+	if _, err := Replay(New(0), bytes.NewReader(raw)); err == nil {
+		t.Fatal("mid-log corruption replayed cleanly")
+	}
+}
+
+func TestTSRecoverSnapshotPlusLog(t *testing.T) {
+	base := New(ts.Day)
+	k1 := SeriesKey{Entity: 1, Metric: "m"}
+	k2 := SeriesKey{Entity: 2, Metric: "m"}
+	base.InsertSeries(k1, sampleSeries(48, 3))
+	var snap bytes.Buffer
+	if err := base.Save(&snap); err != nil {
+		t.Fatal(err)
+	}
+	var log bytes.Buffer
+	wal := NewWAL(base, &log)
+	wal.InsertSeries(k2, sampleSeries(48, 4))
+	wal.Flush()
+
+	rec, sum, err := Recover(bytes.NewReader(snap.Bytes()), bytes.NewReader(log.Bytes()), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.NumSeries() != 2 || sum.Points != 48 {
+		t.Fatalf("series=%d sum=%+v", rec.NumSeries(), sum)
+	}
+	a := base.Aggregate(k2, 0, 100*ts.Hour)
+	b := rec.Aggregate(k2, 0, 100*ts.Hour)
+	if a != b {
+		t.Fatalf("aggregate mismatch: %+v vs %+v", a, b)
+	}
+}
+
+func TestTSWALFuzzNeverPanics(t *testing.T) {
+	inputs := [][]byte{
+		{}, {1}, {0x05, 1, 2, 3, 4, 5, 6, 7, 8, 9},
+		bytes.Repeat([]byte{0xff}, 32), {0x02, 0, 0, 0, 0, 0x01, 0x01},
+	}
+	for _, in := range inputs {
+		_, _ = Replay(New(0), bytes.NewReader(in))
+	}
+}

@@ -1,0 +1,542 @@
+package ttdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"hygraph/internal/faults"
+	"hygraph/internal/storage/graphstore"
+	"hygraph/internal/storage/tsstore"
+	"hygraph/internal/storage/walrec"
+	"hygraph/internal/ts"
+)
+
+// Fault points consulted by the durable polyglot layer (see internal/faults).
+const (
+	// FaultJournalAppend fires before an intent-journal record is written.
+	FaultJournalAppend = "ttdb.journal.append"
+	// FaultIngestGraph fires before the graph-store side of an ingest.
+	FaultIngestGraph = "ttdb.ingest.graph"
+	// FaultIngestTS fires before the time-series side of an ingest — i.e.
+	// between the two stores' writes, the classic half-committed crash.
+	FaultIngestTS = "ttdb.ingest.ts"
+	// FaultQueryTS fires when a query touches the time-series store,
+	// simulating the TS backend being unreachable.
+	FaultQueryTS = "ttdb.query.ts"
+)
+
+// ErrDegraded marks a query answered without the time-series store. Callers
+// get the graph-derivable part of the result and errors.Is(err, ErrDegraded)
+// reports true.
+var ErrDegraded = errors.New("ttdb: time-series store unavailable")
+
+// DegradedError carries which query degraded and why. It unwraps to both
+// ErrDegraded and the underlying cause.
+type DegradedError struct {
+	Query string
+	Cause error
+}
+
+func (e *DegradedError) Error() string {
+	return fmt.Sprintf("ttdb: %s degraded (ts store unavailable): %v", e.Query, e.Cause)
+}
+
+// Unwrap lets errors.Is match ErrDegraded and the cause alike.
+func (e *DegradedError) Unwrap() []error { return []error{ErrDegraded, e.Cause} }
+
+// RetryPolicy bounds how the durable layer retries transient storage errors
+// (faults.IsTransient). Exponential backoff: BaseDelay, 2x, 4x, ...
+type RetryPolicy struct {
+	MaxAttempts int           // total attempts; <= 1 means no retry
+	BaseDelay   time.Duration // sleep before the first retry; 0 skips sleeping
+}
+
+// DefaultRetry is tuned for tests: a few fast attempts.
+var DefaultRetry = RetryPolicy{MaxAttempts: 4, BaseDelay: time.Millisecond}
+
+// run invokes op, retrying transient failures per the policy. Permanent
+// errors and exhausted retries return the last error.
+func (r RetryPolicy) run(op func() error) error {
+	attempts := r.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	delay := r.BaseDelay
+	for i := 0; ; i++ {
+		err := op()
+		if err == nil || !faults.IsTransient(err) || i+1 >= attempts {
+			return err
+		}
+		if delay > 0 {
+			time.Sleep(delay)
+			delay *= 2
+		}
+	}
+}
+
+// Intent-journal opcodes. One station ingest is one transaction:
+//
+//	BEGIN(txn, node)    — node id pre-allocated via graphstore.NextNodeID
+//	  ... graph writes flushed ...
+//	PREPARED(txn, node) — graph side durable
+//	  ... time-series writes flushed ...
+//	COMMIT(txn, node)   — both sides durable
+//
+// Recovery (RecoverPolyglot) replays both stores' WALs and then decides each
+// transaction's fate from its last journal record: COMMIT keeps it; PREPARED
+// rolls forward when the series made it to disk and rolls back otherwise;
+// BEGIN always rolls back. Rollback deletes the graph node and the series,
+// both idempotent, so recovering twice is safe.
+const (
+	jBegin byte = iota + 1
+	jPrepared
+	jCommit
+)
+
+// DurablePolyglot wraps a Polyglot engine with write-ahead logs on both
+// stores plus a cross-store intent journal, making station ingest atomic
+// across the graph and time-series sides: after a crash at any point,
+// RecoverPolyglot restores a state where every station either has both its
+// node and its series or neither.
+type DurablePolyglot struct {
+	eng *Polyglot
+	gw  *graphstore.WAL
+	tw  *tsstore.WAL
+	jw  *walrec.Writer
+
+	// Retry bounds transient-error retries on every storage operation.
+	Retry RetryPolicy
+
+	txn     uint64
+	tsErr   error // last permanent TS-side failure; non-nil degrades queries
+	scratch []byte
+}
+
+// NewDurable returns an empty durable engine logging to the three writers
+// (graph WAL, time-series WAL, intent journal).
+func NewDurable(chunkWidth ts.Time, graphLog, tsLog, journal io.Writer) *DurablePolyglot {
+	return ResumeDurable(NewPolyglot(chunkWidth), graphLog, tsLog, journal, 0)
+}
+
+// ResumeDurable wraps an existing engine (typically the result of
+// RecoverPolyglot) with fresh logs. nextTxn must exceed every transaction id
+// in any journal the new journal continues (PolyglotRecovery.NextTxn).
+func ResumeDurable(eng *Polyglot, graphLog, tsLog, journal io.Writer, nextTxn uint64) *DurablePolyglot {
+	return &DurablePolyglot{
+		eng:   eng,
+		gw:    graphstore.NewWAL(eng.G, graphLog),
+		tw:    tsstore.NewWAL(eng.T, tsLog),
+		jw:    walrec.NewWriter(journal),
+		Retry: DefaultRetry,
+		txn:   nextTxn,
+	}
+}
+
+// Engine exposes the wrapped engine for direct (non-durable) reads.
+func (d *DurablePolyglot) Engine() *Polyglot { return d.eng }
+
+// Name identifies the engine in reports.
+func (d *DurablePolyglot) Name() string { return "ttdb-durable" }
+
+// journal appends one intent record and flushes it — each protocol step must
+// be on disk before the next store write starts.
+func (d *DurablePolyglot) journal(op byte, txn uint64, node StationID) error {
+	return d.Retry.run(func() error {
+		if err := faults.Check(FaultJournalAppend); err != nil {
+			return err
+		}
+		d.scratch = append(d.scratch[:0], op)
+		d.scratch = binary.AppendUvarint(d.scratch, txn)
+		d.scratch = binary.AppendUvarint(d.scratch, uint64(node))
+		if err := d.jw.Append(d.scratch); err != nil {
+			return err
+		}
+		return d.jw.Flush()
+	})
+}
+
+// graphSide writes the station node and its properties, then flushes. The
+// closure is safe to retry: CreateNode is guarded by the pre-allocated id and
+// property sets are upserts, so a transient failure at any point re-runs
+// without duplicating state.
+func (d *DurablePolyglot) graphSide(node StationID, name, district string) error {
+	return d.Retry.run(func() error {
+		if err := faults.Check(FaultIngestGraph); err != nil {
+			return err
+		}
+		if d.eng.G.NextNodeID() == node {
+			id, err := d.gw.CreateNode("Station")
+			if err != nil {
+				return err
+			}
+			if id != node {
+				return fmt.Errorf("ttdb: node id drift: journaled %d, created %d", node, id)
+			}
+		}
+		if err := d.gw.SetNodeProp(node, "name", graphstore.StrVal(name)); err != nil {
+			return err
+		}
+		if err := d.gw.SetNodeProp(node, "district", graphstore.StrVal(district)); err != nil {
+			return err
+		}
+		return d.gw.Flush()
+	})
+}
+
+// tsSide writes the station's series, then flushes. InsertSeries upserts on
+// duplicate timestamps, so retrying after a transient flush failure is
+// idempotent in the recovered state.
+func (d *DurablePolyglot) tsSide(node StationID, s *ts.Series) error {
+	return d.Retry.run(func() error {
+		if err := faults.Check(FaultIngestTS); err != nil {
+			return err
+		}
+		if err := d.tw.InsertSeries(key(node), s); err != nil {
+			return err
+		}
+		return d.tw.Flush()
+	})
+}
+
+// IngestStation atomically adds a station and its series across both stores
+// using the intent-journal protocol. On a permanent error the in-memory state
+// may be half-applied — exactly the state a crash leaves on disk — and
+// RecoverPolyglot over the written logs restores consistency; this mirrors
+// how a real engine treats an unrecoverable storage fault as fail-stop.
+func (d *DurablePolyglot) IngestStation(name, district string, s *ts.Series) (StationID, error) {
+	txn := d.txn
+	d.txn++
+	node := d.eng.G.NextNodeID()
+	if err := d.journal(jBegin, txn, node); err != nil {
+		return 0, fmt.Errorf("ttdb: txn %d begin: %w", txn, err)
+	}
+	if err := d.graphSide(node, name, district); err != nil {
+		return 0, fmt.Errorf("ttdb: txn %d graph write: %w", txn, err)
+	}
+	if err := d.journal(jPrepared, txn, node); err != nil {
+		return 0, fmt.Errorf("ttdb: txn %d prepared: %w", txn, err)
+	}
+	if err := d.tsSide(node, s); err != nil {
+		d.tsErr = err
+		return 0, fmt.Errorf("ttdb: txn %d ts write: %w", txn, err)
+	}
+	d.tsErr = nil
+	if err := d.journal(jCommit, txn, node); err != nil {
+		// Both sides are durable; recovery rolls the PREPARED record forward
+		// because the series is present. The station is usable.
+		return node, fmt.Errorf("ttdb: txn %d commit record: %w", txn, err)
+	}
+	return node, nil
+}
+
+// AddTrip durably records a trip edge. Trips touch only the graph store, so
+// no intent journal is needed — the graph WAL alone makes them atomic.
+func (d *DurablePolyglot) AddTrip(a, b StationID, count int) error {
+	var rel graphstore.RelID
+	created := false
+	return d.Retry.run(func() error {
+		if err := faults.Check(FaultIngestGraph); err != nil {
+			return err
+		}
+		if !created {
+			r, err := d.gw.CreateRel(a, b, "TRIP")
+			if err != nil {
+				return err
+			}
+			rel, created = r, true
+		}
+		if err := d.gw.SetRelProp(rel, "count", graphstore.IntVal(int64(count))); err != nil {
+			return err
+		}
+		return d.gw.Flush()
+	})
+}
+
+// tsCheck reports whether the time-series store is usable for query q,
+// returning a DegradedError otherwise.
+func (d *DurablePolyglot) tsCheck(q string) error {
+	if err := faults.Check(FaultQueryTS); err != nil {
+		return &DegradedError{Query: q, Cause: err}
+	}
+	if d.tsErr != nil {
+		return &DegradedError{Query: q, Cause: d.tsErr}
+	}
+	return nil
+}
+
+// Q1TimeRange is Engine.Q1TimeRange with degradation: no partial result is
+// derivable from the graph alone, so a degraded call returns nil points.
+func (d *DurablePolyglot) Q1TimeRange(st StationID, start, end ts.Time) ([]ts.Point, error) {
+	if err := d.tsCheck("Q1"); err != nil {
+		return nil, err
+	}
+	return d.eng.Q1TimeRange(st, start, end), nil
+}
+
+// Q2FilteredRange is Engine.Q2FilteredRange with degradation.
+func (d *DurablePolyglot) Q2FilteredRange(st StationID, start, end ts.Time, below float64) ([]ts.Point, error) {
+	if err := d.tsCheck("Q2"); err != nil {
+		return nil, err
+	}
+	return d.eng.Q2FilteredRange(st, start, end, below), nil
+}
+
+// Q3StationMean is Engine.Q3StationMean with degradation.
+func (d *DurablePolyglot) Q3StationMean(st StationID, start, end ts.Time) (float64, error) {
+	if err := d.tsCheck("Q3"); err != nil {
+		return 0, err
+	}
+	return d.eng.Q3StationMean(st, start, end), nil
+}
+
+// Q4AllStationMeans is Engine.Q4AllStationMeans with degradation: the station
+// set still comes from the graph store, with zero means, so callers can at
+// least enumerate entities while the TS side is down.
+func (d *DurablePolyglot) Q4AllStationMeans(start, end ts.Time) (map[StationID]float64, error) {
+	if err := d.tsCheck("Q4"); err != nil {
+		out := map[StationID]float64{}
+		for _, st := range d.eng.G.NodesByLabel("Station") {
+			out[st] = 0
+		}
+		return out, err
+	}
+	return d.eng.Q4AllStationMeans(start, end), nil
+}
+
+// Q5DistrictSums is Engine.Q5DistrictSums with degradation: the district
+// partition survives (it lives in the graph), the sums degrade to zero.
+func (d *DurablePolyglot) Q5DistrictSums(start, end ts.Time) (map[string]float64, error) {
+	if err := d.tsCheck("Q5"); err != nil {
+		out := map[string]float64{}
+		for _, st := range d.eng.G.NodesByLabel("Station") {
+			district := "?"
+			if v, ok := d.eng.G.NodeProp(st, "district"); ok {
+				district = v.S
+			}
+			out[district] += 0
+		}
+		return out, err
+	}
+	return d.eng.Q5DistrictSums(start, end), nil
+}
+
+// Q6TopKStations is Engine.Q6TopKStations with degradation: ranking needs the
+// series, so a degraded call returns no ids.
+func (d *DurablePolyglot) Q6TopKStations(start, end ts.Time, k int) ([]StationID, error) {
+	if err := d.tsCheck("Q6"); err != nil {
+		return nil, err
+	}
+	return d.eng.Q6TopKStations(start, end, k), nil
+}
+
+// Q7Correlation is Engine.Q7Correlation with degradation.
+func (d *DurablePolyglot) Q7Correlation(x, y StationID, start, end, bucket ts.Time) (float64, error) {
+	if err := d.tsCheck("Q7"); err != nil {
+		return 0, err
+	}
+	return d.eng.Q7Correlation(x, y, start, end, bucket), nil
+}
+
+// Q8NeighborMeans is Engine.Q8NeighborMeans with degradation: the neighbor
+// set is pure topology and survives, with zero means.
+func (d *DurablePolyglot) Q8NeighborMeans(st StationID, start, end ts.Time) (map[StationID]float64, error) {
+	if err := d.tsCheck("Q8"); err != nil {
+		out := map[StationID]float64{}
+		for _, n := range d.eng.G.Neighbors(st, "TRIP") {
+			out[n] = 0
+		}
+		return out, err
+	}
+	return d.eng.Q8NeighborMeans(st, start, end), nil
+}
+
+// ---------------------------------------------------------------------------
+// Recovery
+
+// TxnFate records what recovery decided for one journaled transaction.
+type TxnFate struct {
+	Txn   uint64
+	Node  StationID
+	State string // "begin", "prepared", "commit"
+	Fate  string // "committed", "rolled-forward", "rolled-back"
+}
+
+// PolyglotRecovery summarizes a RecoverPolyglot run.
+type PolyglotRecovery struct {
+	Graph   graphstore.RecoverySummary
+	TS      tsstore.RecoverySummary
+	Journal walrec.Summary
+
+	Txns          int
+	Committed     int
+	RolledForward int // prepared, series present: kept
+	RolledBack    int // half-applied: node and series removed
+	NextTxn       uint64
+	Fates         []TxnFate
+}
+
+// String renders the summary for the recover CLI.
+func (r PolyglotRecovery) String() string {
+	return fmt.Sprintf(
+		"graph: %d ops (%s)\nts:    %d ops, %d points (%s)\njournal: %d txns (%s) — %d committed, %d rolled forward, %d rolled back",
+		r.Graph.Applied, r.Graph.Summary.String(),
+		r.TS.Applied, r.TS.Points, r.TS.Summary.String(),
+		r.Txns, r.Journal.String(), r.Committed, r.RolledForward, r.RolledBack,
+	)
+}
+
+func stateName(op byte) string {
+	switch op {
+	case jBegin:
+		return "begin"
+	case jPrepared:
+		return "prepared"
+	case jCommit:
+		return "commit"
+	}
+	return fmt.Sprintf("op%d", op)
+}
+
+// RecoverPolyglot rebuilds a polyglot engine after a crash from the five
+// durable artifacts: optional snapshots and WALs for both stores, plus the
+// intent journal. Any reader may be nil. After both stores replay, each
+// journaled transaction's last record decides its fate (see the opcode docs);
+// rollbacks are applied to the recovered in-memory state only — callers that
+// want them durable re-snapshot via Compact-style flows (cmd/hygraph
+// recover -compact).
+func RecoverPolyglot(graphSnap, graphLog, tsSnap, tsLog, journal io.Reader, chunkWidth ts.Time) (*Polyglot, PolyglotRecovery, error) {
+	var rec PolyglotRecovery
+	g, gsum, err := graphstore.Recover(graphSnap, graphLog)
+	rec.Graph = gsum
+	if err != nil {
+		return nil, rec, fmt.Errorf("ttdb: graph recovery: %w", err)
+	}
+	t, tsum, err := tsstore.Recover(tsSnap, tsLog, chunkWidth)
+	rec.TS = tsum
+	if err != nil {
+		return nil, rec, fmt.Errorf("ttdb: ts recovery: %w", err)
+	}
+	eng := &Polyglot{G: g, T: t}
+
+	type txnState struct {
+		node  StationID
+		state byte
+	}
+	states := map[uint64]*txnState{}
+	var order []uint64
+	if journal != nil {
+		sc := walrec.NewScanner(journal)
+		for {
+			payload, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				rec.Journal = sc.Summary()
+				return nil, rec, fmt.Errorf("ttdb: intent journal: %w", err)
+			}
+			op, txn, node, err := parseJournalRecord(payload)
+			if err != nil {
+				rec.Journal = sc.Summary()
+				return nil, rec, err
+			}
+			if st, ok := states[txn]; ok {
+				st.state, st.node = op, node
+			} else {
+				states[txn] = &txnState{node: node, state: op}
+				order = append(order, txn)
+			}
+			if txn >= rec.NextTxn {
+				rec.NextTxn = txn + 1
+			}
+		}
+		rec.Journal = sc.Summary()
+	}
+
+	// A node id can appear in more than one transaction across journal
+	// generations: a txn whose CreateNode never reached disk leaves the id
+	// free for the next session to allocate again. The node's fate belongs to
+	// the LAST txn referencing it — an earlier rolled-back txn must not
+	// delete a later txn's node or series.
+	lastTxnForNode := map[StationID]uint64{}
+	for _, txn := range order {
+		if st := states[txn]; txn >= lastTxnForNode[st.node] {
+			lastTxnForNode[st.node] = txn
+		}
+	}
+
+	for _, txn := range order {
+		st := states[txn]
+		fate := TxnFate{Txn: txn, Node: st.node, State: stateName(st.state)}
+		rec.Txns++
+		switch {
+		case st.state == jCommit:
+			rec.Committed++
+			fate.Fate = "committed"
+		case st.state == jPrepared && t.HasSeries(key(st.node)):
+			// Graph and series both made it to disk; only the commit record
+			// is missing. Keep the station.
+			rec.RolledForward++
+			fate.Fate = "rolled-forward"
+		default:
+			// Half-applied (BEGIN only, or PREPARED with no series): remove
+			// whichever side exists. Both deletes are idempotent, and skipped
+			// when a later txn owns the node id.
+			if lastTxnForNode[st.node] == txn {
+				if g.NodeExists(st.node) {
+					if err := g.DeleteNode(st.node); err != nil {
+						return nil, rec, fmt.Errorf("ttdb: rollback txn %d: %w", txn, err)
+					}
+				}
+				t.DeleteSeries(key(st.node))
+			}
+			rec.RolledBack++
+			fate.Fate = "rolled-back"
+		}
+		rec.Fates = append(rec.Fates, fate)
+	}
+	return eng, rec, nil
+}
+
+func parseJournalRecord(payload []byte) (op byte, txn uint64, node StationID, err error) {
+	if len(payload) < 1 {
+		return 0, 0, 0, fmt.Errorf("ttdb: empty journal record")
+	}
+	op = payload[0]
+	if op < jBegin || op > jCommit {
+		return 0, 0, 0, fmt.Errorf("ttdb: corrupt journal opcode %d", op)
+	}
+	rest := payload[1:]
+	txn, n := binary.Uvarint(rest)
+	if n <= 0 {
+		return 0, 0, 0, fmt.Errorf("ttdb: corrupt journal txn id")
+	}
+	nodeU, n2 := binary.Uvarint(rest[n:])
+	if n2 <= 0 {
+		return 0, 0, 0, fmt.Errorf("ttdb: corrupt journal node id")
+	}
+	return op, txn, StationID(nodeU), nil
+}
+
+// CheckConsistency verifies the cross-store invariant the ingest protocol
+// maintains: every Station node has its series and every series belongs to a
+// live Station node. It returns nil when consistent.
+func CheckConsistency(eng *Polyglot) error {
+	for _, st := range eng.G.NodesByLabel("Station") {
+		if !eng.T.HasSeries(key(st)) {
+			return fmt.Errorf("ttdb: station %d has no series (orphan node)", st)
+		}
+	}
+	for _, k := range eng.T.Keys() {
+		if k.Metric != Metric {
+			continue
+		}
+		if !eng.G.NodeExists(StationID(k.Entity)) {
+			return fmt.Errorf("ttdb: series %v has no station (orphan series)", k)
+		}
+	}
+	return nil
+}

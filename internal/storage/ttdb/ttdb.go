@@ -38,16 +38,18 @@ const Metric = "availability"
 // StationID identifies a station in either engine (the graph-store node id).
 type StationID = graphstore.NodeID
 
-// Engine is the common query surface of both storage architectures.
+// Engine is the common query surface of both storage architectures. The
+// mutating methods return errors rather than panicking: callers on the
+// library path handle them, and only explicit Must* helpers may panic.
 type Engine interface {
 	// Name identifies the engine in reports ("neo4j-sim" / "ttdb").
 	Name() string
 	// AddStation registers a station with its district; returns its id.
-	AddStation(name, district string) StationID
+	AddStation(name, district string) (StationID, error)
 	// AddTrip records an aggregated trip edge between two stations.
-	AddTrip(a, b StationID, count int)
+	AddTrip(a, b StationID, count int) error
 	// LoadSeries attaches the metric series to a station.
-	LoadSeries(st StationID, s *ts.Series)
+	LoadSeries(st StationID, s *ts.Series) error
 
 	// Q1: raw time-range fetch for one station.
 	Q1TimeRange(st StationID, start, end ts.Time) []ts.Point
@@ -83,20 +85,24 @@ func NewAllInGraph() *AllInGraph { return &AllInGraph{G: graphstore.New()} }
 func (a *AllInGraph) Name() string { return "neo4j-sim" }
 
 // AddStation implements Engine.
-func (a *AllInGraph) AddStation(name, district string) StationID {
+func (a *AllInGraph) AddStation(name, district string) (StationID, error) {
 	id := a.G.CreateNode("Station")
-	a.G.SetNodeProp(id, "name", graphstore.StrVal(name))
-	a.G.SetNodeProp(id, "district", graphstore.StrVal(district))
-	return id
+	if err := a.G.SetNodeProp(id, "name", graphstore.StrVal(name)); err != nil {
+		return 0, err
+	}
+	if err := a.G.SetNodeProp(id, "district", graphstore.StrVal(district)); err != nil {
+		return 0, err
+	}
+	return id, nil
 }
 
 // AddTrip implements Engine.
-func (a *AllInGraph) AddTrip(x, y StationID, count int) {
+func (a *AllInGraph) AddTrip(x, y StationID, count int) error {
 	rel, err := a.G.CreateRel(x, y, "TRIP")
 	if err != nil {
-		panic(err)
+		return err
 	}
-	a.G.SetRelProp(rel, "count", graphstore.IntVal(int64(count)))
+	return a.G.SetRelProp(rel, "count", graphstore.IntVal(int64(count)))
 }
 
 // pointKey encodes one observation's property name.
@@ -116,10 +122,13 @@ func parsePointKey(key string) (ts.Time, bool) {
 }
 
 // LoadSeries implements Engine: one property record per observation.
-func (a *AllInGraph) LoadSeries(st StationID, s *ts.Series) {
+func (a *AllInGraph) LoadSeries(st StationID, s *ts.Series) error {
 	for i := 0; i < s.Len(); i++ {
-		a.G.SetNodeProp(st, pointKey(s.TimeAt(i)), graphstore.FloatVal(s.ValueAt(i)))
+		if err := a.G.SetNodeProp(st, pointKey(s.TimeAt(i)), graphstore.FloatVal(s.ValueAt(i))); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // scan walks the whole property chain of a station, decoding every record
@@ -234,20 +243,24 @@ func NewPolyglot(chunkWidth ts.Time) *Polyglot {
 func (p *Polyglot) Name() string { return "ttdb" }
 
 // AddStation implements Engine.
-func (p *Polyglot) AddStation(name, district string) StationID {
+func (p *Polyglot) AddStation(name, district string) (StationID, error) {
 	id := p.G.CreateNode("Station")
-	p.G.SetNodeProp(id, "name", graphstore.StrVal(name))
-	p.G.SetNodeProp(id, "district", graphstore.StrVal(district))
-	return id
+	if err := p.G.SetNodeProp(id, "name", graphstore.StrVal(name)); err != nil {
+		return 0, err
+	}
+	if err := p.G.SetNodeProp(id, "district", graphstore.StrVal(district)); err != nil {
+		return 0, err
+	}
+	return id, nil
 }
 
 // AddTrip implements Engine.
-func (p *Polyglot) AddTrip(x, y StationID, count int) {
+func (p *Polyglot) AddTrip(x, y StationID, count int) error {
 	rel, err := p.G.CreateRel(x, y, "TRIP")
 	if err != nil {
-		panic(err)
+		return err
 	}
-	p.G.SetRelProp(rel, "count", graphstore.IntVal(int64(count)))
+	return p.G.SetRelProp(rel, "count", graphstore.IntVal(int64(count)))
 }
 
 func key(st StationID) tsstore.SeriesKey {
@@ -255,8 +268,9 @@ func key(st StationID) tsstore.SeriesKey {
 }
 
 // LoadSeries implements Engine: points go to the hypertable, keyed by node.
-func (p *Polyglot) LoadSeries(st StationID, s *ts.Series) {
+func (p *Polyglot) LoadSeries(st StationID, s *ts.Series) error {
 	p.T.InsertSeries(key(st), s)
+	return nil
 }
 
 // Q1TimeRange implements Engine.

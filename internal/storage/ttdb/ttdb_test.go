@@ -10,15 +10,22 @@ import (
 
 // loadWorkload fills an engine with a small deterministic bike-sharing
 // workload and returns the station ids.
-func loadWorkload(e Engine) []StationID {
+func loadWorkload(t *testing.T, e Engine) []StationID {
+	t.Helper()
 	rng := rand.New(rand.NewSource(42))
 	districts := []string{"north", "south", "east"}
 	var sts []StationID
 	for i := 0; i < 9; i++ {
-		sts = append(sts, e.AddStation("st", districts[i%3]))
+		st, err := e.AddStation("st", districts[i%3])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sts = append(sts, st)
 	}
 	for i := 0; i < 9; i++ {
-		e.AddTrip(sts[i], sts[(i+1)%9], 1+rng.Intn(5))
+		if err := e.AddTrip(sts[i], sts[(i+1)%9], 1+rng.Intn(5)); err != nil {
+			t.Fatal(err)
+		}
 	}
 	for i, st := range sts {
 		s := ts.New(Metric)
@@ -26,7 +33,9 @@ func loadWorkload(e Engine) []StationID {
 			v := 10 + float64(i) + 3*math.Sin(2*math.Pi*float64(h%24)/24)
 			s.MustAppend(ts.Time(h)*ts.Hour, v)
 		}
-		e.LoadSeries(st, s)
+		if err := e.LoadSeries(st, s); err != nil {
+			t.Fatal(err)
+		}
 	}
 	return sts
 }
@@ -36,8 +45,8 @@ func loadWorkload(e Engine) []StationID {
 func TestEnginesAgree(t *testing.T) {
 	neo := NewAllInGraph()
 	pg := NewPolyglot(ts.Day)
-	stN := loadWorkload(neo)
-	stP := loadWorkload(pg)
+	stN := loadWorkload(t, neo)
+	stP := loadWorkload(t, pg)
 	start, end := 2*ts.Day, 9*ts.Day
 
 	// Q1
@@ -126,13 +135,18 @@ func TestAllInGraphPropertyExplosion(t *testing.T) {
 	// The paper's observation: storing points as properties explodes the
 	// property count (series length + metadata per station).
 	neo := NewAllInGraph()
-	st := neo.AddStation("x", "d")
+	st, err := neo.AddStation("x", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
 	s := ts.New(Metric)
 	n := 500
 	for i := 0; i < n; i++ {
 		s.MustAppend(ts.Time(i), float64(i))
 	}
-	neo.LoadSeries(st, s)
+	if err := neo.LoadSeries(st, s); err != nil {
+		t.Fatal(err)
+	}
 	if got := neo.G.NodePropCount(st); got != n+2 { // + name + district
 		t.Fatalf("prop chain length=%d want %d", got, n+2)
 	}

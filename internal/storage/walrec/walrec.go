@@ -1,0 +1,216 @@
+// Package walrec frames write-ahead-log records for crash safety. Every
+// record is written as
+//
+//	uvarint(len(payload)) · crc32c(payload) [4 bytes LE] · payload
+//
+// so a reader can detect a torn tail (the process died mid-append) and
+// distinguish it from mid-log corruption (a flipped bit in a record that has
+// valid data after it). The CRC is Castagnoli (CRC32C), the polynomial used
+// by ext4, iSCSI and most production WALs because of hardware support.
+//
+// Torn or corrupt *tails* are recoverable: the scanner drops the partial
+// frame, reports it in its Summary, and the store loses at most the final
+// record. Corruption followed by more intact data is not recoverable —
+// replaying past it could resurrect arbitrarily wrong state — so the scanner
+// stops with ErrCorrupt.
+package walrec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// MaxRecord bounds a single record's payload. Anything larger in a length
+// prefix is treated as corruption rather than an allocation request.
+const MaxRecord = 1 << 24 // 16 MiB
+
+// ErrCorrupt is wrapped by scanner errors for checksum mismatches and
+// malformed frames that cannot be attributed to a torn tail.
+var ErrCorrupt = errors.New("walrec: corrupt record")
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer appends framed records to an underlying writer through a buffer.
+// The first write error is latched: once a record fails, no later record is
+// buffered or flushed, so a failed record can never reach the log with
+// further records after it (which would turn a recoverable torn tail into
+// unrecoverable mid-log corruption).
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+// NewWriter wraps w. Records accumulate in a buffer until Flush, which
+// callers invoke at commit points.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Err returns the latched write error, if any.
+func (w *Writer) Err() error { return w.err }
+
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Append frames and buffers one record. The payload is fully materialized by
+// the caller before Append, so a failure leaves at most a partial frame in
+// the log tail — never an interleaving of two records.
+func (w *Writer) Append(payload []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(payload) > MaxRecord {
+		return w.fail(fmt.Errorf("walrec: record of %d bytes exceeds MaxRecord", len(payload)))
+	}
+	var hdr [binary.MaxVarintLen64 + 4]byte
+	n := binary.PutUvarint(hdr[:], uint64(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[n:], crc32.Checksum(payload, castagnoli))
+	if _, err := w.w.Write(hdr[:n+4]); err != nil {
+		return w.fail(err)
+	}
+	if _, err := w.w.Write(payload); err != nil {
+		return w.fail(err)
+	}
+	return nil
+}
+
+// Flush forces buffered records to the underlying writer. It refuses to run
+// after a latched error so a known-bad record is never emitted.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		return w.fail(err)
+	}
+	return nil
+}
+
+// Summary reports what a Scanner consumed, for recovery reporting.
+type Summary struct {
+	Records      int   // intact records returned
+	Bytes        int64 // bytes of intact frames consumed
+	TornTail     bool  // the log ended inside a frame; the partial frame was dropped
+	CorruptTail  bool  // the final complete frame failed its checksum and was dropped
+	DroppedBytes int64 // bytes discarded from the tail
+}
+
+func (s Summary) String() string {
+	switch {
+	case s.TornTail:
+		return fmt.Sprintf("%d records (%d bytes), torn tail: dropped %d bytes", s.Records, s.Bytes, s.DroppedBytes)
+	case s.CorruptTail:
+		return fmt.Sprintf("%d records (%d bytes), corrupt tail: dropped %d bytes", s.Records, s.Bytes, s.DroppedBytes)
+	default:
+		return fmt.Sprintf("%d records (%d bytes), clean", s.Records, s.Bytes)
+	}
+}
+
+// Scanner reads framed records back.
+type Scanner struct {
+	r   *bufio.Reader
+	sum Summary
+	off int64 // bytes consumed so far
+}
+
+// NewScanner wraps r.
+func NewScanner(r io.Reader) *Scanner {
+	return &Scanner{r: bufio.NewReader(r)}
+}
+
+// Summary describes what has been consumed so far; call it after Next
+// returns io.EOF for the full recovery picture.
+func (s *Scanner) Summary() Summary { return s.sum }
+
+// readByte tracks the consumed offset.
+func (s *Scanner) readByte() (byte, error) {
+	b, err := s.r.ReadByte()
+	if err == nil {
+		s.off++
+	}
+	return b, err
+}
+
+// Next returns the next intact payload. At a clean end it returns io.EOF.
+// A torn or checksum-corrupt tail is dropped, recorded in the Summary, and
+// also reported as io.EOF — recovery loses at most that final record.
+// Corruption with more data after it returns an error wrapping ErrCorrupt.
+func (s *Scanner) Next() ([]byte, error) {
+	frameStart := s.off
+	torn := func() ([]byte, error) {
+		s.sum.TornTail = true
+		s.sum.DroppedBytes = s.off - frameStart
+		return nil, io.EOF
+	}
+	// Length prefix. EOF on the first byte is a clean end; EOF inside the
+	// varint is a torn tail.
+	first := true
+	var length uint64
+	var shift uint
+	for {
+		b, err := s.readByte()
+		if err == io.EOF {
+			if first {
+				return nil, io.EOF
+			}
+			return torn()
+		}
+		if err != nil {
+			return nil, err
+		}
+		first = false
+		if shift >= 64 || (shift == 63 && b > 1) {
+			return nil, fmt.Errorf("%w: length varint overflow at offset %d", ErrCorrupt, frameStart)
+		}
+		length |= uint64(b&0x7f) << shift
+		if b < 0x80 {
+			break
+		}
+		shift += 7
+	}
+	if length > MaxRecord {
+		return nil, fmt.Errorf("%w: record length %d exceeds MaxRecord at offset %d", ErrCorrupt, length, frameStart)
+	}
+	var crcBuf [4]byte
+	if n, err := io.ReadFull(s.r, crcBuf[:]); err != nil {
+		s.off += int64(n)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return torn()
+		}
+		return nil, err
+	}
+	s.off += 4
+	payload := make([]byte, length)
+	if n, err := io.ReadFull(s.r, payload); err != nil {
+		s.off += int64(n)
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return torn()
+		}
+		return nil, err
+	}
+	s.off += int64(length)
+	want := binary.LittleEndian.Uint32(crcBuf[:])
+	if crc32.Checksum(payload, castagnoli) != want {
+		// A bad checksum on the very last frame is tail damage (a torn
+		// rewrite or bit rot on the final record): drop it and recover.
+		// Bad checksum with data after it is mid-log corruption: stop.
+		if _, err := s.r.Peek(1); err == io.EOF {
+			s.sum.CorruptTail = true
+			s.sum.DroppedBytes = s.off - frameStart
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: checksum mismatch in record %d at offset %d",
+			ErrCorrupt, s.sum.Records, frameStart)
+	}
+	s.sum.Records++
+	s.sum.Bytes += s.off - frameStart
+	return payload, nil
+}

@@ -1,0 +1,175 @@
+package walrec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"testing"
+)
+
+func writeRecords(t *testing.T, payloads ...[]byte) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, p := range payloads {
+		if err := w.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestRoundTrip(t *testing.T) {
+	payloads := [][]byte{[]byte("alpha"), {}, []byte("a much longer record with \x00 bytes \xff inside")}
+	raw := writeRecords(t, payloads...)
+	sc := NewScanner(bytes.NewReader(raw))
+	for i, want := range payloads {
+		got, err := sc.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d: %q vs %q", i, got, want)
+		}
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("expected clean EOF, got %v", err)
+	}
+	sum := sc.Summary()
+	if sum.Records != 3 || sum.TornTail || sum.CorruptTail || sum.Bytes != int64(len(raw)) {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+// The acceptance property: truncating the log at every byte offset of the
+// final record must recover without error, losing at most that record.
+func TestTornTailAtEveryOffset(t *testing.T) {
+	raw := writeRecords(t, []byte("first"), []byte("second"), []byte("final-record"))
+	prefix := writeRecords(t, []byte("first"), []byte("second"))
+	for cut := len(prefix); cut < len(raw); cut++ {
+		sc := NewScanner(bytes.NewReader(raw[:cut]))
+		var n int
+		for {
+			_, err := sc.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatalf("cut %d: %v", cut, err)
+			}
+			n++
+		}
+		if n != 2 {
+			t.Fatalf("cut %d: recovered %d records", cut, n)
+		}
+		sum := sc.Summary()
+		if cut > len(prefix) && !sum.TornTail {
+			t.Fatalf("cut %d: torn tail not reported: %+v", cut, sum)
+		}
+		if sum.DroppedBytes != int64(cut-len(prefix)) {
+			t.Fatalf("cut %d: dropped %d want %d", cut, sum.DroppedBytes, cut-len(prefix))
+		}
+	}
+}
+
+func TestCorruptTailDropped(t *testing.T) {
+	raw := writeRecords(t, []byte("first"), []byte("last"))
+	// Flip a bit inside the final record's payload (last byte of the log).
+	mut := append([]byte(nil), raw...)
+	mut[len(mut)-1] ^= 0x40
+	sc := NewScanner(bytes.NewReader(mut))
+	if p, err := sc.Next(); err != nil || string(p) != "first" {
+		t.Fatalf("first record: %q %v", p, err)
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("corrupt tail should truncate, got %v", err)
+	}
+	if sum := sc.Summary(); !sum.CorruptTail || sum.Records != 1 {
+		t.Fatalf("summary %+v", sum)
+	}
+}
+
+func TestMidLogCorruptionDetected(t *testing.T) {
+	raw := writeRecords(t, []byte("first"), []byte("second"))
+	// Flip a payload bit in the FIRST record: intact data follows, so this
+	// must be a hard error, not a truncation.
+	mut := append([]byte(nil), raw...)
+	mut[6] ^= 0x01 // inside "first"'s payload (1 len byte + 4 crc + offset 1)
+	sc := NewScanner(bytes.NewReader(mut))
+	_, err := sc.Next()
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestOversizeLengthIsCorrupt(t *testing.T) {
+	// A length prefix beyond MaxRecord must not allocate or panic.
+	sc := NewScanner(bytes.NewReader([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x7f, 1, 2, 3}))
+	if _, err := sc.Next(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("want ErrCorrupt, got %v", err)
+	}
+}
+
+func TestArbitraryBytesNeverPanic(t *testing.T) {
+	inputs := [][]byte{
+		{}, {0x00}, {0x01}, {0x80}, {0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80},
+		{0x05, 1, 2, 3, 4}, bytes.Repeat([]byte{0xee}, 64),
+	}
+	for i, in := range inputs {
+		sc := NewScanner(bytes.NewReader(in))
+		for {
+			_, err := sc.Next()
+			if err != nil {
+				break
+			}
+		}
+		_ = sc.Summary()
+		_ = i
+	}
+}
+
+type failAfter struct {
+	n int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	if len(p) > w.n {
+		n := w.n
+		w.n = 0
+		return n, fmt.Errorf("disk full")
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+func TestWriterLatchesError(t *testing.T) {
+	w := NewWriter(&failAfter{n: 8})
+	// Fill past the bufio buffer so the failure surfaces.
+	payload := bytes.Repeat([]byte{7}, 3000)
+	var firstErr error
+	for i := 0; i < 10 && firstErr == nil; i++ {
+		firstErr = w.Append(payload)
+	}
+	if firstErr == nil {
+		firstErr = w.Flush()
+	}
+	if firstErr == nil {
+		t.Fatal("failing writer accepted everything")
+	}
+	if err := w.Append([]byte("more")); err == nil {
+		t.Fatal("append after latched error succeeded")
+	}
+	if err := w.Flush(); err == nil {
+		t.Fatal("flush after latched error succeeded")
+	}
+	if w.Err() == nil {
+		t.Fatal("error not latched")
+	}
+}

@@ -74,7 +74,7 @@ func (g *Graph) SliceBetween(start, end ts.Time) *Graph {
 		}
 		nid := out.MustAddVertex(clipped, v.Labels...)
 		for _, k := range v.PropKeys() {
-			out.SetVertexProp(nid, k, v.Prop(k))
+			_ = out.SetVertexProp(nid, k, v.Prop(k)) // nid was just created
 		}
 		remap[v.ID] = nid
 		return true
@@ -94,7 +94,7 @@ func (g *Graph) SliceBetween(start, end ts.Time) *Graph {
 			return true
 		}
 		for _, k := range e.PropKeys() {
-			out.SetEdgeProp(nid, k, e.Prop(k))
+			_ = out.SetEdgeProp(nid, k, e.Prop(k)) // nid was just created
 		}
 		return true
 	})

@@ -174,22 +174,25 @@ func (g *Graph) EndEdge(id EID, t ts.Time) error {
 	return nil
 }
 
-// SetVertexProp sets a property on a vertex.
-func (g *Graph) SetVertexProp(id VID, key string, val lpg.Value) {
+// SetVertexProp sets a property on a vertex. It errors when the vertex does
+// not exist; only the Must* constructors panic on the library path.
+func (g *Graph) SetVertexProp(id VID, key string, val lpg.Value) error {
 	v := g.Vertex(id)
 	if v == nil {
-		panic(fmt.Sprintf("tpg: no vertex %d", id))
+		return fmt.Errorf("tpg: no vertex %d", id)
 	}
 	v.props[key] = val
+	return nil
 }
 
 // SetEdgeProp sets a property on an edge.
-func (g *Graph) SetEdgeProp(id EID, key string, val lpg.Value) {
+func (g *Graph) SetEdgeProp(id EID, key string, val lpg.Value) error {
 	e := g.Edge(id)
 	if e == nil {
-		panic(fmt.Sprintf("tpg: no edge %d", id))
+		return fmt.Errorf("tpg: no edge %d", id)
 	}
 	e.props[key] = val
+	return nil
 }
 
 // Prop returns a vertex property (Null if absent).

@@ -14,10 +14,14 @@ func companyStory(t *testing.T) (*Graph, VID, VID, VID) {
 	t.Helper()
 	g := NewGraph()
 	c := g.MustAddVertex(From(0), "Company")
-	g.SetVertexProp(c, "name", lpg.Str("C"))
+	if err := g.SetVertexProp(c, "name", lpg.Str("C")); err != nil {
+		t.Fatal(err)
+	}
 	x := g.MustAddVertex(From(0), "Exchange")
 	d := g.MustAddVertex(Between(0, 500), "Company")
-	g.SetVertexProp(d, "name", lpg.Str("D"))
+	if err := g.SetVertexProp(d, "name", lpg.Str("D")); err != nil {
+		t.Fatal(err)
+	}
 	g.MustAddEdge(c, x, "LISTED_ON", Between(100, 300))
 	g.MustAddEdge(d, c, "ACQUIRED", From(300))
 	return g, c, x, d
@@ -39,6 +43,12 @@ func TestAddAndIntervals(t *testing.T) {
 	}
 	if g.Vertex(99) != nil || g.Edge(99) != nil {
 		t.Fatal("missing lookups")
+	}
+	if err := g.SetVertexProp(99, "x", lpg.Int(1)); err == nil {
+		t.Fatal("prop set on missing vertex accepted")
+	}
+	if err := g.SetEdgeProp(99, "x", lpg.Int(1)); err == nil {
+		t.Fatal("prop set on missing edge accepted")
 	}
 }
 
