@@ -3,9 +3,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify vet build test race fuzz bench
+.PHONY: verify vet build test race fuzz bench benchsmoke
 
-verify: vet build race fuzz
+verify: vet build race fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
@@ -28,3 +28,12 @@ fuzz:
 
 bench:
 	$(GO) test -bench . -benchmem ./...
+
+# Race-enabled smoke of the parallel bench path: DefaultConfig at Reps=2
+# with the sequential-vs-parallel comparison (which exits non-zero if the
+# parallel results ever diverge), a concurrent-client burst, and a schema
+# check of the emitted baseline. Writes to a scratch file so the committed
+# BENCH_table1.json is never clobbered by a -race-skewed run.
+benchsmoke:
+	$(GO) run -race ./cmd/hybench -reps 2 -parallel -clients 4 -ops 8 -json /tmp/hybench_smoke.json
+	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke.json

@@ -5,10 +5,19 @@
 // Usage:
 //
 //	hybench [-scale small|default|paper] [-reps N] [-stations N] [-days N]
+//	        [-parallel] [-workers N] [-clients N] [-ops N]
+//	        [-json FILE] [-check FILE]
 //
 // The default scale (200 stations × 180 days hourly) finishes in well under
 // a minute and already shows the paper's orders-of-magnitude separation on
 // Q4–Q8; -scale paper approaches the dataset size of the original study.
+//
+// -parallel additionally times the polyglot engine's Q4–Q8 sequential vs
+// fanned out over the worker pool (-workers, default GOMAXPROCS) and
+// verifies both modes return identical results. -clients N runs the
+// concurrent-client throughput mode: N goroutines issuing the Q1–Q8 mix,
+// -ops queries each. -json writes the machine-readable BENCH_table1.json
+// baseline; -check validates an existing baseline file's schema and exits.
 package main
 
 import (
@@ -24,7 +33,28 @@ func main() {
 	reps := flag.Int("reps", 0, "measured repetitions per query (0 = scale default)")
 	stations := flag.Int("stations", 0, "override station count")
 	days := flag.Int("days", 0, "override number of days")
+	parallel := flag.Bool("parallel", false, "also compare sequential vs parallel Q4-Q8 on the polyglot engine")
+	workers := flag.Int("workers", 0, "fan-out width for -parallel and Table 1 queries (0 = GOMAXPROCS for -parallel, sequential otherwise)")
+	clients := flag.Int("clients", 0, "concurrent-client throughput mode: N goroutines issuing the Q1-Q8 mix")
+	ops := flag.Int("ops", 32, "queries per client in throughput mode")
+	jsonPath := flag.String("json", "", "write the machine-readable baseline to this file")
+	checkPath := flag.String("check", "", "validate an existing baseline file's schema and exit")
 	flag.Parse()
+
+	if *checkPath != "" {
+		f, err := os.Open(*checkPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if _, err := bench.ReadBaseline(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: valid %s baseline\n", *checkPath, bench.BaselineSchema)
+		return
+	}
 
 	var cfg bench.Config
 	switch *scale {
@@ -50,6 +80,7 @@ func main() {
 	if *days > 0 {
 		cfg.Bike.Days = *days
 	}
+	cfg.Workers = *workers
 
 	points := cfg.Bike.Stations * cfg.Bike.Days * 24 * 60 / cfg.Bike.StepMinutes
 	fmt.Printf("Table 1 reproduction — %d stations, %d days (%d points), %d reps/query\n\n",
@@ -61,6 +92,54 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Print(bench.Format(rows))
+
+	baseline := &bench.Baseline{Schema: bench.BaselineSchema, Config: cfg, Rows: rows}
+
+	if *parallel {
+		fmt.Println()
+		prows, w, err := bench.RunParallel(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatParallel(prows, w))
+		baseline.Parallel, baseline.Workers = prows, w
+		for _, r := range prows {
+			if !r.Identical {
+				fmt.Fprintf(os.Stderr, "hybench: %s parallel result differs from sequential\n", r.Query)
+				os.Exit(1)
+			}
+		}
+	}
+
+	if *clients > 0 {
+		fmt.Println()
+		rep, err := bench.Throughput(cfg, *clients, *ops)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(bench.FormatThroughput(rep))
+		baseline.Throughput = &rep
+	}
+
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WriteBaseline(f, baseline); err != nil {
+			f.Close()
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nbaseline written to %s\n", *jsonPath)
+	}
 
 	fmt.Println()
 	problems := bench.ShapeCheck(rows, 50)

@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"hygraph/internal/storage/ttdb"
+)
+
+// BaselineSchema versions the BENCH_table1.json layout so later PRs can
+// detect incompatible baselines instead of mis-reading them.
+const BaselineSchema = "hybench-table1/v1"
+
+// Baseline is the machine-readable record of one Table 1 run, written to
+// BENCH_table1.json so the performance trajectory is trackable across PRs.
+type Baseline struct {
+	Schema string `json:"schema"`
+	// GeneratedAt is an RFC 3339 stamp, or "" when reproducibility of the
+	// byte output matters more than provenance (e.g. committed baselines).
+	GeneratedAt string            `json:"generated_at,omitempty"`
+	Config      Config            `json:"config"`
+	Rows        []Row             `json:"rows"`
+	Parallel    []ParallelRow     `json:"parallel,omitempty"`
+	Workers     int               `json:"workers,omitempty"` // fan-out width of Parallel
+	Throughput  *ThroughputReport `json:"throughput,omitempty"`
+}
+
+// Validate checks the structural invariants of a baseline: schema tag,
+// all eight Table 1 queries present in order, and finite non-negative
+// timings. It returns every violation, not just the first.
+func (b *Baseline) Validate() []string {
+	var problems []string
+	if b.Schema != BaselineSchema {
+		problems = append(problems, fmt.Sprintf("schema %q, want %q", b.Schema, BaselineSchema))
+	}
+	if len(b.Rows) != len(ttdb.QueryNames) {
+		problems = append(problems, fmt.Sprintf("%d rows, want %d", len(b.Rows), len(ttdb.QueryNames)))
+	}
+	for i, r := range b.Rows {
+		if i < len(ttdb.QueryNames) && r.Query != ttdb.QueryNames[i] {
+			problems = append(problems, fmt.Sprintf("row %d is %q, want %q", i, r.Query, ttdb.QueryNames[i]))
+		}
+		for _, m := range []struct {
+			name string
+			v    float64
+		}{
+			{"NeoMRS", r.NeoMRS}, {"NeoCV", r.NeoCV},
+			{"TTDBMRS", r.TTDBMRS}, {"TTDBCV", r.TTDBCV},
+			{"Speedup", r.Speedup},
+		} {
+			if math.IsNaN(m.v) || math.IsInf(m.v, 0) || m.v < 0 {
+				problems = append(problems, fmt.Sprintf("%s.%s = %v not a finite non-negative number", r.Query, m.name, m.v))
+			}
+		}
+	}
+	for _, p := range b.Parallel {
+		if !p.Identical {
+			problems = append(problems, fmt.Sprintf("parallel %s: results differ from sequential", p.Query))
+		}
+	}
+	return problems
+}
+
+// WriteBaseline serializes the baseline as indented JSON.
+func WriteBaseline(w io.Writer, b *Baseline) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// ReadBaseline parses and validates a baseline; structural violations are
+// returned as an error listing every problem.
+func ReadBaseline(r io.Reader) (*Baseline, error) {
+	var b Baseline
+	if err := json.NewDecoder(r).Decode(&b); err != nil {
+		return nil, fmt.Errorf("bench: parsing baseline: %w", err)
+	}
+	if problems := b.Validate(); len(problems) > 0 {
+		return &b, fmt.Errorf("bench: invalid baseline: %v", problems)
+	}
+	return &b, nil
+}

@@ -1,0 +1,113 @@
+package bench
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"hygraph/internal/dataset"
+	"hygraph/internal/storage/ttdb"
+	"hygraph/internal/ts"
+)
+
+// ParallelRow compares one multi-station query sequential vs fanned-out on
+// the polyglot engine.
+type ParallelRow struct {
+	Query   string
+	Desc    string
+	SeqMRS  float64 // ms, workers=1
+	SeqCV   float64 // %
+	ParMRS  float64 // ms, workers=N
+	ParCV   float64 // %
+	Speedup float64 // SeqMRS / ParMRS
+	// Identical reports whether the parallel result was deep-equal to the
+	// sequential one — the correctness gate of the parallel executor.
+	Identical bool
+}
+
+// ParallelQueries are the multi-station queries the worker pool fans out.
+// Q7 rides along to exercise the resample cache under the same harness.
+var ParallelQueries = []string{"Q4", "Q5", "Q6", "Q7", "Q8"}
+
+// RunParallel loads the polyglot engine once and times Q4–Q8 sequentially
+// (workers=1) and fanned out (cfg.Workers, defaulting to GOMAXPROCS when
+// unset), verifying that both modes return identical results. Workers
+// reports the fan-out width actually used.
+func RunParallel(cfg Config) (rows []ParallelRow, workers int, err error) {
+	workers = cfg.Workers
+	if workers <= 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	data := dataset.GenerateBike(cfg.Bike)
+	pg := ttdb.NewPolyglot(ts.Week)
+	ids, err := data.LoadEngine(pg)
+	if err != nil {
+		return nil, 0, fmt.Errorf("bench: loading %s: %w", pg.Name(), err)
+	}
+	start, end := data.Span()
+	qStart := start + (end-start)/4
+	qEnd := qStart + (end-start)/2
+	st0, st1 := ids[0], ids[len(ids)/2]
+
+	// Each query returns its result so the two modes can be compared.
+	query := func(q string) any {
+		switch q {
+		case "Q4":
+			return pg.Q4AllStationMeans(qStart, qEnd)
+		case "Q5":
+			return pg.Q5DistrictSums(qStart, qEnd)
+		case "Q6":
+			return pg.Q6TopKStations(qStart, qEnd, 10)
+		case "Q7":
+			return pg.Q7Correlation(st0, st1, qStart, qEnd, ts.Hour)
+		case "Q8":
+			return pg.Q8NeighborMeans(st0, qStart, qEnd)
+		}
+		panic("bench: unknown parallel query " + q)
+	}
+	measure := func(q string) (res any, mrs, cv float64) {
+		res = query(q) // warm-up rep, not measured
+		samples := make([]float64, 0, cfg.Reps)
+		for r := 0; r < cfg.Reps; r++ {
+			t0 := time.Now()
+			query(q)
+			samples = append(samples, float64(time.Since(t0).Nanoseconds())/1e6)
+		}
+		mrs, cv = stats(samples)
+		return res, mrs, cv
+	}
+
+	for _, q := range ParallelQueries {
+		row := ParallelRow{Query: q, Desc: ttdb.Describe(q)}
+		pg.SetWorkers(1)
+		seqRes, seqMRS, seqCV := measure(q)
+		pg.SetWorkers(workers)
+		parRes, parMRS, parCV := measure(q)
+		row.SeqMRS, row.SeqCV = seqMRS, seqCV
+		row.ParMRS, row.ParCV = parMRS, parCV
+		if parMRS > 0 {
+			row.Speedup = seqMRS / parMRS
+		}
+		row.Identical = reflect.DeepEqual(seqRes, parRes)
+		rows = append(rows, row)
+	}
+	return rows, workers, nil
+}
+
+// FormatParallel renders the sequential-vs-parallel comparison.
+func FormatParallel(rows []ParallelRow, workers int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "polyglot engine, %d workers\n", workers)
+	fmt.Fprintf(&b, "%-5s %12s %8s %12s %8s %10s %10s  %s\n",
+		"Query", "sequential", "CV(%)", "parallel", "CV(%)", "speedup", "identical", "description")
+	fmt.Fprintf(&b, "%-5s %12s %8s %12s %8s %10s %10s\n",
+		"", "MRS (ms)", "", "MRS (ms)", "", "", "")
+	fmt.Fprintln(&b, strings.Repeat("-", 110))
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-5s %12.3f %8.2f %12.3f %8.2f %9.2fx %10v  %s\n",
+			r.Query, r.SeqMRS, r.SeqCV, r.ParMRS, r.ParCV, r.Speedup, r.Identical, r.Desc)
+	}
+	return b.String()
+}

@@ -31,6 +31,9 @@ type Row struct {
 type Config struct {
 	Bike dataset.BikeConfig
 	Reps int
+	// Workers is the Q4–Q8 fan-out width handed to both engines
+	// (<= 1 = sequential, the Table 1 reference condition).
+	Workers int
 }
 
 // DefaultConfig is a laptop-scale run that still shows the orders-of-
@@ -63,6 +66,8 @@ func Run(cfg Config) ([]Row, error) {
 	if err != nil {
 		return nil, fmt.Errorf("bench: loading %s: %w", pg.Name(), err)
 	}
+	neo.SetWorkers(cfg.Workers)
+	pg.SetWorkers(cfg.Workers)
 	start, end := data.Span()
 	// The queried window: the middle half of the data.
 	qStart := start + (end-start)/4
@@ -125,24 +130,31 @@ func Run(cfg Config) ([]Row, error) {
 	return rows, nil
 }
 
-// stats returns mean and coefficient of variation (%) of samples.
+// stats returns mean and coefficient of variation (%) of samples. CV uses
+// the sample (n−1) standard deviation — the paper's convention for its Reps
+// repetitions — since the reps are a sample of the latency distribution,
+// not the population; the population formula understated spread at the
+// Reps=7 default. With fewer than two samples, or a zero mean (which would
+// divide away to ±Inf), CV is reported as 0.
 func stats(samples []float64) (mean, cv float64) {
-	if len(samples) == 0 {
+	n := len(samples)
+	if n == 0 {
 		return 0, 0
 	}
 	for _, s := range samples {
 		mean += s
 	}
-	mean /= float64(len(samples))
+	mean /= float64(n)
+	if n < 2 || mean == 0 {
+		return mean, 0
+	}
 	var acc float64
 	for _, s := range samples {
 		d := s - mean
 		acc += d * d
 	}
-	sd := math.Sqrt(acc / float64(len(samples)))
-	if mean > 0 {
-		cv = 100 * sd / mean
-	}
+	sd := math.Sqrt(acc / float64(n-1))
+	cv = 100 * sd / math.Abs(mean)
 	return mean, cv
 }
 

@@ -1,0 +1,101 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"hygraph/internal/dataset"
+	"hygraph/internal/storage/ttdb"
+	"hygraph/internal/ts"
+)
+
+// ThroughputReport summarizes one concurrent-client run: N goroutines each
+// issuing the Q1–Q8 mix back-to-back against one shared polyglot engine.
+type ThroughputReport struct {
+	Engine       string  `json:"engine"`
+	Clients      int     `json:"clients"`
+	OpsPerClient int     `json:"ops_per_client"`
+	TotalOps     int     `json:"total_ops"`
+	ElapsedMS    float64 `json:"elapsed_ms"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+}
+
+// Throughput loads the polyglot engine once and hammers it with `clients`
+// concurrent goroutines, each issuing `opsPerClient` queries drawn
+// round-robin from the Q1–Q8 mix over deterministically varied stations.
+// It exercises the concurrent-reader locking end to end — run it under
+// -race to surface ordering bugs — and measures aggregate queries/second.
+// The engine's intra-query fan-out stays at cfg.Workers; with many clients
+// the inter-query concurrency already saturates the cores.
+func Throughput(cfg Config, clients, opsPerClient int) (ThroughputReport, error) {
+	if clients <= 0 || opsPerClient <= 0 {
+		return ThroughputReport{}, fmt.Errorf("bench: clients and ops must be positive, got %d/%d", clients, opsPerClient)
+	}
+	data := dataset.GenerateBike(cfg.Bike)
+	pg := ttdb.NewPolyglot(ts.Week)
+	ids, err := data.LoadEngine(pg)
+	if err != nil {
+		return ThroughputReport{}, fmt.Errorf("bench: loading %s: %w", pg.Name(), err)
+	}
+	pg.SetWorkers(cfg.Workers)
+	start, end := data.Span()
+	qStart := start + (end-start)/4
+	qEnd := qStart + (end-start)/2
+
+	run := func(client, op int) {
+		st := ids[(client*7919+op)%len(ids)] // deterministic spread over stations
+		st2 := ids[(client*7919+op+len(ids)/2)%len(ids)]
+		switch op % len(ttdb.QueryNames) {
+		case 0:
+			pg.Q1TimeRange(st, qStart, qStart+2*ts.Day)
+		case 1:
+			pg.Q2FilteredRange(st, qStart, qEnd, 10)
+		case 2:
+			pg.Q3StationMean(st, qStart, qEnd)
+		case 3:
+			pg.Q4AllStationMeans(qStart, qEnd)
+		case 4:
+			pg.Q5DistrictSums(qStart, qEnd)
+		case 5:
+			pg.Q6TopKStations(qStart, qEnd, 10)
+		case 6:
+			pg.Q7Correlation(st, st2, qStart, qEnd, ts.Hour)
+		case 7:
+			pg.Q8NeighborMeans(st, qStart, qEnd)
+		}
+	}
+
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for op := 0; op < opsPerClient; op++ {
+				run(c, op)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	total := clients * opsPerClient
+	rep := ThroughputReport{
+		Engine:       pg.Name(),
+		Clients:      clients,
+		OpsPerClient: opsPerClient,
+		TotalOps:     total,
+		ElapsedMS:    float64(elapsed.Nanoseconds()) / 1e6,
+	}
+	if elapsed > 0 {
+		rep.OpsPerSec = float64(total) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// FormatThroughput renders a throughput report as one readable block.
+func FormatThroughput(r ThroughputReport) string {
+	return fmt.Sprintf("engine %s: %d clients x %d ops = %d queries in %.1f ms (%.0f q/s)",
+		r.Engine, r.Clients, r.OpsPerClient, r.TotalOps, r.ElapsedMS, r.OpsPerSec)
+}

@@ -16,6 +16,7 @@ package graphstore
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // NodeID identifies a node record.
@@ -117,8 +118,14 @@ type propRec struct {
 	next  uint32
 }
 
-// DB is an in-memory record store. Not safe for concurrent mutation.
+// DB is an in-memory record store. All exported methods are safe for
+// concurrent use: reads take a shared lock and run in parallel with each
+// other (the fan-out path of the parallel Q4–Q8 executor), while mutations
+// take the lock exclusively. Callbacks passed to iteration methods
+// (NodeProps, Rels) run under the read lock and must not call back into
+// mutating methods of the same DB.
 type DB struct {
+	mu    sync.RWMutex
 	nodes []nodeRec
 	rels  []relRec
 	props []propRec
@@ -140,6 +147,8 @@ func New() *DB {
 
 // NumNodes returns the number of live nodes.
 func (db *DB) NumNodes() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	n := 0
 	for i := range db.nodes {
 		if db.nodes[i].inUse {
@@ -151,6 +160,8 @@ func (db *DB) NumNodes() int {
 
 // NumRels returns the number of live relationships.
 func (db *DB) NumRels() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	n := 0
 	for i := range db.rels {
 		if db.rels[i].inUse {
@@ -173,6 +184,8 @@ func (db *DB) intern(s string) uint32 {
 
 // CreateNode allocates a node with the given labels.
 func (db *DB) CreateNode(labels ...string) NodeID {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	id := NodeID(len(db.nodes))
 	rec := nodeRec{inUse: true, firstRel: nilRef, firstProp: nilRef}
 	for _, l := range labels {
@@ -187,6 +200,8 @@ func (db *DB) CreateNode(labels ...string) NodeID {
 // CreateRel allocates a relationship from -> to of the given type, threading
 // it into both endpoints' relationship chains.
 func (db *DB) CreateRel(from, to NodeID, typ string) (RelID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if !db.nodeOK(from) || !db.nodeOK(to) {
 		return 0, fmt.Errorf("graphstore: endpoints %d->%d missing", from, to)
 	}
@@ -216,11 +231,21 @@ func (db *DB) relOK(id RelID) bool {
 // NextNodeID returns the id the next CreateNode call will allocate. Ids are
 // assigned by append order and never reused, so replaying a WAL assigns the
 // same ids — the polyglot ingest journal relies on this to name a node in
-// its intent record before the node exists.
-func (db *DB) NextNodeID() NodeID { return NodeID(len(db.nodes)) }
+// its intent record before the node exists. The prediction only holds while
+// a single writer drives the store (the durable ingest layer is
+// single-writer by design; see docs/PARALLELISM.md).
+func (db *DB) NextNodeID() NodeID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return NodeID(len(db.nodes))
+}
 
 // NodeExists reports whether id names a live node (false for deleted ids).
-func (db *DB) NodeExists(id NodeID) bool { return db.nodeOK(id) }
+func (db *DB) NodeExists(id NodeID) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.nodeOK(id)
+}
 
 // relNextFor returns the next pointer that threads rel record ref into node
 // n's relationship chain.
@@ -265,6 +290,12 @@ func (db *DB) freePropChain(head uint32) {
 // recycles its properties and marks the record dead. Record ids are never
 // reused.
 func (db *DB) DeleteRel(id RelID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.deleteRelLocked(id)
+}
+
+func (db *DB) deleteRelLocked(id RelID) error {
 	if !db.relOK(id) {
 		return fmt.Errorf("graphstore: no rel %d", id)
 	}
@@ -284,6 +315,8 @@ func (db *DB) DeleteRel(id RelID) error {
 // uses this to roll back a half-ingested entity; node ids are never reused,
 // so later WAL records stay valid.
 func (db *DB) DeleteNode(id NodeID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if !db.nodeOK(id) {
 		return fmt.Errorf("graphstore: no node %d", id)
 	}
@@ -294,7 +327,7 @@ func (db *DB) DeleteNode(id NodeID) error {
 	}
 	for _, rid := range incident {
 		if db.relOK(rid) {
-			if err := db.DeleteRel(rid); err != nil {
+			if err := db.deleteRelLocked(rid); err != nil {
 				return err
 			}
 		}
@@ -315,6 +348,8 @@ func (db *DB) DeleteNode(id NodeID) error {
 
 // NodesByLabel returns the nodes carrying the label in creation order.
 func (db *DB) NodesByLabel(label string) []NodeID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	lid, ok := db.strIndex[label]
 	if !ok {
 		return nil
@@ -330,6 +365,8 @@ func (db *DB) NodesByLabel(label string) []NodeID {
 
 // Labels returns a node's labels.
 func (db *DB) Labels(id NodeID) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if !db.nodeOK(id) {
 		return nil
 	}
@@ -443,6 +480,8 @@ func (db *DB) removeProp(head *uint32, key string) bool {
 
 // SetNodeProp sets a property on a node.
 func (db *DB) SetNodeProp(id NodeID, key string, val PropValue) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if !db.nodeOK(id) {
 		return fmt.Errorf("graphstore: no node %d", id)
 	}
@@ -452,6 +491,8 @@ func (db *DB) SetNodeProp(id NodeID, key string, val PropValue) error {
 
 // NodeProp reads a property from a node, walking its chain.
 func (db *DB) NodeProp(id NodeID, key string) (PropValue, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if !db.nodeOK(id) {
 		return PropValue{}, false
 	}
@@ -460,6 +501,8 @@ func (db *DB) NodeProp(id NodeID, key string) (PropValue, bool) {
 
 // RemoveNodeProp deletes a node property.
 func (db *DB) RemoveNodeProp(id NodeID, key string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if !db.nodeOK(id) {
 		return false
 	}
@@ -468,6 +511,8 @@ func (db *DB) RemoveNodeProp(id NodeID, key string) bool {
 
 // SetRelProp sets a property on a relationship.
 func (db *DB) SetRelProp(id RelID, key string, val PropValue) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if !db.relOK(id) {
 		return fmt.Errorf("graphstore: no rel %d", id)
 	}
@@ -477,6 +522,8 @@ func (db *DB) SetRelProp(id RelID, key string, val PropValue) error {
 
 // RelProp reads a relationship property.
 func (db *DB) RelProp(id RelID, key string) (PropValue, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if !db.relOK(id) {
 		return PropValue{}, false
 	}
@@ -485,8 +532,15 @@ func (db *DB) RelProp(id RelID, key string) (PropValue, bool) {
 
 // NodeProps walks a node's full property chain, calling fn with every
 // key/value. This is the scan primitive that all-in-graph time-series
-// queries are forced through.
+// queries are forced through. fn runs under the store's read lock and must
+// not mutate the store.
 func (db *DB) NodeProps(id NodeID, fn func(key string, val PropValue) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.nodePropsLocked(id, fn)
+}
+
+func (db *DB) nodePropsLocked(id NodeID, fn func(key string, val PropValue) bool) {
 	if !db.nodeOK(id) {
 		return
 	}
@@ -499,8 +553,10 @@ func (db *DB) NodeProps(id NodeID, fn func(key string, val PropValue) bool) {
 
 // NodePropCount returns the length of the node's property chain.
 func (db *DB) NodePropCount(id NodeID) int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	n := 0
-	db.NodeProps(id, func(string, PropValue) bool { n++; return true })
+	db.nodePropsLocked(id, func(string, PropValue) bool { n++; return true })
 	return n
 }
 
@@ -513,8 +569,15 @@ type Rel struct {
 }
 
 // Rels walks the relationship chain of a node (both directions interleaved,
-// most recent first), calling fn for each.
+// most recent first), calling fn for each. fn runs under the store's read
+// lock and must not mutate the store.
 func (db *DB) Rels(id NodeID, fn func(Rel) bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	db.relsLocked(id, fn)
+}
+
+func (db *DB) relsLocked(id NodeID, fn func(Rel) bool) {
 	if !db.nodeOK(id) {
 		return
 	}
@@ -537,8 +600,10 @@ func (db *DB) Rels(id NodeID, fn func(Rel) bool) {
 // OutNeighbors returns the targets of outgoing relationships of the given
 // type ("" matches all).
 func (db *DB) OutNeighbors(id NodeID, typ string) []NodeID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var out []NodeID
-	db.Rels(id, func(r Rel) bool {
+	db.relsLocked(id, func(r Rel) bool {
 		if r.From == id && (typ == "" || r.Type == typ) {
 			out = append(out, r.To)
 		}
@@ -549,9 +614,11 @@ func (db *DB) OutNeighbors(id NodeID, typ string) []NodeID {
 
 // Neighbors returns distinct adjacent nodes over any relationship direction.
 func (db *DB) Neighbors(id NodeID, typ string) []NodeID {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	seen := map[NodeID]bool{}
 	var out []NodeID
-	db.Rels(id, func(r Rel) bool {
+	db.relsLocked(id, func(r Rel) bool {
 		if typ != "" && r.Type != typ {
 			return true
 		}
@@ -575,5 +642,7 @@ type Stats struct {
 
 // Stats returns record counts (including dead records in props).
 func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return Stats{Nodes: len(db.nodes), Rels: len(db.rels), Props: len(db.props), Strings: len(db.strings)}
 }

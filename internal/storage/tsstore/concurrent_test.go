@@ -1,0 +1,163 @@
+package tsstore
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"hygraph/internal/ts"
+)
+
+func loadNSeries(db *DB, n, pts int) []SeriesKey {
+	keys := make([]SeriesKey, n)
+	for i := range keys {
+		keys[i] = SeriesKey{Entity: uint32(i), Metric: "availability"}
+		for h := 0; h < pts; h++ {
+			db.Insert(keys[i], ts.Time(h)*ts.Hour, float64(i)+float64(h%24))
+		}
+	}
+	return keys
+}
+
+// Concurrent readers across every query shape must be race-free and agree
+// with the single-threaded answers.
+func TestConcurrentReaders(t *testing.T) {
+	db := New(ts.Day)
+	keys := loadNSeries(db, 8, 24*7)
+	end := ts.Time(24*7) * ts.Hour
+	wantAgg := db.Aggregate(keys[3], 0, end)
+	wantAll := db.AggregateAll("availability", 0, end)
+	wantTop := db.TopKByMean("availability", 0, end, 3)
+
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				k := keys[(c+i)%len(keys)]
+				db.Range(k, 0, end)
+				db.RangeSeries(k, 0, end)
+				if got := db.Aggregate(keys[3], 0, end); got != wantAgg {
+					t.Error("Aggregate unstable")
+					return
+				}
+				if got := db.AggregateAll("availability", 0, end); !reflect.DeepEqual(got, wantAll) {
+					t.Error("AggregateAll unstable")
+					return
+				}
+				if got := db.TopKByMean("availability", 0, end, 3); !reflect.DeepEqual(got, wantTop) {
+					t.Error("TopKByMean unstable")
+					return
+				}
+				db.Correlate(k, keys[(c+i+1)%len(keys)], 0, end)
+				db.Downsample(k, 0, end, ts.Day, ts.AggMean)
+				db.Stats()
+				db.Keys()
+				db.EntitiesOf("availability")
+			}
+		}(c)
+	}
+	// Writers to series outside the read assertions run alongside.
+	for c := 0; c < 2; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			k := SeriesKey{Entity: uint32(100 + c), Metric: "other"}
+			for i := 0; i < 50; i++ {
+				db.Insert(k, ts.Time(i)*ts.Hour, float64(i))
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// The resample cache must serve hits after a miss, return an owned copy,
+// and drop exactly the written series' entries on mutation.
+func TestResampleCache(t *testing.T) {
+	db := New(ts.Day)
+	keys := loadNSeries(db, 2, 24*7)
+	end := ts.Time(24*7) * ts.Hour
+
+	base := db.ResampleCacheStats()
+	first := db.Downsample(keys[0], 0, end, ts.Day, ts.AggMean)
+	second := db.Downsample(keys[0], 0, end, ts.Day, ts.AggMean)
+	st := db.ResampleCacheStats()
+	if st.Misses-base.Misses != 1 || st.Hits-base.Hits != 1 {
+		t.Fatalf("stats after miss+hit: %+v (base %+v)", st, base)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatal("cached result differs from computed result")
+	}
+	// Mutating the returned series must not poison the cache.
+	second.MustAppend(end+ts.Hour, 12345)
+	third := db.Downsample(keys[0], 0, end, ts.Day, ts.AggMean)
+	if !reflect.DeepEqual(first, third) {
+		t.Fatal("caller mutation leaked into the cache")
+	}
+
+	// Different (bucket, agg, range) are distinct entries.
+	db.Downsample(keys[0], 0, end, ts.Hour*6, ts.AggMean)
+	db.Downsample(keys[0], 0, end, ts.Day, ts.AggMax)
+	st2 := db.ResampleCacheStats()
+	if st2.Misses-st.Misses != 2 {
+		t.Fatalf("distinct keys not distinct entries: %+v vs %+v", st2, st)
+	}
+
+	// Writing series 0 invalidates only its entries; series 1 stays warm.
+	db.Downsample(keys[1], 0, end, ts.Day, ts.AggMean) // miss, warm
+	db.Insert(keys[0], end+ts.Hour, 1)
+	st3 := db.ResampleCacheStats()
+	if st3.Invalidations-st2.Invalidations != 3 {
+		t.Fatalf("expected 3 invalidations for series 0, got %+v vs %+v", st3, st2)
+	}
+	db.Downsample(keys[1], 0, end, ts.Day, ts.AggMean)
+	if st4 := db.ResampleCacheStats(); st4.Hits-st3.Hits != 1 {
+		t.Fatalf("series 1 entry was wrongly invalidated: %+v vs %+v", st4, st3)
+	}
+	// Series 0 recomputes after its write — and sees the new point.
+	after := db.Downsample(keys[0], 0, end+2*ts.Hour, ts.Day, ts.AggMean)
+	if after.Len() != first.Len()+1 {
+		t.Fatalf("post-write downsample stale: %d vs %d buckets", after.Len(), first.Len())
+	}
+}
+
+// CorrelateResampled must agree with ts.Correlation over the same window
+// and hit the cache on repeat.
+func TestCorrelateResampled(t *testing.T) {
+	db := New(ts.Day)
+	keys := loadNSeries(db, 2, 24*7)
+	end := ts.Time(24*7) * ts.Hour
+
+	want := ts.Correlation(
+		db.RangeSeries(keys[0], 0, end),
+		db.RangeSeries(keys[1], 0, end),
+		ts.Hour*6)
+	got := db.CorrelateResampled(keys[0], keys[1], 0, end, ts.Hour*6)
+	if got != want {
+		t.Fatalf("CorrelateResampled=%v ts.Correlation=%v", got, want)
+	}
+	st := db.ResampleCacheStats()
+	if db.CorrelateResampled(keys[0], keys[1], 0, end, ts.Hour*6) != got {
+		t.Fatal("repeat correlation changed")
+	}
+	if st2 := db.ResampleCacheStats(); st2.Hits-st.Hits != 2 || st2.Misses != st.Misses {
+		t.Fatalf("repeat correlation missed the cache: %+v vs %+v", st2, st)
+	}
+}
+
+// The cache cap must bound memory: overflowing drops the cache rather than
+// growing without limit.
+func TestResampleCacheCap(t *testing.T) {
+	db := New(ts.Day)
+	keys := loadNSeries(db, 1, 48)
+	for i := 0; i < maxResampleCache+10; i++ {
+		db.Downsample(keys[0], 0, ts.Time(48)*ts.Hour, ts.Time(i+1)*ts.Minute, ts.AggMean)
+	}
+	db.mu.RLock()
+	size := len(db.rcache)
+	db.mu.RUnlock()
+	if size > maxResampleCache {
+		t.Fatalf("cache grew past cap: %d", size)
+	}
+}

@@ -21,6 +21,8 @@ const (
 
 // Save writes a binary snapshot of the store.
 func (db *DB) Save(w io.Writer) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err

@@ -12,6 +12,7 @@ import (
 	"math"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"hygraph/internal/ts"
 )
@@ -100,11 +101,41 @@ func (s *series) chunkFor(slot int64, create bool) *chunk {
 	return c
 }
 
-// DB is the time-series store. Not safe for concurrent mutation.
+// resampleKey identifies one memoized Downsample result.
+type resampleKey struct {
+	key                SeriesKey
+	start, end, bucket ts.Time
+	agg                ts.AggFunc
+}
+
+// maxResampleCache bounds the memo cache; when full the whole cache is
+// dropped (downsample results are cheap to rebuild relative to tracking an
+// eviction order).
+const maxResampleCache = 1024
+
+// CacheStats reports resample-cache behaviour for tests and capacity
+// reports.
+type CacheStats struct {
+	Hits          int64
+	Misses        int64
+	Invalidations int64 // entries dropped by writes to their series
+}
+
+// DB is the time-series store. All exported methods are safe for concurrent
+// use: reads share an RWMutex read lock (the parallel Q4–Q8 fan-out path),
+// mutations take it exclusively. The embedded resample cache is guarded by
+// the same lock — a cache miss upgrades to the write lock to fill the entry,
+// and every mutation invalidates the touched series' entries before
+// releasing the lock, so readers can never observe a stale cached result.
 type DB struct {
+	mu         sync.RWMutex
 	chunkWidth ts.Time
 	data       map[SeriesKey]*series
 	keys       []SeriesKey // insertion order for deterministic scans
+
+	rcache map[resampleKey]*ts.Series
+	// Cache counters are atomics so the hit path stays on the read lock.
+	cacheHits, cacheMisses, cacheInvalidations atomic.Int64
 }
 
 // DefaultChunkWidth partitions series into week-long chunks, matching
@@ -117,21 +148,50 @@ func New(chunkWidth ts.Time) *DB {
 	if chunkWidth <= 0 {
 		chunkWidth = DefaultChunkWidth
 	}
-	return &DB{chunkWidth: chunkWidth, data: map[SeriesKey]*series{}}
+	return &DB{
+		chunkWidth: chunkWidth,
+		data:       map[SeriesKey]*series{},
+		rcache:     map[resampleKey]*ts.Series{},
+	}
 }
 
 // NumSeries returns how many distinct series the store holds.
-func (db *DB) NumSeries() int { return len(db.data) }
+func (db *DB) NumSeries() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.data)
+}
 
 // HasSeries reports whether the key holds any points. The crash-recovery
 // layer uses it to decide whether a prepared ingest reached the TS side.
 func (db *DB) HasSeries(key SeriesKey) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	_, ok := db.data[key]
 	return ok
 }
 
 // Keys returns all series keys in first-insertion order.
-func (db *DB) Keys() []SeriesKey { return append([]SeriesKey(nil), db.keys...) }
+func (db *DB) Keys() []SeriesKey {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]SeriesKey(nil), db.keys...)
+}
+
+// EntitiesOf returns the entity ids of every series of the metric in
+// first-insertion order — the deterministic work list the parallel Q4–Q8
+// executor partitions across workers.
+func (db *DB) EntitiesOf(metric string) []uint32 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []uint32
+	for _, key := range db.keys {
+		if key.Metric == metric {
+			out = append(out, key.Entity)
+		}
+	}
+	return out
+}
 
 func (db *DB) slotOf(t ts.Time) int64 {
 	s := int64(t / db.chunkWidth)
@@ -143,6 +203,13 @@ func (db *DB) slotOf(t ts.Time) int64 {
 
 // Insert adds one point. Upserts on duplicate timestamps.
 func (db *DB) Insert(key SeriesKey, t ts.Time, v float64) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.insertLocked(key, t, v)
+	db.invalidateLocked(key)
+}
+
+func (db *DB) insertLocked(key SeriesKey, t ts.Time, v float64) {
 	s, ok := db.data[key]
 	if !ok {
 		s = &series{}
@@ -154,15 +221,21 @@ func (db *DB) Insert(key SeriesKey, t ts.Time, v float64) {
 
 // InsertSeries bulk-loads a whole series under the key.
 func (db *DB) InsertSeries(key SeriesKey, src *ts.Series) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for i := 0; i < src.Len(); i++ {
-		db.Insert(key, src.TimeAt(i), src.ValueAt(i))
+		db.insertLocked(key, src.TimeAt(i), src.ValueAt(i))
 	}
+	db.invalidateLocked(key)
 }
 
 // DeleteSeries removes a series and all its chunks. It reports whether the
 // key existed; deleting an absent key is a no-op, so crash-recovery rollback
 // can apply it idempotently.
 func (db *DB) DeleteSeries(key SeriesKey) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.invalidateLocked(key)
 	if _, ok := db.data[key]; !ok {
 		return false
 	}
@@ -176,8 +249,25 @@ func (db *DB) DeleteSeries(key SeriesKey) bool {
 	return true
 }
 
+// invalidateLocked drops every cached resample derived from the series.
+// Callers hold the write lock.
+func (db *DB) invalidateLocked(key SeriesKey) {
+	for rk := range db.rcache {
+		if rk.key == key {
+			delete(db.rcache, rk)
+			db.cacheInvalidations.Add(1)
+		}
+	}
+}
+
 // Range returns the points of a series with start <= t < end in time order.
 func (db *DB) Range(key SeriesKey, start, end ts.Time) []ts.Point {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.rangeLocked(key, start, end)
+}
+
+func (db *DB) rangeLocked(key SeriesKey, start, end ts.Time) []ts.Point {
 	var out []ts.Point
 	db.scanRange(key, start, end, func(t ts.Time, v float64) {
 		out = append(out, ts.Point{T: t, V: v})
@@ -187,6 +277,12 @@ func (db *DB) Range(key SeriesKey, start, end ts.Time) []ts.Point {
 
 // RangeSeries is Range materialized as a ts.Series named after the metric.
 func (db *DB) RangeSeries(key SeriesKey, start, end ts.Time) *ts.Series {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.rangeSeriesLocked(key, start, end)
+}
+
+func (db *DB) rangeSeriesLocked(key SeriesKey, start, end ts.Time) *ts.Series {
 	s := ts.New(fmt.Sprintf("%s@%d", key.Metric, key.Entity))
 	db.scanRange(key, start, end, func(t ts.Time, v float64) { s.MustAppend(t, v) })
 	return s
@@ -211,8 +307,11 @@ func (db *DB) scanRange(key SeriesKey, start, end ts.Time, fn func(ts.Time, floa
 }
 
 // RangeFunc streams the points of a series with start <= t < end in time
-// order without materializing them — the pushdown path for filters.
+// order without materializing them — the pushdown path for filters. fn runs
+// under the store's read lock and must not mutate the store.
 func (db *DB) RangeFunc(key SeriesKey, start, end ts.Time, fn func(ts.Time, float64)) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	db.scanRange(key, start, end, fn)
 }
 
@@ -222,8 +321,10 @@ func (db *DB) RangeFunc(key SeriesKey, start, end ts.Time, fn func(ts.Time, floa
 // extraction entirely. NaN when fewer than two joint points exist or a side
 // is constant.
 func (db *DB) Correlate(a, b SeriesKey, start, end ts.Time) float64 {
-	pa := db.Range(a, start, end)
-	pb := db.Range(b, start, end)
+	db.mu.RLock()
+	pa := db.rangeLocked(a, start, end)
+	pb := db.rangeLocked(b, start, end)
+	db.mu.RUnlock()
 	var n float64
 	var sx, sy, sxx, syy, sxy float64
 	i, j := 0, 0
@@ -276,6 +377,12 @@ func (s Summary) Mean() float64 {
 
 // Aggregate computes the summary of a series over [start, end).
 func (db *DB) Aggregate(key SeriesKey, start, end ts.Time) Summary {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.aggregateLocked(key, start, end)
+}
+
+func (db *DB) aggregateLocked(key SeriesKey, start, end ts.Time) Summary {
 	out := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
 	s, ok := db.data[key]
 	if !ok || start >= end {
@@ -325,55 +432,69 @@ func normalize(s Summary) Summary {
 // AggregateAll aggregates every series of the given metric over [start,
 // end), returning per-entity summaries.
 func (db *DB) AggregateAll(metric string, start, end ts.Time) map[uint32]Summary {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := map[uint32]Summary{}
 	for _, key := range db.keys {
 		if key.Metric != metric {
 			continue
 		}
-		out[key.Entity] = db.Aggregate(key, start, end)
+		out[key.Entity] = db.aggregateLocked(key, start, end)
 	}
 	return out
 }
 
+// AggregateEach visits every series of the metric in first-insertion order,
+// calling fn with each entity's summary. The fixed visit order makes
+// floating-point folds over the results (district sums, global totals)
+// deterministic — the property the parallel executor's merge phase relies
+// on to stay byte-identical with sequential execution. fn runs under the
+// store's read lock and must not mutate the store.
+func (db *DB) AggregateEach(metric string, start, end ts.Time, fn func(entity uint32, s Summary)) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, key := range db.keys {
+		if key.Metric == metric {
+			fn(key.Entity, db.aggregateLocked(key, start, end))
+		}
+	}
+}
+
 // AggregateAllParallel is AggregateAll fanned out over `workers` goroutines
-// — the horizontal-scaling lever of requirement R4. Aggregation per series
-// is independent, so the speedup is near-linear until memory bandwidth
-// saturates. workers <= 1 falls back to the serial path.
+// — the horizontal-scaling lever of requirement R4. Work is partitioned by
+// striding over the insertion-ordered key list and every summary lands in
+// its slot of a pre-sized slice, so results are deterministic regardless of
+// scheduling. workers <= 1 falls back to the serial path.
 func (db *DB) AggregateAllParallel(metric string, start, end ts.Time, workers int) map[uint32]Summary {
 	if workers <= 1 {
 		return db.AggregateAll(metric, start, end)
 	}
 	var keys []SeriesKey
+	db.mu.RLock()
 	for _, key := range db.keys {
 		if key.Metric == metric {
 			keys = append(keys, key)
 		}
 	}
-	type result struct {
-		entity uint32
-		s      Summary
-	}
-	jobs := make(chan SeriesKey)
-	results := make(chan result, len(keys))
+	db.mu.RUnlock()
+	sums := make([]Summary, len(keys))
 	var wg sync.WaitGroup
+	if workers > len(keys) {
+		workers = len(keys)
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for key := range jobs {
-				results <- result{key.Entity, db.Aggregate(key, start, end)}
+			for i := w; i < len(keys); i += workers {
+				sums[i] = db.Aggregate(keys[i], start, end)
 			}
-		}()
+		}(w)
 	}
-	for _, key := range keys {
-		jobs <- key
-	}
-	close(jobs)
 	wg.Wait()
-	close(results)
 	out := make(map[uint32]Summary, len(keys))
-	for r := range results {
-		out[r.entity] = r.s
+	for i, key := range keys {
+		out[key.Entity] = sums[i]
 	}
 	return out
 }
@@ -386,11 +507,11 @@ func (db *DB) TopKByMean(metric string, start, end ts.Time, k int) []uint32 {
 		mean   float64
 	}
 	var ps []pair
-	for e, s := range db.AggregateAll(metric, start, end) {
+	db.AggregateEach(metric, start, end, func(e uint32, s Summary) {
 		if s.Count > 0 {
 			ps = append(ps, pair{e, s.Mean()})
 		}
-	}
+	})
 	sort.Slice(ps, func(i, j int) bool {
 		if ps[i].mean != ps[j].mean {
 			return ps[i].mean > ps[j].mean
@@ -408,9 +529,74 @@ func (db *DB) TopKByMean(metric string, start, end ts.Time, k int) []uint32 {
 }
 
 // Downsample buckets a series over [start, end) at the given width with the
-// aggregation — a continuous-aggregate style query.
+// aggregation — a continuous-aggregate style query. Results are memoized per
+// (series, range, bucket, aggregation): repeated downsampling, as issued by
+// correlation queries and dashboard-style refresh loops, hits the warm entry
+// until a write to the series invalidates it. The returned series is a copy
+// the caller owns.
 func (db *DB) Downsample(key SeriesKey, start, end, bucket ts.Time, agg ts.AggFunc) *ts.Series {
-	return db.RangeSeries(key, start, end).Resample(bucket, agg)
+	rk := resampleKey{key: key, start: start, end: end, bucket: bucket, agg: agg}
+	db.mu.RLock()
+	if s, ok := db.rcache[rk]; ok {
+		out := s.Clone()
+		db.mu.RUnlock()
+		db.cacheHits.Add(1)
+		return out
+	}
+	db.mu.RUnlock()
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if s, ok := db.rcache[rk]; ok { // filled while we waited for the lock
+		db.cacheHits.Add(1)
+		return s.Clone()
+	}
+	db.cacheMisses.Add(1)
+	s := db.rangeSeriesLocked(key, start, end).Resample(bucket, agg)
+	if len(db.rcache) >= maxResampleCache {
+		db.rcache = map[resampleKey]*ts.Series{}
+	}
+	db.rcache[rk] = s
+	return s.Clone()
+}
+
+// CorrelateResampled computes the Pearson correlation of two series after
+// downsampling both onto the shared bucket grid (bucket means), joining on
+// bucket timestamps. Both downsamples go through the memo cache, so repeated
+// correlation over the same window — the hot pattern of similarity-edge
+// rebuilds — only pays the scan once. NaN when fewer than two shared buckets
+// exist or a side is constant.
+func (db *DB) CorrelateResampled(a, b SeriesKey, start, end, bucket ts.Time) float64 {
+	sa := db.Downsample(a, start, end, bucket, ts.AggMean)
+	sb := db.Downsample(b, start, end, bucket, ts.AggMean)
+	var av, bv []float64
+	i, j := 0, 0
+	for i < sa.Len() && j < sb.Len() {
+		switch {
+		case sa.TimeAt(i) < sb.TimeAt(j):
+			i++
+		case sa.TimeAt(i) > sb.TimeAt(j):
+			j++
+		default:
+			av = append(av, sa.ValueAt(i))
+			bv = append(bv, sb.ValueAt(j))
+			i++
+			j++
+		}
+	}
+	if len(av) < 2 {
+		return math.NaN()
+	}
+	return ts.Pearson(av, bv)
+}
+
+// ResampleCacheStats returns the memo cache's counters since creation.
+func (db *DB) ResampleCacheStats() CacheStats {
+	return CacheStats{
+		Hits:          db.cacheHits.Load(),
+		Misses:        db.cacheMisses.Load(),
+		Invalidations: db.cacheInvalidations.Load(),
+	}
 }
 
 // Stats describes storage shape for capacity reports.
@@ -422,6 +608,8 @@ type Stats struct {
 
 // Stats returns storage counts.
 func (db *DB) Stats() Stats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	st := Stats{Series: len(db.data)}
 	for _, s := range db.data {
 		st.Chunks += len(s.chunks)

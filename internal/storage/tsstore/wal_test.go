@@ -2,9 +2,12 @@ package tsstore
 
 import (
 	"bytes"
+	"errors"
+	"fmt"
 	"math"
 	"testing"
 
+	"hygraph/internal/faults"
 	"hygraph/internal/ts"
 )
 
@@ -162,5 +165,136 @@ func TestTSWALFuzzNeverPanics(t *testing.T) {
 	}
 	for _, in := range inputs {
 		_, _ = Replay(New(0), bytes.NewReader(in))
+	}
+}
+
+// errWriter fails after n bytes — the same harness graphstore uses to prove
+// its WAL latches write errors.
+type errWriter struct{ n int }
+
+func (w *errWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	if len(p) > w.n {
+		p = p[:w.n]
+	}
+	w.n -= len(p)
+	return len(p), nil
+}
+
+// The TS WAL must latch write errors exactly like the graph WAL: once the
+// underlying writer fails, every later mutation is refused rather than
+// silently diverging the store from the log.
+func TestTSWALWriteErrorFailsFast(t *testing.T) {
+	wal := NewWAL(New(0), &errWriter{n: 4})
+	k := SeriesKey{Entity: 1, Metric: "availability"}
+	// Appends buffer 4096 bytes, so force the failure through Flush.
+	for i := 0; i < 600; i++ {
+		wal.Insert(k, ts.Time(i)*ts.Hour, float64(i))
+	}
+	if err := wal.Flush(); err == nil {
+		t.Fatal("flush on failing writer succeeded")
+	}
+	if wal.Err() == nil {
+		t.Fatal("write error not latched")
+	}
+	if err := wal.Insert(k, 0, 1); err == nil {
+		t.Fatal("insert after write error accepted")
+	}
+	if err := wal.InsertSeries(k, sampleSeries(4, 1)); err == nil {
+		t.Fatal("batch insert after write error accepted")
+	}
+	if err := wal.DeleteSeries(k); err == nil {
+		t.Fatal("delete after write error accepted")
+	}
+	if err := wal.Flush(); err == nil {
+		t.Fatal("second flush did not report the latched error")
+	}
+}
+
+// Bit rot on the final record truncates it, keeping everything before — the
+// same contract TestWALCorruptTailDropped pins on the graph side.
+func TestTSWALCorruptTailDropped(t *testing.T) {
+	var log bytes.Buffer
+	wal := NewWAL(New(0), &log)
+	k := SeriesKey{Entity: 3, Metric: "availability"}
+	wal.InsertSeries(k, sampleSeries(24, 7))
+	wal.Insert(k, 999*ts.Hour, 42)
+	wal.Flush()
+	raw := append([]byte(nil), log.Bytes()...)
+	raw[len(raw)-1] ^= 0x10 // bit rot on the final record
+	rebuilt := New(0)
+	sum, err := ReplayWithSummary(rebuilt, bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("corrupt tail should truncate: %v", err)
+	}
+	if sum.Applied != 1 || !sum.CorruptTail || sum.Points != 24 {
+		t.Fatalf("sum=%+v", sum)
+	}
+	if pts := rebuilt.Range(k, 999*ts.Hour, 1000*ts.Hour); len(pts) != 0 {
+		t.Fatalf("corrupt final record partially applied: %v", pts)
+	}
+}
+
+// Crash-matrix over the TS WAL fault points: an injected failure at append
+// or flush must leave store and log consistent (the record is in neither),
+// and clearing the fault must leave the WAL fully usable — injections are
+// rejections, not latched errors.
+func TestTSWALFaultMatrix(t *testing.T) {
+	defer faults.Reset()
+	k := SeriesKey{Entity: 9, Metric: "availability"}
+	for _, pt := range []string{FaultWALAppend, FaultWALFlush} {
+		faults.Reset()
+		var log bytes.Buffer
+		wal := NewWAL(New(0), &log)
+		if err := wal.InsertSeries(k, sampleSeries(24, 1)); err != nil {
+			t.Fatalf("%s: pre-fault insert: %v", pt, err)
+		}
+		if err := wal.Flush(); err != nil {
+			t.Fatalf("%s: pre-fault flush: %v", pt, err)
+		}
+		preLog := log.Len()
+		prePts := len(wal.DB().Range(k, 0, 1000*ts.Hour))
+
+		faults.Enable(pt, faults.Spec{Err: errors.New("injected")})
+		insErr := wal.Insert(k, 2000*ts.Hour, 5)
+		flushErr := wal.Flush()
+		if insErr == nil && flushErr == nil {
+			t.Fatalf("%s: fault did not surface", pt)
+		}
+		if faults.Hits(pt) == 0 {
+			t.Fatalf("%s: fault point never fired", pt)
+		}
+		faults.Reset() // the "reboot"
+
+		if pt == FaultWALAppend {
+			// The record must have reached neither the store nor the log.
+			if got := len(wal.DB().Range(k, 0, 10000*ts.Hour)); got != prePts {
+				t.Fatalf("%s: store advanced across failed append: %d vs %d", pt, got, prePts)
+			}
+			if err := wal.Flush(); err != nil {
+				t.Fatalf("%s: flush after cleared fault: %v", pt, err)
+			}
+			if log.Len() != preLog {
+				t.Fatalf("%s: failed append still reached the log", pt)
+			}
+		}
+		// The WAL stays usable after the injection clears.
+		if err := wal.Insert(k, 3000*ts.Hour, 6); err != nil {
+			t.Fatalf("%s: insert after cleared fault: %v", pt, err)
+		}
+		if err := wal.Flush(); err != nil {
+			t.Fatalf("%s: final flush: %v", pt, err)
+		}
+		rebuilt := New(0)
+		if _, err := Replay(rebuilt, bytes.NewReader(log.Bytes())); err != nil {
+			t.Fatalf("%s: replay after faults: %v", pt, err)
+		}
+		livePts := wal.DB().Range(k, 0, 10000*ts.Hour)
+		recPts := rebuilt.Range(k, 0, 10000*ts.Hour)
+		if len(livePts) != len(recPts) {
+			t.Fatalf("%s: store/log diverged: %d live vs %d replayed", pt, len(livePts), len(recPts))
+		}
 	}
 }

@@ -141,6 +141,12 @@ func (d *DurablePolyglot) Engine() *Polyglot { return d.eng }
 // Name identifies the engine in reports.
 func (d *DurablePolyglot) Name() string { return "ttdb-durable" }
 
+// SetWorkers sets the Q4–Q8 fan-out width of the wrapped engine. The write
+// path stays single-writer regardless (IngestStation predicts node ids via
+// NextNodeID, which two concurrent ingests would race on — see
+// docs/PARALLELISM.md); only reads parallelize.
+func (d *DurablePolyglot) SetWorkers(n int) { d.eng.SetWorkers(n) }
+
 // journal appends one intent record and flushes it — each protocol step must
 // be on disk before the next store write starts.
 func (d *DurablePolyglot) journal(op byte, txn uint64, node StationID) error {

@@ -1,0 +1,37 @@
+package ttdb
+
+import "sync"
+
+// parallelFor runs fn(i) for every i in [0, n) across `workers` goroutines.
+// Work is partitioned by striding — worker w takes i = w, w+workers, ... —
+// so the assignment of items to workers is a pure function of (workers, n),
+// never of scheduling. Callers write results into slot i of a pre-sized
+// slice and fold the slice sequentially afterwards; that two-phase shape is
+// what keeps parallel query results byte-identical to sequential ones (see
+// docs/PARALLELISM.md). workers <= 1 degrades to a plain loop with no
+// goroutine overhead, which is also the sequential reference path.
+func parallelFor(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -50,6 +50,10 @@ type Engine interface {
 	AddTrip(a, b StationID, count int) error
 	// LoadSeries attaches the metric series to a station.
 	LoadSeries(st StationID, s *ts.Series) error
+	// SetWorkers fixes the fan-out width for the multi-station queries
+	// Q4–Q8 (<= 1 selects the sequential path). Results are identical at
+	// any width; only wall-clock changes.
+	SetWorkers(n int)
 
 	// Q1: raw time-range fetch for one station.
 	Q1TimeRange(st StationID, start, end ts.Time) []ts.Point
@@ -75,7 +79,8 @@ type Engine interface {
 // AllInGraph stores series points as individual node properties named
 // "<metric>@<timestamp>".
 type AllInGraph struct {
-	G *graphstore.DB
+	G       *graphstore.DB
+	workers int
 }
 
 // NewAllInGraph returns an empty all-in-graph engine.
@@ -83,6 +88,9 @@ func NewAllInGraph() *AllInGraph { return &AllInGraph{G: graphstore.New()} }
 
 // Name implements Engine.
 func (a *AllInGraph) Name() string { return "neo4j-sim" }
+
+// SetWorkers implements Engine.
+func (a *AllInGraph) SetWorkers(n int) { a.workers = n }
 
 // AddStation implements Engine.
 func (a *AllInGraph) AddStation(name, district string) (StationID, error) {
@@ -178,26 +186,41 @@ func (a *AllInGraph) Q3StationMean(st StationID, start, end ts.Time) float64 {
 	return sum / float64(n)
 }
 
-// Q4AllStationMeans implements Engine.
+// Q4AllStationMeans implements Engine. The per-station scans are
+// independent, so they fan out across the worker pool; the merge folds the
+// result slice in station order regardless of width.
 func (a *AllInGraph) Q4AllStationMeans(start, end ts.Time) map[StationID]float64 {
-	out := map[StationID]float64{}
-	for _, st := range a.G.NodesByLabel("Station") {
-		out[st] = a.Q3StationMean(st, start, end)
+	stations := a.G.NodesByLabel("Station")
+	means := make([]float64, len(stations))
+	parallelFor(a.workers, len(stations), func(i int) {
+		means[i] = a.Q3StationMean(stations[i], start, end)
+	})
+	out := make(map[StationID]float64, len(stations))
+	for i, st := range stations {
+		out[st] = means[i]
 	}
 	return out
 }
 
-// Q5DistrictSums implements Engine.
+// Q5DistrictSums implements Engine. Per-station sums and district lookups
+// run on the worker pool; the district fold runs sequentially in station
+// order so float accumulation order is fixed.
 func (a *AllInGraph) Q5DistrictSums(start, end ts.Time) map[string]float64 {
-	out := map[string]float64{}
-	for _, st := range a.G.NodesByLabel("Station") {
-		district := "?"
-		if v, ok := a.G.NodeProp(st, "district"); ok {
-			district = v.S
+	stations := a.G.NodesByLabel("Station")
+	districts := make([]string, len(stations))
+	sums := make([]float64, len(stations))
+	parallelFor(a.workers, len(stations), func(i int) {
+		districts[i] = "?"
+		if v, ok := a.G.NodeProp(stations[i], "district"); ok {
+			districts[i] = v.S
 		}
 		var sum float64
-		a.scan(st, start, end, func(_ ts.Time, v float64) { sum += v })
-		out[district] += sum
+		a.scan(stations[i], start, end, func(_ ts.Time, v float64) { sum += v })
+		sums[i] = sum
+	})
+	out := map[string]float64{}
+	for i := range stations {
+		out[districts[i]] += sums[i]
 	}
 	return out
 }
@@ -215,11 +238,17 @@ func (a *AllInGraph) Q7Correlation(x, y StationID, start, end, bucket ts.Time) f
 	return ts.Correlation(sx, sy, bucket)
 }
 
-// Q8NeighborMeans implements Engine.
+// Q8NeighborMeans implements Engine: the graph store answers adjacency,
+// then the per-neighbor chain scans fan out across the worker pool.
 func (a *AllInGraph) Q8NeighborMeans(st StationID, start, end ts.Time) map[StationID]float64 {
-	out := map[StationID]float64{}
-	for _, n := range a.G.Neighbors(st, "TRIP") {
-		out[n] = a.Q3StationMean(n, start, end)
+	ns := a.G.Neighbors(st, "TRIP")
+	means := make([]float64, len(ns))
+	parallelFor(a.workers, len(ns), func(i int) {
+		means[i] = a.Q3StationMean(ns[i], start, end)
+	})
+	out := make(map[StationID]float64, len(ns))
+	for i, n := range ns {
+		out[n] = means[i]
 	}
 	return out
 }
@@ -229,8 +258,9 @@ func (a *AllInGraph) Q8NeighborMeans(st StationID, start, end ts.Time) map[Stati
 
 // Polyglot keeps topology in the graph store and series in the hypertable.
 type Polyglot struct {
-	G *graphstore.DB
-	T *tsstore.DB
+	G       *graphstore.DB
+	T       *tsstore.DB
+	workers int
 }
 
 // NewPolyglot returns an empty polyglot engine with the given chunk width
@@ -241,6 +271,9 @@ func NewPolyglot(chunkWidth ts.Time) *Polyglot {
 
 // Name implements Engine.
 func (p *Polyglot) Name() string { return "ttdb" }
+
+// SetWorkers implements Engine.
+func (p *Polyglot) SetWorkers(n int) { p.workers = n }
 
 // AddStation implements Engine.
 func (p *Polyglot) AddStation(name, district string) (StationID, error) {
@@ -299,55 +332,94 @@ func (p *Polyglot) Q3StationMean(st StationID, start, end ts.Time) float64 {
 	return s.Mean()
 }
 
-// Q4AllStationMeans implements Engine.
+// entities returns the metric's station list in hypertable insertion order
+// — the deterministic work list Q4–Q6 partition across workers.
+func (p *Polyglot) entities() []uint32 { return p.T.EntitiesOf(Metric) }
+
+// Q4AllStationMeans implements Engine: per-station summary pushdowns fan
+// out across the worker pool, merged in insertion order.
 func (p *Polyglot) Q4AllStationMeans(start, end ts.Time) map[StationID]float64 {
-	out := map[StationID]float64{}
-	for e, s := range p.T.AggregateAll(Metric, start, end) {
-		if s.Count > 0 {
-			out[StationID(e)] = s.Mean()
-		} else {
-			out[StationID(e)] = 0
+	entities := p.entities()
+	means := make([]float64, len(entities))
+	parallelFor(p.workers, len(entities), func(i int) {
+		if s := p.T.Aggregate(key(StationID(entities[i])), start, end); s.Count > 0 {
+			means[i] = s.Mean()
 		}
+	})
+	out := make(map[StationID]float64, len(entities))
+	for i, e := range entities {
+		out[StationID(e)] = means[i]
 	}
 	return out
 }
 
 // Q5DistrictSums implements Engine: topology (district) from the graph
-// store, aggregation pushdown in the hypertable.
+// store, aggregation pushdown in the hypertable, both fanned out per
+// station. The district fold runs sequentially in hypertable insertion
+// order, fixing the float accumulation order — sequential and parallel
+// runs, and repeated runs of either, all produce bit-identical sums (the
+// previous map-iteration fold made even two sequential runs differ in the
+// last ulp).
 func (p *Polyglot) Q5DistrictSums(start, end ts.Time) map[string]float64 {
-	out := map[string]float64{}
-	for e, s := range p.T.AggregateAll(Metric, start, end) {
-		district := "?"
-		if v, ok := p.G.NodeProp(StationID(e), "district"); ok {
-			district = v.S
+	entities := p.entities()
+	districts := make([]string, len(entities))
+	sums := make([]float64, len(entities))
+	parallelFor(p.workers, len(entities), func(i int) {
+		st := StationID(entities[i])
+		districts[i] = "?"
+		if v, ok := p.G.NodeProp(st, "district"); ok {
+			districts[i] = v.S
 		}
-		out[district] += s.Sum
+		sums[i] = p.T.Aggregate(key(st), start, end).Sum
+	})
+	out := map[string]float64{}
+	for i := range entities {
+		out[districts[i]] += sums[i]
 	}
 	return out
 }
 
-// Q6TopKStations implements Engine.
+// Q6TopKStations implements Engine: summaries fan out like Q4, then one
+// deterministic sort ranks the stations (ties by ascending id).
 func (p *Polyglot) Q6TopKStations(start, end ts.Time, k int) []StationID {
-	ids := p.T.TopKByMean(Metric, start, end, k)
-	out := make([]StationID, len(ids))
-	for i, e := range ids {
-		out[i] = StationID(e)
+	entities := p.entities()
+	sums := make([]tsstore.Summary, len(entities))
+	parallelFor(p.workers, len(entities), func(i int) {
+		sums[i] = p.T.Aggregate(key(StationID(entities[i])), start, end)
+	})
+	m := make(map[StationID]float64, len(entities))
+	for i, e := range entities {
+		if sums[i].Count > 0 {
+			m[StationID(e)] = sums[i].Mean()
+		}
 	}
-	return out
+	return topK(m, k)
 }
 
 // Q7Correlation implements Engine: correlation is pushed down into the
-// time-series store (merge-join on timestamps), the way a TimescaleDB
-// deployment computes corr() in SQL instead of shipping points to a client.
-func (p *Polyglot) Q7Correlation(x, y StationID, start, end, _ ts.Time) float64 {
+// time-series store, the way a TimescaleDB deployment computes corr() in
+// SQL instead of shipping points to a client. With a positive bucket both
+// sides go through the memoized resample cache (bucket means joined on the
+// shared grid, matching ts.Correlation); bucket <= 0 merge-joins raw
+// points on exact timestamps.
+func (p *Polyglot) Q7Correlation(x, y StationID, start, end, bucket ts.Time) float64 {
+	if bucket > 0 {
+		return p.T.CorrelateResampled(key(x), key(y), start, end, bucket)
+	}
 	return p.T.Correlate(key(x), key(y), start, end)
 }
 
-// Q8NeighborMeans implements Engine.
+// Q8NeighborMeans implements Engine: adjacency from the graph store, then
+// per-neighbor summary pushdowns on the worker pool.
 func (p *Polyglot) Q8NeighborMeans(st StationID, start, end ts.Time) map[StationID]float64 {
-	out := map[StationID]float64{}
-	for _, n := range p.G.Neighbors(st, "TRIP") {
-		out[n] = p.Q3StationMean(n, start, end)
+	ns := p.G.Neighbors(st, "TRIP")
+	means := make([]float64, len(ns))
+	parallelFor(p.workers, len(ns), func(i int) {
+		means[i] = p.Q3StationMean(ns[i], start, end)
+	})
+	out := make(map[StationID]float64, len(ns))
+	for i, n := range ns {
+		out[n] = means[i]
 	}
 	return out
 }

@@ -117,3 +117,76 @@ func TestQuickPearsonProperties(t *testing.T) {
 		}
 	}
 }
+
+// Degenerate inputs must never yield a value a caller could mistake for a
+// real correlation: constant series, disjoint series, empty series, and
+// invalid parameters all surface as NaN or nil, and BestLag's all-NaN case
+// is r=NaN — not "r=0 at lag 0", which reads as perfectly uncorrelated.
+func TestCorrelateDegenerateInputs(t *testing.T) {
+	mk := func(start Time, vals ...float64) *Series {
+		s := New("s")
+		for i, v := range vals {
+			s.MustAppend(start+Time(i)*10, v)
+		}
+		return s
+	}
+	ramp := mk(0, 1, 2, 3, 4, 5, 6, 7, 8)
+	flat := mk(0, 5, 5, 5, 5, 5, 5, 5, 5)
+	far := mk(100000, 1, 2, 3, 4) // no shared buckets with ramp
+	empty := New("empty")
+
+	cases := []struct {
+		name string
+		a, b *Series
+	}{
+		{"constant side", ramp, flat},
+		{"both constant", flat, flat},
+		{"disjoint", ramp, far},
+		{"empty side", ramp, empty},
+		{"both empty", empty, empty},
+	}
+	for _, tc := range cases {
+		if r := Correlation(tc.a, tc.b, 10); !math.IsNaN(r) {
+			t.Errorf("Correlation %s: got %v, want NaN", tc.name, r)
+		}
+		lag, r := BestLag(tc.a, tc.b, 10, 2)
+		if !math.IsNaN(r) {
+			t.Errorf("BestLag %s: r=%v, want NaN", tc.name, r)
+		}
+		if lag != 0 {
+			t.Errorf("BestLag %s: lag=%d, want 0 placeholder", tc.name, lag)
+		}
+	}
+
+	// CrossCorrelation guards: negative maxLag and empty alignments yield
+	// nil, never a window of garbage.
+	if cc := CrossCorrelation(ramp, ramp, 10, -1); cc != nil {
+		t.Errorf("negative maxLag: got %v, want nil", cc)
+	}
+	if cc := CrossCorrelation(ramp, far, 10, 2); cc != nil {
+		t.Errorf("disjoint series: got %v, want nil", cc)
+	}
+	if cc := CrossCorrelation(empty, empty, 10, 2); cc != nil {
+		t.Errorf("empty series: got %v, want nil", cc)
+	}
+	if cc := CrossCorrelation(ramp, ramp, 0, 2); cc != nil {
+		t.Errorf("non-positive bucket: got %v, want nil", cc)
+	}
+	// Constant series still produce the window (alignment is non-empty);
+	// every lag is NaN.
+	if cc := CrossCorrelation(ramp, flat, 10, 2); len(cc) != 5 {
+		t.Errorf("constant side window: %v", cc)
+	} else {
+		for i, v := range cc {
+			if !math.IsNaN(v) {
+				t.Errorf("constant side lag %d: %v, want NaN", i-2, v)
+			}
+		}
+	}
+	// A healthy pair is unaffected by the guards. (Not a ramp: every lag of
+	// a ramp against itself is still perfectly linear, which ties at |r|=1.)
+	wavy := mk(0, 1, 5, 2, 8, 3, 9, 4, 7)
+	if lag, r := BestLag(wavy, wavy, 10, 2); lag != 0 || math.Abs(r-1) > 1e-12 {
+		t.Errorf("identical series: lag=%d r=%v", lag, r)
+	}
+}
