@@ -3,12 +3,17 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify vet build test race fuzz bench benchsmoke
+.PHONY: verify vet lint build test race fuzz bench benchsmoke
 
-verify: vet build race fuzz benchsmoke
+verify: vet lint build race fuzz benchsmoke
 
 vet:
 	$(GO) vet ./...
+
+# hyvet: the repo's own analyzer suite (docs/STATIC_ANALYSIS.md). Exit 1 on
+# findings; `make lint JSON=1` emits machine-readable findings instead.
+lint:
+	$(GO) run ./cmd/hyvet $(if $(JSON),-json) ./...
 
 build:
 	$(GO) build ./...

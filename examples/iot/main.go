@@ -123,9 +123,14 @@ func main() {
 		fmt.Println("graph-coupled forecast:", err)
 		return
 	}
+	sensors := make([]core.VID, 0, len(hy))
+	for v := range hy {
+		sensors = append(sensors, v)
+	}
+	sort.Slice(sensors, func(i, j int) bool { return sensors[i] < sensors[j] })
 	var hySum, isoSum float64
-	for v, m := range hy {
-		hySum += m
+	for _, v := range sensors {
+		hySum += hy[v]
 		isoSum += iso[v]
 	}
 	n := float64(len(hy))

@@ -1,0 +1,30 @@
+package analysis
+
+import "testing"
+
+// Each analyzer's golden package: the build fails if the analyzer stops
+// producing (or over-produces) findings against the annotated sources.
+
+func TestLockDiscipline(t *testing.T) {
+	runWantTest(t, "testdata/lockdiscipline", singleCheckPolicy("lockdiscipline"))
+}
+
+func TestMapOrderFold(t *testing.T) {
+	runWantTest(t, "testdata/maporderfold", singleCheckPolicy("maporderfold"))
+}
+
+func TestWALErrLatch(t *testing.T) {
+	runWantTest(t, "testdata/walerrlatch", singleCheckPolicy("walerrlatch"))
+}
+
+func TestPanicFree(t *testing.T) {
+	policy := singleCheckPolicy("panicfree")
+	policy.Checks["panicfree"].Allow = []Allowance{
+		{Site: "hyvet.test/panicfree.Graph.MustAdd", Reason: "documented Must helper"},
+	}
+	runWantTest(t, "testdata/panicfree", policy)
+}
+
+func TestNondeterminism(t *testing.T) {
+	runWantTest(t, "testdata/nondeterminism", singleCheckPolicy("nondeterminism"))
+}

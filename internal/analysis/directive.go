@@ -1,0 +1,107 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// Directive is one parsed //hyvet:allow comment. A directive suppresses
+// findings of its check on the directive's own line and on the line
+// immediately following it (so it can ride at the end of the offending line
+// or stand alone above it). Every directive must carry a reason; a
+// directive that suppresses nothing is stale and is itself reported.
+type Directive struct {
+	File   string
+	Line   int
+	Check  string
+	Reason string
+
+	used bool
+}
+
+const directivePrefix = "//hyvet:allow"
+
+// parseDirectives extracts the //hyvet:allow directives of one parsed file.
+// Malformed directives (unknown check name, missing reason) are returned as
+// errors carrying their position.
+func parseDirectives(fset *token.FileSet, f *ast.File) ([]*Directive, []error) {
+	var dirs []*Directive
+	var errs []error
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			if !strings.HasPrefix(c.Text, directivePrefix) {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d, err := parseDirective(c.Text, pos)
+			if err != nil {
+				errs = append(errs, err)
+				continue
+			}
+			dirs = append(dirs, d)
+		}
+	}
+	return dirs, errs
+}
+
+// parseDirective parses the text of one //hyvet:allow comment.
+func parseDirective(text string, pos token.Position) (*Directive, error) {
+	rest := strings.TrimPrefix(text, directivePrefix)
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		// e.g. //hyvet:allowance — not ours.
+		return nil, fmt.Errorf("%s:%d: malformed hyvet directive %q (want \"//hyvet:allow <check> <reason>\")", pos.Filename, pos.Line, text)
+	}
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return nil, fmt.Errorf("%s:%d: hyvet:allow directive missing check name", pos.Filename, pos.Line)
+	}
+	check := fields[0]
+	if !knownCheck(check) {
+		return nil, fmt.Errorf("%s:%d: hyvet:allow names unknown check %q (known: %s)", pos.Filename, pos.Line, check, strings.Join(AnalyzerNames(), ", "))
+	}
+	reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(rest), check))
+	if reason == "" {
+		return nil, fmt.Errorf("%s:%d: hyvet:allow %s missing reason — every suppression must say why", pos.Filename, pos.Line, check)
+	}
+	return &Directive{File: pos.Filename, Line: pos.Line, Check: check, Reason: reason}, nil
+}
+
+// suppresses reports whether the directive covers the finding.
+func (d *Directive) suppresses(f Finding) bool {
+	return d.Check == f.Check && d.File == f.File &&
+		(d.Line == f.Line || d.Line == f.Line-1)
+}
+
+// applyDirectives filters findings through the directives, marking each
+// directive that fires. It returns the surviving findings plus one stale
+// finding per directive that suppressed nothing.
+func applyDirectives(findings []Finding, dirs []*Directive) []Finding {
+	var out []Finding
+	for _, f := range findings {
+		suppressed := false
+		for _, d := range dirs {
+			if d.suppresses(f) {
+				d.used = true
+				suppressed = true
+			}
+		}
+		if !suppressed {
+			out = append(out, f)
+		}
+	}
+	for _, d := range dirs {
+		if !d.used {
+			out = append(out, Finding{
+				Check: "hyvet",
+				File:  d.File,
+				Line:  d.Line,
+				Col:   1,
+				Message: fmt.Sprintf("stale suppression: //hyvet:allow %s matches no finding — delete it (reason was: %s)",
+					d.Check, d.Reason),
+			})
+		}
+	}
+	return out
+}

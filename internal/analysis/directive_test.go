@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+	"testing"
+)
+
+func mustParseDirective(t *testing.T, text string) *Directive {
+	t.Helper()
+	d, err := parseDirective(text, token.Position{Filename: "f.go", Line: 10})
+	if err != nil {
+		t.Fatalf("parseDirective(%q): %v", text, err)
+	}
+	return d
+}
+
+func TestParseDirective(t *testing.T) {
+	d := mustParseDirective(t, "//hyvet:allow maporderfold caller asserts tolerance")
+	if d.Check != "maporderfold" {
+		t.Errorf("check = %q, want maporderfold", d.Check)
+	}
+	if d.Reason != "caller asserts tolerance" {
+		t.Errorf("reason = %q", d.Reason)
+	}
+	if d.File != "f.go" || d.Line != 10 {
+		t.Errorf("position = %s:%d", d.File, d.Line)
+	}
+}
+
+func TestParseDirectiveErrors(t *testing.T) {
+	cases := []struct {
+		text    string
+		wantErr string
+	}{
+		{"//hyvet:allow", "missing check name"},
+		{"//hyvet:allow maporderfold", "missing reason"},
+		{"//hyvet:allow maporderfold   ", "missing reason"},
+		{"//hyvet:allow nosuchcheck some reason", `unknown check "nosuchcheck"`},
+		{"//hyvet:allowance maporderfold reason", "malformed hyvet directive"},
+	}
+	for _, tc := range cases {
+		_, err := parseDirective(tc.text, token.Position{Filename: "f.go", Line: 3})
+		if err == nil {
+			t.Errorf("parseDirective(%q): want error containing %q, got nil", tc.text, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("parseDirective(%q) error = %q, want it to contain %q", tc.text, err, tc.wantErr)
+		}
+		if !strings.Contains(err.Error(), "f.go:3") {
+			t.Errorf("parseDirective(%q) error %q does not carry its position", tc.text, err)
+		}
+	}
+}
+
+func TestDirectiveSuppresses(t *testing.T) {
+	d := &Directive{File: "f.go", Line: 10, Check: "panicfree"}
+	cases := []struct {
+		f    Finding
+		want bool
+	}{
+		{Finding{Check: "panicfree", File: "f.go", Line: 10}, true},  // same line
+		{Finding{Check: "panicfree", File: "f.go", Line: 11}, true},  // next line
+		{Finding{Check: "panicfree", File: "f.go", Line: 9}, false},  // previous line
+		{Finding{Check: "panicfree", File: "f.go", Line: 12}, false}, // too far
+		{Finding{Check: "maporderfold", File: "f.go", Line: 10}, false},
+		{Finding{Check: "panicfree", File: "g.go", Line: 10}, false},
+	}
+	for _, tc := range cases {
+		if got := d.suppresses(tc.f); got != tc.want {
+			t.Errorf("suppresses(%+v) = %v, want %v", tc.f, got, tc.want)
+		}
+	}
+}
+
+func TestApplyDirectivesStale(t *testing.T) {
+	findings := []Finding{
+		{Check: "panicfree", File: "f.go", Line: 10, Message: "panic in X"},
+	}
+	dirs := []*Directive{
+		{File: "f.go", Line: 10, Check: "panicfree", Reason: "ok"},
+		{File: "f.go", Line: 40, Check: "maporderfold", Reason: "was fixed"},
+	}
+	out := applyDirectives(findings, dirs)
+	if len(out) != 1 {
+		t.Fatalf("got %d findings, want 1 (the stale directive): %v", len(out), out)
+	}
+	f := out[0]
+	if f.Check != "hyvet" || f.Line != 40 || !strings.Contains(f.Message, "stale suppression") {
+		t.Errorf("stale finding = %+v", f)
+	}
+	if !strings.Contains(f.Message, "was fixed") {
+		t.Errorf("stale finding should echo the original reason: %q", f.Message)
+	}
+}

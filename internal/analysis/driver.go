@@ -1,0 +1,138 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Run loads the patterns, runs every policied analyzer over the in-scope
+// packages, applies //hyvet:allow suppressions, and reports stale
+// suppressions and stale policy allowances as findings of the meta-check
+// "hyvet". dir is the working directory for the go tool. The returned
+// findings are sorted by position; an error means the run itself could not
+// complete (load failure, malformed policy/directive), not that findings
+// exist.
+func Run(dir string, policy *Policy, patterns ...string) ([]Finding, error) {
+	pkgs, err := Load(dir, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	return runPackages(pkgs, policy)
+}
+
+// runPackages is Run after loading — shared with tests that build packages
+// without the go tool.
+func runPackages(pkgs []*Package, policy *Policy, extra ...*Analyzer) ([]Finding, error) {
+	analyzers := append(Analyzers(), extra...)
+	var findings []Finding
+	var dirs []*Directive
+	allowUsed := map[string]bool{}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			ds, errs := parseDirectives(pkg.Fset, f)
+			if len(errs) > 0 {
+				return nil, errs[0]
+			}
+			dirs = append(dirs, ds...)
+		}
+		for _, a := range analyzers {
+			cp, ok := policy.Checks[a.Name]
+			if !ok || !cp.appliesTo(pkg.Path) {
+				continue
+			}
+			check := a.Name
+			pass := &Pass{
+				Fset:  pkg.Fset,
+				Files: pkg.Files,
+				Pkg:   pkg.Pkg,
+				Info:  pkg.Info,
+				Check: cp,
+				report: func(f Finding) {
+					f.Check = check
+					findings = append(findings, f)
+				},
+				allowUsed: func(entry string) { allowUsed[check+":"+entry] = true },
+			}
+			a.Run(pass)
+		}
+	}
+	findings = applyDirectives(findings, dirs)
+	findings = append(findings, staleAllowances(policy, pkgs, allowUsed)...)
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// staleAllowances reports policy allowlist entries that matched no site in
+// any package the check actually visited. An allowance for a package that
+// was not part of this run's patterns is not stale — partial runs (e.g.
+// `hyvet ./internal/tpg`) must not invalidate the rest of the policy.
+func staleAllowances(policy *Policy, pkgs []*Package, used map[string]bool) []Finding {
+	var names []string
+	for name := range policy.Checks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var out []Finding
+	for _, name := range names {
+		cp := policy.Checks[name]
+		for _, al := range cp.Allow {
+			if used[name+":"+al.Site] {
+				continue
+			}
+			if !allowanceVisited(cp, pkgs, al.Site) {
+				continue
+			}
+			out = append(out, Finding{
+				Check: "hyvet",
+				File:  "hyvet.policy.json",
+				Line:  1,
+				Col:   1,
+				Message: fmt.Sprintf("stale allowance: %s allowlists %q but no such site violates the check — delete it (reason was: %s)",
+					name, al.Site, al.Reason),
+			})
+		}
+	}
+	return out
+}
+
+// allowanceVisited reports whether the allowlisted site's package was both
+// loaded in this run and in the check's scope.
+func allowanceVisited(cp *CheckPolicy, pkgs []*Package, site string) bool {
+	for _, pkg := range pkgs {
+		if sitePackage(site) == pkg.Path && cp.appliesTo(pkg.Path) {
+			return true
+		}
+	}
+	return false
+}
+
+// sitePackage extracts the import path from an allowlist site of the form
+// "path/to/pkg.Func" or "path/to/pkg.Recv.Method".
+func sitePackage(site string) string {
+	// The package path is everything before the first dot after the last
+	// slash (import paths may contain dots in earlier elements).
+	slash := -1
+	for i, r := range site {
+		if r == '/' {
+			slash = i
+		}
+	}
+	for i := slash + 1; i < len(site); i++ {
+		if site[i] == '.' {
+			return site[:i]
+		}
+	}
+	return site
+}

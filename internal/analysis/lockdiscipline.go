@@ -1,0 +1,360 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockDiscipline enforces the storage engines' locking convention (see
+// docs/PARALLELISM.md): types guarding state with a sync.Mutex/RWMutex field
+// expose public methods that take the lock and *Locked internals that assume
+// it is held. Three rules follow:
+//
+//  1. A function holding the lock must not call another method that takes
+//     the same lock (nested acquisition; with RWMutex, a nested read lock
+//     deadlocks against a waiting writer).
+//  2. Holding only the read lock across a call that takes the write lock is
+//     a guaranteed deadlock and is reported with a dedicated message.
+//  3. A *Locked method may only be called with the lock held, and must not
+//     take the lock itself.
+//
+// The analysis is a linear, position-ordered simulation of each function
+// body: acquire/release events on `x.mu` update a per-owner lock state, and
+// method calls are checked against that state. Function literals are
+// simulated separately with an unlocked state (callbacks are assumed to run
+// without the caller's lock unless they trip rule 3 on their own).
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc:  "lock-taking methods must not nest; *Locked internals require the lock held",
+	Run:  runLockDiscipline,
+}
+
+// lockClass records which locks a method takes on its own receiver.
+type lockClass struct{ read, write bool }
+
+func (c lockClass) takesLock() bool { return c.read || c.write }
+
+// lock states for the simulation.
+const (
+	stUnlocked = iota
+	stRead
+	stWrite
+)
+
+func runLockDiscipline(pass *Pass) {
+	guarded := guardedTypes(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	classes := classifyLockMethods(pass, guarded)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			simulateLockStates(pass, fd, guarded, classes)
+		}
+	}
+}
+
+// guardedTypes finds package-level struct types with a sync.Mutex or
+// sync.RWMutex field, mapping the named type to the mutex field's name.
+func guardedTypes(pass *Pass) map[*types.Named]string {
+	out := map[*types.Named]string{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			if isSyncMutex(st.Field(i).Type()) {
+				out[named] = st.Field(i).Name()
+				break
+			}
+		}
+	}
+	return out
+}
+
+// isSyncMutex reports whether t is sync.Mutex or sync.RWMutex.
+func isSyncMutex(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// receiverNamed resolves a method's receiver to its named type, unwrapping
+// one pointer.
+func receiverNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// classifyLockMethods records, for every method of a guarded type, whether
+// its body takes the receiver's lock (ignoring function literals).
+func classifyLockMethods(pass *Pass, guarded map[*types.Named]string) map[*types.Func]lockClass {
+	classes := map[*types.Func]lockClass{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			named := receiverNamed(fn)
+			if named == nil {
+				continue
+			}
+			muField, ok := guarded[named]
+			if !ok {
+				continue
+			}
+			var class lockClass
+			inspectSkippingFuncLits(fd.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				if op, _, ok := mutexOp(pass, call, muField); ok {
+					switch op {
+					case "Lock":
+						class.write = true
+					case "RLock":
+						class.read = true
+					}
+				}
+			})
+			if class.takesLock() {
+				classes[fn] = class
+			}
+		}
+	}
+	return classes
+}
+
+// inspectSkippingFuncLits walks n calling fn on every node, without
+// descending into function literals.
+func inspectSkippingFuncLits(n ast.Node, fn func(ast.Node)) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// mutexOp matches `<owner>.<muField>.Lock()` (and RLock/Unlock/RUnlock),
+// returning the operation name and the owner key.
+func mutexOp(pass *Pass, call *ast.CallExpr, muField string) (op, owner string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", "", false
+	}
+	muSel, isSel := sel.X.(*ast.SelectorExpr)
+	if !isSel || muSel.Sel.Name != muField || !isSyncMutex(pass.Info.TypeOf(sel.X)) {
+		return "", "", false
+	}
+	owner, ok = exprKey(muSel.X)
+	if !ok {
+		return "", "", false
+	}
+	return sel.Sel.Name, owner, true
+}
+
+// exprKey flattens an identifier/selector chain ("db", "l.db") into a
+// stable key for lock-state tracking.
+func exprKey(e ast.Expr) (string, bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name, true
+	case *ast.SelectorExpr:
+		base, ok := exprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		return base + "." + e.Sel.Name, true
+	case *ast.ParenExpr:
+		return exprKey(e.X)
+	}
+	return "", false
+}
+
+// lockEvent is one acquire/release/call observed in a function body.
+type lockEvent struct {
+	pos      token.Pos
+	owner    string
+	op       string      // mutex op, or "" for method calls
+	deferred bool        // inside a defer statement
+	target   *types.Func // callee, for method calls
+	class    lockClass   // callee's lock class
+	locked   bool        // callee has the *Locked suffix
+}
+
+// simulateLockStates runs the linear lock-state simulation over one
+// function declaration, then over each nested function literal with a
+// fresh (unlocked) state.
+func simulateLockStates(pass *Pass, fd *ast.FuncDecl, guarded map[*types.Named]string, classes map[*types.Func]lockClass) {
+	fn, _ := pass.Info.Defs[fd.Name].(*types.Func)
+	recvKey := ""
+	isLockedFn := false
+	if fn != nil && fd.Recv != nil {
+		if named := receiverNamed(fn); named != nil {
+			if _, ok := guarded[named]; ok {
+				if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+					recvKey = fd.Recv.List[0].Names[0].Name
+				}
+				isLockedFn = strings.HasSuffix(fd.Name.Name, "Locked")
+			}
+		}
+	}
+	var lits []*ast.FuncLit
+	events := collectLockEvents(pass, fd.Body, guarded, classes, &lits)
+	runLockSim(pass, fd.Name.Name, recvKey, isLockedFn, events)
+	for len(lits) > 0 {
+		lit := lits[0]
+		lits = lits[1:]
+		litEvents := collectLockEvents(pass, lit.Body, guarded, classes, &lits)
+		runLockSim(pass, fd.Name.Name+" (func literal)", "", false, litEvents)
+	}
+}
+
+// collectLockEvents gathers the body's lock events in source order. Nested
+// function literals are appended to lits for separate simulation.
+func collectLockEvents(pass *Pass, body ast.Node, guarded map[*types.Named]string, classes map[*types.Func]lockClass, lits *[]*ast.FuncLit) []lockEvent {
+	var events []lockEvent
+	deferred := map[*ast.CallExpr]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n != body {
+				*lits = append(*lits, n)
+				return false
+			}
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			if ev, ok := lockEventOf(pass, n, guarded, classes); ok {
+				ev.deferred = deferred[n]
+				events = append(events, ev)
+			}
+		}
+		return true
+	})
+	sort.SliceStable(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	return events
+}
+
+// lockEventOf classifies one call expression as a lock event, if it is one.
+func lockEventOf(pass *Pass, call *ast.CallExpr, guarded map[*types.Named]string, classes map[*types.Func]lockClass) (lockEvent, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return lockEvent{}, false
+	}
+	// Direct mutex operation on any guarded type's mutex field?
+	for _, muField := range guarded {
+		if op, owner, ok := mutexOp(pass, call, muField); ok {
+			return lockEvent{pos: call.Pos(), owner: owner, op: op}, true
+		}
+	}
+	// Method call on a guarded type?
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return lockEvent{}, false
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return lockEvent{}, false
+	}
+	named := receiverNamed(fn)
+	if named == nil {
+		return lockEvent{}, false
+	}
+	if _, isGuarded := guarded[named]; !isGuarded {
+		return lockEvent{}, false
+	}
+	class := classes[fn]
+	locked := strings.HasSuffix(fn.Name(), "Locked")
+	if !class.takesLock() && !locked {
+		return lockEvent{}, false
+	}
+	owner, ok := exprKey(sel.X)
+	if !ok {
+		return lockEvent{}, false
+	}
+	return lockEvent{pos: call.Pos(), owner: owner, target: fn, class: class, locked: locked}, true
+}
+
+// runLockSim replays the events, updating per-owner lock state and
+// reporting rule violations.
+func runLockSim(pass *Pass, fname, recvKey string, isLockedFn bool, events []lockEvent) {
+	state := map[string]int{}
+	if isLockedFn && recvKey != "" {
+		// A *Locked method runs with its receiver's lock already held.
+		state[recvKey] = stWrite
+	}
+	for _, ev := range events {
+		switch ev.op {
+		case "Lock", "RLock":
+			if isLockedFn && ev.owner == recvKey {
+				pass.Reportf(ev.pos, "%s must not take %s.mu: *Locked functions run with the lock already held", fname, ev.owner)
+			}
+			if ev.op == "Lock" {
+				state[ev.owner] = stWrite
+			} else {
+				state[ev.owner] = stRead
+			}
+		case "Unlock", "RUnlock":
+			// A deferred unlock keeps the lock held to the end of the
+			// function; only inline releases change the linear state.
+			if !ev.deferred {
+				state[ev.owner] = stUnlocked
+			}
+		default: // method call
+			st := state[ev.owner]
+			switch {
+			case ev.class.takesLock() && st == stRead && ev.class.write:
+				pass.Reportf(ev.pos, "%s takes the write lock on %s.mu while the read lock is held: guaranteed deadlock", ev.target.Name(), ev.owner)
+			case ev.class.takesLock() && st != stUnlocked:
+				pass.Reportf(ev.pos, "nested lock acquisition: %s takes %s.mu which is already held", ev.target.Name(), ev.owner)
+			case ev.locked && st == stUnlocked:
+				pass.Reportf(ev.pos, "%s requires %s.mu to be held, but the caller does not hold it", ev.target.Name(), ev.owner)
+			}
+		}
+	}
+}

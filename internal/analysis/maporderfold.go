@@ -1,0 +1,178 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapOrderFold flags floating-point accumulation inside `for … range m`
+// loops where m is a map: Go randomizes map iteration order, and float
+// addition is not associative, so such folds give a different last-ulp
+// result on every run. This is the exact bug class behind the polyglot
+// Q5DistrictSums nondeterminism fixed in PR 2 — two sequential runs of the
+// same query disagreed because the per-district sums were folded in map
+// order. The fix is to fold over a deterministically ordered work list
+// (sorted keys, or an insertion-ordered slice).
+var MapOrderFold = &Analyzer{
+	Name: "maporderfold",
+	Doc:  "no floating-point accumulation in range-over-map loops (iteration order is random)",
+	Run:  runMapOrderFold,
+}
+
+func runMapOrderFold(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.Info.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			checkMapRangeBody(pass, rs)
+			return true
+		})
+	}
+}
+
+// checkMapRangeBody reports float accumulations in the body whose target
+// outlives one iteration.
+func checkMapRangeBody(pass *Pass, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if indexedByRangeKey(pass, lhs, rs) {
+					continue
+				}
+				if isFloat(pass.Info.TypeOf(lhs)) && targetOutlivesIteration(pass, lhs, rs.Body) {
+					pass.Reportf(as.Pos(), "floating-point accumulation into %s inside range over a map: iteration order is random, so the fold is nondeterministic — fold over sorted keys or an ordered slice", exprString(lhs))
+				}
+			}
+		case token.ASSIGN:
+			// x = x + v (and -,*,/) spelled out.
+			for i, lhs := range as.Lhs {
+				if i >= len(as.Rhs) {
+					break
+				}
+				if !isFloat(pass.Info.TypeOf(lhs)) || !targetOutlivesIteration(pass, lhs, rs.Body) {
+					continue
+				}
+				if indexedByRangeKey(pass, lhs, rs) {
+					continue
+				}
+				if selfReferencingBinary(pass, as.Rhs[i], lhs) {
+					pass.Reportf(as.Pos(), "floating-point accumulation into %s inside range over a map: iteration order is random, so the fold is nondeterministic — fold over sorted keys or an ordered slice", exprString(lhs))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// isFloat reports whether t's core type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// targetOutlivesIteration reports whether the assignment target persists
+// across loop iterations: an identifier declared outside the loop body, or
+// any indexed/selected location (whose base, conservatively, does).
+func targetOutlivesIteration(pass *Pass, lhs ast.Expr, body *ast.BlockStmt) bool {
+	switch e := lhs.(type) {
+	case *ast.Ident:
+		obj := pass.Info.ObjectOf(e)
+		if obj == nil {
+			return false
+		}
+		return obj.Pos() < body.Pos() || obj.Pos() > body.End()
+	case *ast.IndexExpr:
+		return targetOutlivesIteration(pass, e.X, body)
+	case *ast.SelectorExpr:
+		return targetOutlivesIteration(pass, e.X, body)
+	case *ast.StarExpr:
+		return targetOutlivesIteration(pass, e.X, body)
+	case *ast.ParenExpr:
+		return targetOutlivesIteration(pass, e.X, body)
+	}
+	return false
+}
+
+// indexedByRangeKey reports whether lhs writes through an index that is
+// exactly the loop's key variable. A map range visits every key once, so
+// such a write touches a distinct slot each iteration and no value from one
+// iteration flows into another — the update is order-free even for floats
+// (e.g. `for k := range m { m[k] /= 2 }`).
+func indexedByRangeKey(pass *Pass, lhs ast.Expr, rs *ast.RangeStmt) bool {
+	ie, ok := lhs.(*ast.IndexExpr)
+	if !ok {
+		return false
+	}
+	keyIdent, ok := rs.Key.(*ast.Ident)
+	if !ok || keyIdent.Name == "_" {
+		return false
+	}
+	idx, ok := ie.Index.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := pass.Info.ObjectOf(idx)
+	return obj != nil && obj == pass.Info.ObjectOf(keyIdent)
+}
+
+// selfReferencingBinary reports whether rhs is an arithmetic expression
+// mentioning the lhs target (x = x + v).
+func selfReferencingBinary(pass *Pass, rhs, lhs ast.Expr) bool {
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	target := exprString(lhs)
+	found := false
+	ast.Inspect(rhs, func(n ast.Node) bool {
+		if e, ok := n.(ast.Expr); ok && exprString(e) == target {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// exprString renders simple expressions (identifier/selector/index chains)
+// for messages and structural comparison.
+func exprString(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(e.X) + "[" + exprString(e.Index) + "]"
+	case *ast.StarExpr:
+		return "*" + exprString(e.X)
+	case *ast.ParenExpr:
+		return "(" + exprString(e.X) + ")"
+	case *ast.BasicLit:
+		return e.Value
+	}
+	return "?"
+}

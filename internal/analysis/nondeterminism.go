@@ -1,0 +1,71 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Nondeterminism bans wall-clock reads and the global math/rand source in
+// packages declared deterministic by the policy (storage, ts, core, faults).
+// Those packages back replayable WALs, bit-identical parallel merges and
+// reproducible fault schedules; a time.Now or global rand call hidden in
+// one of them makes a replay or a -race rerun diverge in ways no test can
+// pin down. Explicitly seeded sources (rand.New(rand.NewSource(seed))) are
+// fine — the ban is on *ambient* nondeterminism, not on randomness.
+// Timing/bench packages read the clock as their job; the policy exempts
+// them with a reason rather than widening the rule.
+var Nondeterminism = &Analyzer{
+	Name: "nondeterminism",
+	Doc:  "no time.Now or global math/rand in deterministic packages; inject clocks and seeded sources",
+	Run:  runNondeterminism,
+}
+
+// wallClockFuncs are the time package functions that read the ambient clock.
+var wallClockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// seededConstructors are the math/rand functions that build an explicit,
+// seedable source instead of consuming the global one.
+var seededConstructors = map[string]bool{"New": true, "NewSource": true, "NewZipf": true}
+
+func runNondeterminism(pass *Pass) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() != nil {
+				return true // methods (e.g. (*rand.Rand).Float64) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallClockFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(), "call to time.%s in a deterministic package: inject the clock so replays and tests control it", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(call.Pos(), "call to global %s.%s in a deterministic package: use an injected, seeded *rand.Rand", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}
+
+// calleeFunc resolves a call's static callee, or nil.
+func calleeFunc(pass *Pass, call *ast.CallExpr) *types.Func {
+	switch fun := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		fn, _ := pass.Info.ObjectOf(fun.Sel).(*types.Func)
+		return fn
+	case *ast.Ident:
+		fn, _ := pass.Info.ObjectOf(fun).(*types.Func)
+		return fn
+	}
+	return nil
+}

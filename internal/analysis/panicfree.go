@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// PanicFree bans panic in the scoped packages' non-test code. PR 1
+// converted the ttdb/tpg mutators from panicking to returning errors — a
+// panicking mutator inside the storage layer kills the whole serving
+// process on bad input, where an error degrades one request. The policy
+// file's allowlist names the deliberate exceptions (documented Must*
+// helpers); the allowlist is checked: an entry that no longer matches a
+// panic site is reported as stale so the policy cannot rot.
+var PanicFree = &Analyzer{
+	Name: "panicfree",
+	Doc:  "no panic in scoped non-test code; deliberate Must* helpers go on the checked allowlist",
+	Run:  runPanicFree,
+}
+
+func runPanicFree(pass *Pass) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			site := panicSite(pass, fd)
+			allowed := false
+			if _, ok := pass.Check.Allowed(site); ok {
+				allowed = true
+			}
+			used := false
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				id, ok := call.Fun.(*ast.Ident)
+				if !ok || id.Name != "panic" {
+					return true
+				}
+				if b, ok := pass.Info.ObjectOf(id).(*types.Builtin); !ok || b.Name() != "panic" {
+					return true
+				}
+				if allowed {
+					used = true
+					return true
+				}
+				pass.Reportf(call.Pos(), "panic in %s: storage-path code must return errors, not panic (allowlist the site in hyvet.policy.json if deliberate)", site)
+				return true
+			})
+			if allowed && used {
+				pass.AllowUsed(site)
+			}
+		}
+	}
+}
+
+// panicSite names a function for the allowlist: "pkgpath.Func" for
+// functions, "pkgpath.Recv.Method" for methods (pointer receivers without
+// the star).
+func panicSite(pass *Pass, fd *ast.FuncDecl) string {
+	site := pass.Pkg.Path() + "."
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+			if named := receiverNamed(fn); named != nil {
+				site += named.Obj().Name() + "."
+			}
+		}
+	}
+	return site + fd.Name.Name
+}

@@ -1,0 +1,142 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+// Policy scopes each check to the packages whose invariants it enforces.
+// It is loaded from a JSON file at the repo root (hyvet.policy.json) so the
+// scoping decisions are reviewed like code. A check with no policy entry
+// does not run: every analyzer's blast radius is an explicit, versioned
+// decision.
+type Policy struct {
+	Checks map[string]*CheckPolicy `json:"checks"`
+}
+
+// CheckPolicy is one check's scope and settings.
+type CheckPolicy struct {
+	// Packages are import-path patterns the check runs on. A pattern is an
+	// exact import path or a prefix ending in "/..." ("hygraph/..." matches
+	// hygraph and everything under it).
+	Packages []string `json:"packages"`
+	// Exempt carves packages back out of Packages; every exemption states
+	// its reason (e.g. bench is a timing package, so wall-clock reads are
+	// its job, not a bug).
+	Exempt []Exemption `json:"exempt,omitempty"`
+	// Allow lists sites exempt from the check, for checks that support a
+	// site allowlist (panicfree: "pkgpath.Func" or "pkgpath.Recv.Method").
+	// Entries that match nothing are reported as stale.
+	Allow []Allowance `json:"allow,omitempty"`
+}
+
+// Exemption removes a package pattern from a check's scope.
+type Exemption struct {
+	Package string `json:"package"`
+	Reason  string `json:"reason"`
+}
+
+// Allowance permits one named site to violate a check.
+type Allowance struct {
+	Site   string `json:"site"`
+	Reason string `json:"reason"`
+}
+
+// LoadPolicy reads and validates a policy file.
+func LoadPolicy(path string) (*Policy, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("hyvet: reading policy: %v", err)
+	}
+	return ParsePolicy(raw)
+}
+
+// ParsePolicy decodes and validates policy JSON. Unknown check names,
+// exemptions or allowances without reasons, and empty package patterns are
+// all hard errors: a policy that drifts from the analyzer suite must fail
+// loudly, not silently stop scoping a check.
+func ParsePolicy(raw []byte) (*Policy, error) {
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var p Policy
+	if err := dec.Decode(&p); err != nil {
+		return nil, fmt.Errorf("hyvet: parsing policy: %v", err)
+	}
+	var checks []string
+	for name := range p.Checks {
+		checks = append(checks, name)
+	}
+	sort.Strings(checks)
+	for _, name := range checks {
+		cp := p.Checks[name]
+		if !knownCheck(name) {
+			return nil, fmt.Errorf("hyvet: policy names unknown check %q (known: %s)", name, strings.Join(AnalyzerNames(), ", "))
+		}
+		if cp == nil || len(cp.Packages) == 0 {
+			return nil, fmt.Errorf("hyvet: policy for %s lists no packages", name)
+		}
+		for _, pat := range cp.Packages {
+			if pat == "" {
+				return nil, fmt.Errorf("hyvet: policy for %s has an empty package pattern", name)
+			}
+		}
+		for _, ex := range cp.Exempt {
+			if ex.Package == "" {
+				return nil, fmt.Errorf("hyvet: policy for %s has an exemption without a package", name)
+			}
+			if strings.TrimSpace(ex.Reason) == "" {
+				return nil, fmt.Errorf("hyvet: policy for %s exempts %s without a reason", name, ex.Package)
+			}
+		}
+		for _, al := range cp.Allow {
+			if al.Site == "" {
+				return nil, fmt.Errorf("hyvet: policy for %s has an allowance without a site", name)
+			}
+			if strings.TrimSpace(al.Reason) == "" {
+				return nil, fmt.Errorf("hyvet: policy for %s allows %s without a reason", name, al.Site)
+			}
+		}
+	}
+	return &p, nil
+}
+
+// matchPattern reports whether the import path matches one pattern.
+func matchPattern(pattern, path string) bool {
+	if prefix, ok := strings.CutSuffix(pattern, "/..."); ok {
+		return path == prefix || strings.HasPrefix(path, prefix+"/")
+	}
+	return path == pattern
+}
+
+// appliesTo reports whether the check runs on the package path.
+func (cp *CheckPolicy) appliesTo(path string) bool {
+	in := false
+	for _, pat := range cp.Packages {
+		if matchPattern(pat, path) {
+			in = true
+			break
+		}
+	}
+	if !in {
+		return false
+	}
+	for _, ex := range cp.Exempt {
+		if matchPattern(ex.Package, path) {
+			return false
+		}
+	}
+	return true
+}
+
+// Allowed reports whether site is on the check's allowlist.
+func (cp *CheckPolicy) Allowed(site string) (string, bool) {
+	for _, al := range cp.Allow {
+		if al.Site == site {
+			return al.Site, true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,111 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePolicy(t *testing.T) {
+	p, err := ParsePolicy([]byte(`{
+		"checks": {
+			"maporderfold": {
+				"packages": ["hygraph/..."],
+				"exempt": [{"package": "hygraph/internal/bench", "reason": "timing package"}]
+			},
+			"panicfree": {
+				"packages": ["hygraph/internal/tpg"],
+				"allow": [{"site": "hygraph/internal/tpg.Graph.MustAddVertex", "reason": "documented Must helper"}]
+			}
+		}
+	}`))
+	if err != nil {
+		t.Fatalf("ParsePolicy: %v", err)
+	}
+	cp := p.Checks["maporderfold"]
+	for path, want := range map[string]bool{
+		"hygraph":                 true,
+		"hygraph/internal/ts":     true,
+		"hygraph/internal/bench":  false, // exempt
+		"hygraphother":            false, // prefix must split on /
+		"example.com/unrelated":   false,
+		"hygraph/internal/bench2": true, // exemption is exact, not a prefix
+	} {
+		if got := cp.appliesTo(path); got != want {
+			t.Errorf("maporderfold appliesTo(%q) = %v, want %v", path, got, want)
+		}
+	}
+	if _, ok := p.Checks["panicfree"].Allowed("hygraph/internal/tpg.Graph.MustAddVertex"); !ok {
+		t.Errorf("allowlisted site not found")
+	}
+	if _, ok := p.Checks["panicfree"].Allowed("hygraph/internal/tpg.Graph.AddVertex"); ok {
+		t.Errorf("non-allowlisted site reported as allowed")
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		json    string
+		wantErr string
+	}{
+		{
+			"unknown check",
+			`{"checks": {"nosuchcheck": {"packages": ["hygraph/..."]}}}`,
+			`unknown check "nosuchcheck"`,
+		},
+		{
+			"no packages",
+			`{"checks": {"panicfree": {}}}`,
+			"lists no packages",
+		},
+		{
+			"empty pattern",
+			`{"checks": {"panicfree": {"packages": [""]}}}`,
+			"empty package pattern",
+		},
+		{
+			"exemption without reason",
+			`{"checks": {"maporderfold": {"packages": ["hygraph/..."], "exempt": [{"package": "hygraph/internal/bench"}]}}}`,
+			"without a reason",
+		},
+		{
+			"allowance without reason",
+			`{"checks": {"panicfree": {"packages": ["hygraph/..."], "allow": [{"site": "hygraph/x.F"}]}}}`,
+			"without a reason",
+		},
+		{
+			"unknown field",
+			`{"checks": {"panicfree": {"packages": ["hygraph/..."], "extra": true}}}`,
+			"unknown field",
+		},
+		{
+			"malformed json",
+			`{"checks": `,
+			"parsing policy",
+		},
+	}
+	for _, tc := range cases {
+		_, err := ParsePolicy([]byte(tc.json))
+		if err == nil {
+			t.Errorf("%s: want error containing %q, got nil", tc.name, tc.wantErr)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error = %q, want it to contain %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+func TestSitePackage(t *testing.T) {
+	cases := map[string]string{
+		"hygraph/internal/tpg.Graph.MustAddVertex": "hygraph/internal/tpg",
+		"hygraph/internal/tpg.Reset":               "hygraph/internal/tpg",
+		"hyvet.test/panicfree.Graph.MustAdd":       "hyvet.test/panicfree",
+		"main.F":                                   "main",
+	}
+	for site, want := range cases {
+		if got := sitePackage(site); got != want {
+			t.Errorf("sitePackage(%q) = %q, want %q", site, got, want)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Golden test package for the lockdiscipline analyzer. `want` comments are
+// matched by the harness in harness_test.go.
+package lockdiscipline
+
+import "sync"
+
+type Store struct {
+	mu    sync.RWMutex
+	items map[string]int
+}
+
+// Get takes the read lock (correct public method; no finding).
+func (s *Store) Get(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.items[k]
+}
+
+// Set takes the write lock (correct; no finding).
+func (s *Store) Set(k string, v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k] = v
+}
+
+// getLocked assumes the lock is held (correct; no finding).
+func (s *Store) getLocked(k string) int { return s.items[k] }
+
+// SumNested re-enters a lock-taking public method with the lock held.
+func (s *Store) SumNested(keys []string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	n := 0
+	for _, k := range keys {
+		n += s.Get(k) // want "nested lock acquisition: Get takes s.mu which is already held"
+	}
+	return n
+}
+
+// BumpDeadlock upgrades a held read lock by calling a write-taking method.
+func (s *Store) BumpDeadlock(k string) {
+	s.mu.RLock()
+	v := s.items[k]
+	s.Set(k, v+1) // want "Set takes the write lock on s.mu while the read lock is held: guaranteed deadlock"
+	s.mu.RUnlock()
+}
+
+// PeekUnheld calls a *Locked internal without holding the lock.
+func (s *Store) PeekUnheld(k string) int {
+	return s.getLocked(k) // want "getLocked requires s.mu to be held, but the caller does not hold it"
+}
+
+// totalLocked is a *Locked function that wrongly takes the lock itself.
+func (s *Store) totalLocked() int {
+	s.mu.RLock() // want "totalLocked must not take s.mu: \*Locked functions run with the lock already held"
+	defer s.mu.RUnlock()
+	n := 0
+	for _, v := range s.items {
+		n += v
+	}
+	return n
+}
+
+// Copy holds the lock and calls the *Locked internal — the blessed pattern
+// (no finding).
+func (s *Store) Copy(keys []string) []int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]int, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, s.getLocked(k))
+	}
+	return out
+}
+
+// Upgrade releases the read lock before taking the write lock — legal; the
+// linear simulation must not confuse it with a held-across call (no
+// finding).
+func (s *Store) Upgrade(k string) int {
+	s.mu.RLock()
+	v, ok := s.items[k]
+	s.mu.RUnlock()
+	if ok {
+		return v
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.items[k] = 1
+	return s.getLocked(k)
+}
+
+// Refresh documents a deliberate re-entry, suppressed with a reason.
+func (s *Store) Refresh(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	//hyvet:allow lockdiscipline demonstration of a reviewed, deliberate re-entrant read
+	return s.Get(k)
+}

@@ -1,0 +1,100 @@
+// Golden test package for the maporderfold analyzer.
+package maporderfold
+
+import "sort"
+
+// DistrictSums is the Q5 bug class verbatim: a float fold in map order.
+func DistrictSums(sums map[string]float64) float64 {
+	var total float64
+	for _, v := range sums {
+		total += v // want "floating-point accumulation into total inside range over a map"
+	}
+	return total
+}
+
+// Spelled is the same fold written as x = x + v.
+func Spelled(m map[int]float64) float64 {
+	t := 0.0
+	for _, v := range m {
+		t = t + v // want "floating-point accumulation into t inside range over a map"
+	}
+	return t
+}
+
+// GroupFold accumulates into map entries keyed by a projection — the exact
+// shape of the district fold: whenever two source keys land in the same
+// group, their addition order is random.
+func GroupFold(m, out map[string]float64) {
+	for k, v := range m {
+		out[k[:1]] += v // want "floating-point accumulation into out"
+	}
+}
+
+// NestedFold accumulates into an outer variable from a loop nested inside
+// a map range — the map's order still drives the fold order.
+func NestedFold(groups map[string][]float64) float64 {
+	var total float64
+	for _, vs := range groups {
+		for _, v := range vs {
+			total += v // want "floating-point accumulation into total inside range over a map"
+		}
+	}
+	return total
+}
+
+// SortedKeys is the blessed fix: fold over deterministically ordered keys
+// (no finding).
+func SortedKeys(sums map[string]float64) float64 {
+	keys := make([]string, 0, len(sums))
+	for k := range sums {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += sums[k]
+	}
+	return total
+}
+
+// IntCount is integer accumulation: associative, order-free (no finding).
+func IntCount(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// PerIteration accumulates into a variable scoped to one iteration — no
+// cross-iteration order dependence (no finding).
+func PerIteration(m map[string][]float64) int {
+	hits := 0
+	for _, vs := range m {
+		var local float64
+		for _, v := range vs {
+			local += v
+		}
+		if local > 1 {
+			hits++
+		}
+	}
+	return hits
+}
+
+// HalveInPlace writes through the range key itself: every key is visited
+// exactly once, so the per-slot update is order-free (no finding).
+func HalveInPlace(m map[string]float64) {
+	for k := range m {
+		m[k] /= 2
+	}
+}
+
+// Tolerated documents a reviewed fold where last-ulp drift is acceptable.
+func Tolerated(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v //hyvet:allow maporderfold caller asserts tolerance-based comparison, drift acceptable
+	}
+	return t
+}

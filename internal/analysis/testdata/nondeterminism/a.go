@@ -1,0 +1,42 @@
+// Golden test package for the nondeterminism analyzer.
+package nondeterminism
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reads the wall clock.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want "call to time.Now in a deterministic package"
+}
+
+// Jitter consumes the global math/rand source.
+func Jitter() float64 {
+	return rand.Float64() // want "call to global rand.Float64 in a deterministic package"
+}
+
+// Shuffle consumes the global source through a helper.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "call to global rand.Shuffle"
+}
+
+// Seeded builds an explicit source — the blessed pattern (no finding).
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Draw uses an injected source; methods are fine (no finding).
+func Draw(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// Timeout uses time values without reading the clock (no finding).
+func Timeout() time.Duration {
+	return 5 * time.Second
+}
+
+// Uptime documents a reviewed clock read, suppressed with a reason.
+func Uptime(start time.Time) time.Duration {
+	return time.Since(start) //hyvet:allow nondeterminism operational metric, not on a replay path
+}

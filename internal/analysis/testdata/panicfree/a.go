@@ -1,0 +1,48 @@
+// Golden test package for the panicfree analyzer. The test policy
+// allowlists hyvet.test/panicfree.Graph.MustAdd.
+package panicfree
+
+import "fmt"
+
+type Graph struct{ n int }
+
+// Add returns errors — the required shape for mutators (no finding).
+func (g *Graph) Add(n int) error {
+	if n < 0 {
+		return fmt.Errorf("panicfree: negative %d", n)
+	}
+	g.n += n
+	return nil
+}
+
+// AddOrDie panics on a library path.
+func (g *Graph) AddOrDie(n int) {
+	if err := g.Add(n); err != nil {
+		panic(err) // want "panic in hyvet.test/panicfree.Graph.AddOrDie"
+	}
+}
+
+// Validate panics from a plain function, via a closure — still a finding.
+func Validate(g *Graph) {
+	check := func() {
+		if g == nil {
+			panic("nil graph") // want "panic in hyvet.test/panicfree.Validate"
+		}
+	}
+	check()
+}
+
+// MustAdd is on the policy allowlist (no finding; keeps the entry fresh).
+func (g *Graph) MustAdd(n int) {
+	if err := g.Add(n); err != nil {
+		panic(err)
+	}
+}
+
+// Rebuild documents a deliberate panic with an inline suppression.
+func Rebuild(ok bool) {
+	if !ok {
+		//hyvet:allow panicfree unreachable by construction, guarded by the caller
+		panic("rebuild invariant violated")
+	}
+}

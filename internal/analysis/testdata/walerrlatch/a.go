@@ -1,0 +1,89 @@
+// Golden test package for the walerrlatch analyzer.
+package walerrlatch
+
+import (
+	"bufio"
+	"bytes"
+)
+
+// Writer mirrors walrec.Writer: a sticky error field plus a fail latch.
+type Writer struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// Append latches correctly (no finding).
+func (w *Writer) Append(p []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.w.Write(p); err != nil {
+		return w.fail(err)
+	}
+	return nil
+}
+
+// FlushRaw returns the write error without poisoning the writer.
+func (w *Writer) FlushRaw() error {
+	return w.w.Flush() // want "error from w.w.Flush is returned without being latched"
+}
+
+// Drop throws the write error away entirely.
+func (w *Writer) Drop(p []byte) {
+	w.w.Write(p) // want "error from w.w.Write is dropped"
+}
+
+// Blank discards the error through the blank identifier.
+func (w *Writer) Blank(p []byte) {
+	_, _ = w.w.Write(p) // want "error from w.w.Write is discarded with _"
+}
+
+// Lost captures the error but it never reaches the latch.
+func (w *Writer) Lost(p []byte) error {
+	_, err := w.w.Write(p) // want "error from w.w.Write never reaches the error latch"
+	if err != nil {
+		return err
+	}
+	return nil
+}
+
+// DirectField latches by assigning the sticky field directly (no finding).
+func (w *Writer) DirectField(p []byte) {
+	_, err := w.w.Write(p)
+	if err != nil {
+		w.err = err
+	}
+}
+
+// FlushAll drops a write error outside any latch type — still a finding.
+func FlushAll(bw *bufio.Writer) {
+	bw.Flush() // want "error from bw.Flush is dropped"
+}
+
+// DeferDrop hides the error behind defer.
+func DeferDrop(bw *bufio.Writer) {
+	defer bw.Flush() // want "error from bw.Flush is dropped behind defer"
+}
+
+// Buffered writes to a bytes.Buffer, which cannot fail (no finding).
+func Buffered(b *bytes.Buffer, p []byte) {
+	b.Write(p)
+}
+
+// Checked consumes the error in a condition (no finding: rule 1 is about
+// dropping, not about what the handler does).
+func Checked(bw *bufio.Writer) bool {
+	return bw.Flush() == nil
+}
+
+// ShutdownBestEffort documents a deliberate best-effort flush.
+func ShutdownBestEffort(bw *bufio.Writer) {
+	bw.Flush() //hyvet:allow walerrlatch best-effort flush on the shutdown path, error has nowhere to go
+}

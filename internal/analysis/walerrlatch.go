@@ -1,0 +1,296 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WALErrLatch enforces the write-ahead-log error-latching invariant from
+// PR 1 (see internal/storage/walrec): the first write error must be latched
+// into the writer's sticky error field, and no write error may be silently
+// dropped. A dropped or unlatched error lets later records reach a log
+// whose earlier record failed — turning a recoverable torn tail into
+// unrecoverable mid-log corruption on replay.
+//
+// Two rules:
+//
+//  1. (dropped) The error result of a write-path call — Write, WriteString,
+//     WriteByte, Flush, Append, Sync — must be consumed: not an expression
+//     statement, not assigned to blank, not behind go/defer. Receivers
+//     whose writes cannot fail by contract (bytes.Buffer, strings.Builder)
+//     are exempt.
+//  2. (latched) Inside methods of a latch-bearing type (a struct with an
+//     `err error` field and a `fail` method), the error of a write call on
+//     one of the struct's writer fields must flow into the latch: either
+//     passed to fail(...) or assigned to the err field. Returning it raw
+//     skips the latch and is reported.
+var WALErrLatch = &Analyzer{
+	Name: "walerrlatch",
+	Doc:  "write errors on the WAL path must be latched into the sticky error field, never dropped",
+	Run:  runWALErrLatch,
+}
+
+// writeMethodNames are the method names rule 1 applies to.
+var writeMethodNames = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true,
+	"Flush": true, "Append": true, "Sync": true,
+}
+
+// infallibleWriters never return a non-nil write error by contract.
+var infallibleWriters = map[string]bool{
+	"bytes.Buffer":    true,
+	"strings.Builder": true,
+}
+
+func runWALErrLatch(pass *Pass) {
+	latched := latchTypes(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkWriteErrors(pass, fd, latched)
+		}
+	}
+}
+
+// latchTypes finds named struct types carrying both an `err error` field
+// and a `fail` method — the sticky-error latch pattern.
+func latchTypes(pass *Pass) map[*types.Named]bool {
+	out := map[*types.Named]bool{}
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		named, ok := tn.Type().(*types.Named)
+		if !ok {
+			continue
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			continue
+		}
+		hasErrField := false
+		for i := 0; i < st.NumFields(); i++ {
+			fld := st.Field(i)
+			if fld.Name() == "err" && types.Identical(fld.Type(), types.Universe.Lookup("error").Type()) {
+				hasErrField = true
+				break
+			}
+		}
+		if !hasErrField {
+			continue
+		}
+		for i := 0; i < named.NumMethods(); i++ {
+			if named.Method(i).Name() == "fail" {
+				out[named] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// checkWriteErrors applies both rules to one function.
+func checkWriteErrors(pass *Pass, fd *ast.FuncDecl, latched map[*types.Named]bool) {
+	parents := parentMap(fd.Body)
+	// Is fd a method of a latch-bearing type?
+	var recvName string
+	inLatchMethod := false
+	if fd.Recv != nil && len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+		if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+			if named := receiverNamed(fn); named != nil && latched[named] {
+				inLatchMethod = true
+				recvName = fd.Recv.List[0].Names[0].Name
+			}
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, fn := writeCall(pass, call)
+		if fn == nil {
+			return true
+		}
+		callee := exprString(sel.X) + "." + sel.Sel.Name
+		// Rule 2 scope: write call on a field of the latch-bearing
+		// receiver (w.w.Write), not on the receiver itself.
+		isLatchPath := false
+		if inLatchMethod {
+			if inner, ok := sel.X.(*ast.SelectorExpr); ok {
+				if root, ok := exprKey(inner.X); ok && root == recvName {
+					isLatchPath = true
+				}
+			}
+		}
+		parent := parents[call]
+		switch p := parent.(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "error from %s is dropped: write errors must be checked (and latched on the WAL path)", callee)
+		case *ast.GoStmt, *ast.DeferStmt:
+			pass.Reportf(call.Pos(), "error from %s is dropped behind %s: write errors must be checked", callee, stmtKeyword(parent))
+		case *ast.AssignStmt:
+			errIdent := errorLHS(pass, p, call, fn)
+			if errIdent == nil {
+				// Error result assigned to blank.
+				pass.Reportf(call.Pos(), "error from %s is discarded with _: write errors must be checked (and latched on the WAL path)", callee)
+				return true
+			}
+			if isLatchPath && !reachesLatch(pass, fd, errIdent, recvName) {
+				pass.Reportf(call.Pos(), "error from %s never reaches the error latch (%s.fail): a failed write must poison the writer", callee, recvName)
+			}
+		case *ast.ReturnStmt:
+			if isLatchPath {
+				pass.Reportf(call.Pos(), "error from %s is returned without being latched: route it through %s.fail so later writes are refused", callee, recvName)
+			}
+		}
+		return true
+	})
+}
+
+// writeCall matches a call to one of the write-path methods returning an
+// error, excluding infallible receivers. It returns the selector and callee.
+func writeCall(pass *Pass, call *ast.CallExpr) (*ast.SelectorExpr, *types.Func) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !writeMethodNames[sel.Sel.Name] {
+		return nil, nil
+	}
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return nil, nil
+	}
+	fn, ok := selection.Obj().(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Results().Len() == 0 {
+		return nil, nil
+	}
+	last := sig.Results().At(sig.Results().Len() - 1).Type()
+	if !types.Identical(last, types.Universe.Lookup("error").Type()) {
+		return nil, nil
+	}
+	recv := selection.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	if named, ok := recv.(*types.Named); ok {
+		obj := named.Obj()
+		if obj.Pkg() != nil && infallibleWriters[obj.Pkg().Path()+"."+obj.Name()] {
+			return nil, nil
+		}
+	}
+	return sel, fn
+}
+
+// errorLHS returns the identifier the call's error result is assigned to,
+// or nil when it lands in the blank identifier.
+func errorLHS(pass *Pass, as *ast.AssignStmt, call *ast.CallExpr, fn *types.Func) *ast.Ident {
+	sig := fn.Type().(*types.Signature)
+	var lhs ast.Expr
+	switch {
+	case len(as.Rhs) == 1 && as.Rhs[0] == call && len(as.Lhs) == sig.Results().Len():
+		lhs = as.Lhs[len(as.Lhs)-1]
+	case sig.Results().Len() == 1:
+		for i, rhs := range as.Rhs {
+			if rhs == call && i < len(as.Lhs) {
+				lhs = as.Lhs[i]
+			}
+		}
+	}
+	id, ok := lhs.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	return id
+}
+
+// reachesLatch reports whether the error object bound to id is passed to
+// the receiver's fail method or assigned to its err field anywhere in the
+// function.
+func reachesLatch(pass *Pass, fd *ast.FuncDecl, id *ast.Ident, recvName string) bool {
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			sel, ok := n.Fun.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "fail" {
+				return true
+			}
+			for _, arg := range n.Args {
+				if mentionsObject(pass, arg, obj) {
+					found = true
+					return false
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				lsel, ok := lhs.(*ast.SelectorExpr)
+				if !ok || lsel.Sel.Name != "err" {
+					continue
+				}
+				if root, ok := exprKey(lsel.X); !ok || root != recvName {
+					continue
+				}
+				if i < len(n.Rhs) && mentionsObject(pass, n.Rhs[i], obj) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// mentionsObject reports whether the expression references the object.
+func mentionsObject(pass *Pass, e ast.Expr, obj types.Object) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.Info.ObjectOf(id) == obj {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// parentMap records each node's immediate parent within root.
+func parentMap(root ast.Node) map[ast.Node]ast.Node {
+	parents := map[ast.Node]ast.Node{}
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
+}
+
+// stmtKeyword names the statement for messages.
+func stmtKeyword(n ast.Node) string {
+	switch n.(type) {
+	case *ast.GoStmt:
+		return "go"
+	case *ast.DeferStmt:
+		return "defer"
+	}
+	return "?"
+}

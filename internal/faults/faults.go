@@ -34,7 +34,10 @@ type Spec struct {
 	// which models a store that goes down and stays down).
 	Count int
 	// P, when > 0, makes firing probabilistic with probability P per visit,
-	// using Seed for a deterministic sequence. Nth/Count still apply.
+	// using Seed for a deterministic sequence. When Seed is zero the
+	// sequence is derived from the package base seed (see Seed) and the
+	// point name, so schedules stay reproducible without per-spec seeds.
+	// Nth/Count still apply.
 	P    float64
 	Seed int64
 	// Delay is slept on every visit (latency injection), independently of
@@ -55,7 +58,59 @@ var (
 	armed  = map[string]*point{}
 	hits   = map[string]int{}
 	active atomic.Int32 // number of armed points; fast-path gate
+
+	// baseSeed feeds probabilistic points whose Spec leaves Seed zero; each
+	// point mixes in a hash of its name so distinct points get distinct but
+	// reproducible sequences. Guarded by mu, like every *rand.Rand here:
+	// Check only draws from a point's rng while holding mu, so the registry
+	// never touches the global math/rand source and is race-free.
+	baseSeed int64 = 1
+	newRand        = defaultRand
 )
+
+// defaultRand is the stock RNG constructor; see SetRandFactory.
+func defaultRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// Seed sets the base seed used by probabilistic points that do not carry an
+// explicit Spec.Seed. Points armed afterwards derive their sequence from it;
+// already-armed points keep theirs. The default base seed is 1.
+func Seed(seed int64) {
+	mu.Lock()
+	defer mu.Unlock()
+	baseSeed = seed
+}
+
+// SetRandFactory injects the constructor used to build each point's
+// *rand.Rand (for tests that need a recorded or rigged sequence). A nil
+// factory restores the default math/rand source. The returned generator is
+// only ever used under the registry lock, so it need not be safe for
+// concurrent use by itself.
+func SetRandFactory(f func(seed int64) *rand.Rand) {
+	mu.Lock()
+	defer mu.Unlock()
+	if f == nil {
+		f = defaultRand
+	}
+	newRand = f
+}
+
+// pointSeed resolves the seed for a point: an explicit Spec.Seed wins,
+// otherwise the base seed is mixed with an FNV-1a hash of the point name.
+func pointSeed(name string, spec Spec) int64 {
+	if spec.Seed != 0 {
+		return spec.Seed
+	}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return baseSeed ^ int64(h)
+}
 
 // TransientError marks an injected error as retryable.
 type TransientError struct{ Cause error }
@@ -80,7 +135,7 @@ func Enable(name string, spec Spec) {
 	}
 	p := &point{spec: spec}
 	if spec.P > 0 {
-		p.rng = rand.New(rand.NewSource(spec.Seed))
+		p.rng = newRand(pointSeed(name, spec))
 	}
 	armed[name] = p
 }

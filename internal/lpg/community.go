@@ -102,10 +102,13 @@ func (g *Graph) Modularity(c Communities) float64 {
 		return true
 	})
 	q /= m
-	// Expected in-community fraction.
-	sumDeg := map[int]float64{}
-	for v, cm := range c.Of {
-		sumDeg[cm] += float64(deg[v])
+	// Expected in-community fraction, folded in vertex-ID order so the float
+	// result is identical across runs (map iteration order is random).
+	sumDeg := make([]float64, c.Count)
+	for _, v := range g.VertexIDs() {
+		if cm, ok := c.Of[v]; ok && cm >= 0 && cm < len(sumDeg) {
+			sumDeg[cm] += float64(deg[v])
+		}
 	}
 	for _, s := range sumDeg {
 		q -= (s / (2 * m)) * (s / (2 * m))
@@ -124,9 +127,9 @@ func (g *Graph) Louvain(maxPasses int) Communities {
 		comm[id] = id
 	}
 	deg := g.Degrees()
-	m2 := 0.0 // 2m = total degree
-	for _, d := range deg {
-		m2 += float64(d)
+	m2 := 0.0 // 2m = total degree, summed in ID order for a stable float fold
+	for _, id := range ids {
+		m2 += float64(deg[id])
 	}
 	if m2 == 0 {
 		return denseCommunities(ids, func(id VertexID) VertexID { return comm[id] })

@@ -359,13 +359,13 @@ func AdjustedRandIndex(assign, truth []int) float64 {
 	choose2 := func(x int) float64 { return float64(x) * float64(x-1) / 2 }
 	var sumC, sumA, sumB float64
 	for _, c := range cont {
-		sumC += choose2(c)
+		sumC += choose2(c) //hyvet:allow maporderfold choose2 of integer counts is an exact float64; adding exact integers is order-free
 	}
 	for _, c := range aCount {
-		sumA += choose2(c)
+		sumA += choose2(c) //hyvet:allow maporderfold choose2 of integer counts is an exact float64; adding exact integers is order-free
 	}
 	for _, c := range bCount {
-		sumB += choose2(c)
+		sumB += choose2(c) //hyvet:allow maporderfold choose2 of integer counts is an exact float64; adding exact integers is order-free
 	}
 	total := choose2(n)
 	expected := sumA * sumB / total

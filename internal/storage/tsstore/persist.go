@@ -33,7 +33,7 @@ func (db *DB) Save(w io.Writer) error {
 	for _, key := range db.keys {
 		writeUvarint(bw, uint64(key.Entity))
 		writeUvarint(bw, uint64(len(key.Metric)))
-		bw.WriteString(key.Metric)
+		bw.WriteString(key.Metric) //hyvet:allow walerrlatch bufio.Writer latches its first error; the checked Flush at the end reports it
 		s := db.data[key]
 		writeUvarint(bw, uint64(len(s.chunks)))
 		for _, c := range s.chunks {
@@ -51,7 +51,7 @@ func (db *DB) Save(w io.Writer) error {
 			for _, v := range c.vals {
 				var buf [8]byte
 				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-				bw.Write(buf[:])
+				bw.Write(buf[:]) //hyvet:allow walerrlatch bufio.Writer latches its first error; the checked Flush at the end reports it
 			}
 		}
 	}
@@ -156,11 +156,11 @@ func Load(r io.Reader) (*DB, error) {
 func writeUvarint(w *bufio.Writer, v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	w.Write(buf[:n])
+	w.Write(buf[:n]) //hyvet:allow walerrlatch bufio.Writer latches its first error; Save's checked Flush reports it
 }
 
 func writeVarint(w *bufio.Writer, v int64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutVarint(buf[:], v)
-	w.Write(buf[:n])
+	w.Write(buf[:n]) //hyvet:allow walerrlatch bufio.Writer latches its first error; Save's checked Flush reports it
 }
