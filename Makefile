@@ -3,9 +3,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify vet lint build test race fuzz bench benchsmoke
+.PHONY: verify vet lint build test race fuzz bench benchsmoke cover
 
-verify: vet lint build race fuzz benchsmoke
+verify: vet lint build race fuzz benchsmoke cover
 
 vet:
 	$(GO) vet ./...
@@ -40,5 +40,16 @@ bench:
 # check of the emitted baseline. Writes to a scratch file so the committed
 # BENCH_table1.json is never clobbered by a -race-skewed run.
 benchsmoke:
-	$(GO) run -race ./cmd/hybench -reps 2 -parallel -clients 4 -ops 8 -json /tmp/hybench_smoke.json
+	$(GO) run -race ./cmd/hybench -reps 2 -parallel -clients 4 -ops 8 -metrics -json /tmp/hybench_smoke.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke.json
+
+# Coverage gate: statement coverage of the storage engines, the observability
+# layer, and the bench harness must stay at or above the floor recorded in
+# coverage.txt (a bare percentage; raise it as tests accumulate).
+cover:
+	$(GO) test -coverprofile=/tmp/hygraph_cover.out ./internal/storage/... ./internal/obs ./internal/bench
+	@total=$$($(GO) tool cover -func=/tmp/hygraph_cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
+	floor=$$(cat coverage.txt); \
+	echo "coverage: $$total% (floor $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t + 0 >= f + 0) ? 0 : 1 }' \
+		|| { echo "coverage $$total% fell below the $$floor% floor in coverage.txt"; exit 1; }

@@ -6,7 +6,7 @@
 //
 //	hybench [-scale small|default|paper] [-reps N] [-stations N] [-days N]
 //	        [-parallel] [-workers N] [-clients N] [-ops N]
-//	        [-json FILE] [-check FILE]
+//	        [-json FILE] [-check FILE] [-metrics]
 //
 // The default scale (200 stations × 180 days hourly) finishes in well under
 // a minute and already shows the paper's orders-of-magnitude separation on
@@ -18,6 +18,10 @@
 // concurrent-client throughput mode: N goroutines issuing the Q1–Q8 mix,
 // -ops queries each. -json writes the machine-readable BENCH_table1.json
 // baseline; -check validates an existing baseline file's schema and exits.
+// -metrics attaches the observability registry to every engine, pushes a
+// small workload slice through the durable layer (WALs + journal + observed
+// recovery), embeds the snapshot in the baseline, and fails the run if any
+// instrumented subsystem reported nothing.
 package main
 
 import (
@@ -26,6 +30,7 @@ import (
 	"os"
 
 	"hygraph/internal/bench"
+	"hygraph/internal/obs"
 )
 
 func main() {
@@ -39,6 +44,7 @@ func main() {
 	ops := flag.Int("ops", 32, "queries per client in throughput mode")
 	jsonPath := flag.String("json", "", "write the machine-readable baseline to this file")
 	checkPath := flag.String("check", "", "validate an existing baseline file's schema and exit")
+	metrics := flag.Bool("metrics", false, "instrument the run and embed an observability snapshot in the baseline")
 	flag.Parse()
 
 	if *checkPath != "" {
@@ -81,6 +87,11 @@ func main() {
 		cfg.Bike.Days = *days
 	}
 	cfg.Workers = *workers
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.New()
+		cfg.Obs = reg
+	}
 
 	points := cfg.Bike.Stations * cfg.Bike.Days * 24 * 60 / cfg.Bike.StepMinutes
 	fmt.Printf("Table 1 reproduction — %d stations, %d days (%d points), %d reps/query\n\n",
@@ -104,6 +115,9 @@ func main() {
 		}
 		fmt.Print(bench.FormatParallel(prows, w))
 		baseline.Parallel, baseline.Workers = prows, w
+		// Record the resolved fan-out width in the config too: Workers=0
+		// means "GOMAXPROCS at run time", which the baseline must pin down.
+		baseline.Config.EffectiveWorkers = w
 		for _, r := range prows {
 			if !r.Identical {
 				fmt.Fprintf(os.Stderr, "hybench: %s parallel result differs from sequential\n", r.Query)
@@ -121,6 +135,26 @@ func main() {
 		}
 		fmt.Println(bench.FormatThroughput(rep))
 		baseline.Throughput = &rep
+	}
+
+	if *metrics {
+		if err := bench.DurableExercise(cfg, reg); err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		snap := reg.Snapshot()
+		baseline.Metrics = snap
+		if problems := bench.CheckMetrics(snap); len(problems) > 0 {
+			fmt.Fprintln(os.Stderr, "hybench: metrics check FAIL")
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "  "+p)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("\nmetrics: %d counters, %d timers, %d gauges — graphstore.wal.appends=%d tsstore.wal.appends=%d cache hits/misses=%d/%d\n",
+			len(snap.Counters), len(snap.Durations), len(snap.Gauges),
+			snap.Counters["graphstore.wal.appends"], snap.Counters["tsstore.wal.appends"],
+			snap.Counters["tsstore.cache.hits"], snap.Counters["tsstore.cache.misses"])
 	}
 
 	if *jsonPath != "" {

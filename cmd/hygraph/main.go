@@ -10,6 +10,11 @@
 //	hygraph repl     -dataset bike|fraud|iot [-seed S]
 //	hygraph ingest   -dir DIR [-stations N] [-seed S] [-crash POINT[:NTH]]
 //	hygraph recover  -dir DIR [-compact]
+//	hygraph stats    [-seed S] [-workers N]
+//
+// Every command accepts -debug-addr ADDR to serve net/http/pprof, expvar and
+// the observability snapshot (/debug/obs) for the life of the process; stats
+// runs an instrumented pass over the bike workload and prints the snapshot.
 package main
 
 import (
@@ -22,6 +27,7 @@ import (
 	"hygraph/internal/core"
 	"hygraph/internal/dataset"
 	"hygraph/internal/hyql"
+	"hygraph/internal/obs"
 	"hygraph/internal/ts"
 )
 
@@ -40,7 +46,30 @@ func main() {
 	stations := fs.Int("stations", 8, "stations to ingest (ingest)")
 	crash := fs.String("crash", "", "fault point to crash at, e.g. ttdb.ingest.ts[:nth] (ingest)")
 	compact := fs.Bool("compact", false, "snapshot and truncate logs after recovery (recover)")
+	workers := fs.Int("workers", 0, "fan-out width for stats (0 = sequential)")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
 	fs.Parse(os.Args[2:])
+
+	// One registry backs both the stats command and the debug server; other
+	// commands leave it nil, which keeps instrumentation at its nil-sink
+	// zero-overhead path.
+	var reg *obs.Registry
+	if cmd == "stats" || *debugAddr != "" {
+		reg = obs.New()
+	}
+	if *debugAddr != "" {
+		ln, err := obs.ServeDebug(*debugAddr, reg)
+		if err != nil {
+			fail(err.Error())
+		}
+		defer ln.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ (pprof, vars, obs)\n", ln.Addr())
+	}
+
+	if cmd == "stats" {
+		runStats(reg, *seed, *workers)
+		return
+	}
 
 	// The durable-storage commands operate on a data directory, not on a
 	// generated HyGraph instance.
@@ -69,9 +98,9 @@ func main() {
 		if fs.NArg() < 1 {
 			fail("query: missing HyQL string")
 		}
-		runQuery(h, strings.Join(fs.Args(), " "), when)
+		runQuery(h, strings.Join(fs.Args(), " "), when, reg)
 	case "repl":
-		repl(h, when)
+		repl(h, when, reg)
 	case "analyze":
 		analyze(h, *op, when)
 	default:
@@ -87,7 +116,8 @@ func usage() {
   hygraph analyze  -dataset ... -op correlate|aggregate|segment|anomalies|motifs
   hygraph repl     -dataset ...
   hygraph ingest   -dir DIR [-stations N] [-seed S] [-crash POINT[:NTH]]
-  hygraph recover  -dir DIR [-compact]`)
+  hygraph recover  -dir DIR [-compact]
+  hygraph stats    [-seed S] [-workers N] [-debug-addr ADDR]`)
 }
 
 func fail(msg string) {
@@ -127,8 +157,10 @@ func GenerateBikeHG(cfg dataset.BikeConfig) *core.HyGraph {
 	return h
 }
 
-func runQuery(h *core.HyGraph, src string, at ts.Time) {
-	res, err := hyql.NewEngine(h).Query(src, at)
+func runQuery(h *core.HyGraph, src string, at ts.Time, reg *obs.Registry) {
+	eng := hyql.NewEngine(h)
+	eng.Instrument(reg)
+	res, err := eng.Query(src, at)
 	if err != nil {
 		fail(err.Error())
 	}
@@ -147,8 +179,9 @@ func printResult(res *hyql.Result) {
 	fmt.Printf("(%d rows)\n", len(res.Rows))
 }
 
-func repl(h *core.HyGraph, at ts.Time) {
+func repl(h *core.HyGraph, at ts.Time, reg *obs.Registry) {
 	eng := hyql.NewEngine(h)
+	eng.Instrument(reg)
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Printf("HyQL REPL over %s (as of %s). Blank line to quit.\n", h, at)
 	fmt.Print("hyql> ")

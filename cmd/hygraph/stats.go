@@ -1,0 +1,60 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"hygraph/internal/dataset"
+	"hygraph/internal/hyql"
+	"hygraph/internal/obs"
+	"hygraph/internal/storage/ttdb"
+	"hygraph/internal/ts"
+)
+
+// runStats exercises every instrumented layer once over the bike workload —
+// the polyglot Q1–Q8 suite (Q7 twice, so the resample cache shows both a
+// miss and a hit), and a HyQL query over the equivalent HyGraph — then
+// prints the registry snapshot as indented JSON. It is the quickest way to
+// see which metrics exist and what a healthy run looks like.
+func runStats(reg *obs.Registry, seed int64, workers int) {
+	cfg := dataset.DefaultBike()
+	cfg.Seed = seed
+	data := dataset.GenerateBike(cfg)
+	pg := ttdb.NewPolyglot(ts.Week)
+	ids, err := data.LoadEngine(pg)
+	if err != nil {
+		fail(err.Error())
+	}
+	pg.SetWorkers(workers)
+	pg.Instrument(reg)
+	start, end := data.Span()
+	qStart := start + (end-start)/4
+	qEnd := qStart + (end-start)/2
+	st0, st1 := ids[0], ids[len(ids)/2]
+	pg.Q1TimeRange(st0, qStart, qStart+2*ts.Day)
+	pg.Q2FilteredRange(st0, qStart, qEnd, 10)
+	pg.Q3StationMean(st0, qStart, qEnd)
+	pg.Q4AllStationMeans(qStart, qEnd)
+	pg.Q5DistrictSums(qStart, qEnd)
+	pg.Q6TopKStations(qStart, qEnd, 10)
+	pg.Q7Correlation(st0, st1, qStart, qEnd, ts.Hour)
+	pg.Q7Correlation(st0, st1, qStart, qEnd, ts.Hour)
+	pg.Q8NeighborMeans(st0, qStart, qEnd)
+
+	h, _ := data.ToHyGraph()
+	eng := hyql.NewEngine(h)
+	eng.Instrument(reg)
+	src := fmt.Sprintf(`MATCH (st:Station)-[:HAS_SERIES]->(a)
+		WHERE st.name = 'station-000'
+		RETURN st.name, ts.mean(a, %d, %d)`, qStart, qEnd)
+	if _, err := eng.Query(src, qEnd); err != nil {
+		fail(err.Error())
+	}
+
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(reg.Snapshot()); err != nil {
+		fail(err.Error())
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"io"
 	"math"
 
+	"hygraph/internal/obs"
 	"hygraph/internal/storage/ttdb"
 )
 
@@ -25,6 +26,10 @@ type Baseline struct {
 	Parallel    []ParallelRow     `json:"parallel,omitempty"`
 	Workers     int               `json:"workers,omitempty"` // fan-out width of Parallel
 	Throughput  *ThroughputReport `json:"throughput,omitempty"`
+	// Metrics is the observability snapshot of the instrumented run
+	// (hybench -metrics): per-query timers, WAL/store counters, cache
+	// hit rates, and the durable-exercise trace.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 // Validate checks the structural invariants of a baseline: schema tag,
@@ -59,6 +64,21 @@ func (b *Baseline) Validate() []string {
 		if !p.Identical {
 			problems = append(problems, fmt.Sprintf("parallel %s: results differ from sequential", p.Query))
 		}
+	}
+	if len(b.Parallel) > 0 {
+		// The parallel comparison must record the resolved fan-out width:
+		// Workers=0 in the config means "GOMAXPROCS at run time", which is
+		// machine-dependent and unreproducible unless captured.
+		if b.Workers < 1 {
+			problems = append(problems, "parallel rows present but resolved worker count not recorded")
+		}
+		if b.Config.EffectiveWorkers != 0 && b.Config.EffectiveWorkers != b.Workers {
+			problems = append(problems, fmt.Sprintf(
+				"config.effective_workers %d disagrees with workers %d", b.Config.EffectiveWorkers, b.Workers))
+		}
+	}
+	if b.Metrics != nil {
+		problems = append(problems, CheckMetrics(b.Metrics)...)
 	}
 	return problems
 }

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+
+	"hygraph/internal/dataset"
+	"hygraph/internal/obs"
+	"hygraph/internal/storage/ttdb"
+	"hygraph/internal/ts"
+)
+
+// DurableExercise pushes a small slice of the workload through the durable
+// polyglot layer so an instrumented run also exercises the WALs, the intent
+// journal, and observed recovery — the parts a pure query benchmark never
+// touches. It ingests a capped version of cfg's bike network into in-memory
+// logs, answers one durable query, replays the logs through
+// RecoverPolyglotObserved (recording recovery spans into reg), and checks
+// cross-store consistency of the recovered engine.
+func DurableExercise(cfg Config, reg *obs.Registry) error {
+	small := cfg.Bike
+	if small.Stations > 8 {
+		small.Stations = 8
+	}
+	if small.Days > 7 {
+		small.Days = 7
+	}
+	if small.Districts > small.Stations {
+		small.Districts = small.Stations
+	}
+	data := dataset.GenerateBike(small)
+	var graphLog, tsLog, journal bytes.Buffer
+	d := ttdb.NewDurable(ts.Week, &graphLog, &tsLog, &journal)
+	d.Instrument(reg)
+	ids := make([]ttdb.StationID, len(data.Stations))
+	for i, st := range data.Stations {
+		id, err := d.IngestStation(st.Name, st.District, st.Availability)
+		if err != nil {
+			return fmt.Errorf("bench: durable ingest %s: %w", st.Name, err)
+		}
+		ids[i] = id
+	}
+	for _, tr := range data.Trips {
+		if err := d.AddTrip(ids[tr.From], ids[tr.To], tr.Count); err != nil {
+			return fmt.Errorf("bench: durable trip: %w", err)
+		}
+	}
+	start, end := data.Span()
+	if _, err := d.Q3StationMean(ids[0], start, end); err != nil {
+		return fmt.Errorf("bench: durable query: %w", err)
+	}
+	eng, _, err := ttdb.RecoverPolyglotObserved(
+		nil, bytes.NewReader(graphLog.Bytes()),
+		nil, bytes.NewReader(tsLog.Bytes()),
+		bytes.NewReader(journal.Bytes()), ts.Week, reg)
+	if err != nil {
+		return fmt.Errorf("bench: durable recovery: %w", err)
+	}
+	if err := ttdb.CheckConsistency(eng); err != nil {
+		return fmt.Errorf("bench: recovered engine inconsistent: %w", err)
+	}
+	return nil
+}
+
+// CheckMetrics verifies that a snapshot from an instrumented benchmark run
+// (Run + RunParallel + DurableExercise sharing one registry) shows every
+// subsystem actually reporting: nonzero per-query timers on both engines,
+// WAL append counts from the durable exercise, and resample-cache traffic
+// from the repeated Q7s. It returns every violation, not just the first.
+func CheckMetrics(s *obs.Snapshot) []string {
+	var problems []string
+	for _, prefix := range []string{"ttdb", "neo4j"} {
+		for _, q := range ttdb.QueryNames {
+			name := prefix + "." + strings.ToLower(q)
+			if st, ok := s.Durations[name]; !ok || st.Count == 0 {
+				problems = append(problems, fmt.Sprintf("timer %s never fired", name))
+			}
+		}
+	}
+	for _, c := range []string{
+		"graphstore.wal.appends",
+		"tsstore.wal.appends",
+		"tsstore.cache.hits",
+		"tsstore.cache.misses",
+	} {
+		if s.Counters[c] <= 0 {
+			problems = append(problems, fmt.Sprintf("counter %s is zero", c))
+		}
+	}
+	return problems
+}

@@ -46,6 +46,9 @@ func RunParallel(cfg Config) (rows []ParallelRow, workers int, err error) {
 	if err != nil {
 		return nil, 0, fmt.Errorf("bench: loading %s: %w", pg.Name(), err)
 	}
+	if cfg.Obs != nil {
+		pg.Instrument(cfg.Obs)
+	}
 	start, end := data.Span()
 	qStart := start + (end-start)/4
 	qEnd := qStart + (end-start)/2

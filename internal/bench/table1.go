@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"hygraph/internal/dataset"
+	"hygraph/internal/obs"
 	"hygraph/internal/storage/ttdb"
 	"hygraph/internal/ts"
 )
@@ -34,6 +35,14 @@ type Config struct {
 	// Workers is the Q4–Q8 fan-out width handed to both engines
 	// (<= 1 = sequential, the Table 1 reference condition).
 	Workers int
+	// EffectiveWorkers records the fan-out width the parallel comparison
+	// actually used. When Workers is 0 RunParallel resolves it to GOMAXPROCS
+	// at run time; a committed baseline must carry the resolved value or the
+	// run is not reproducible from its config alone.
+	EffectiveWorkers int `json:"effective_workers,omitempty"`
+	// Obs, when non-nil, is attached to every engine the harness builds, so
+	// the run accumulates query timers and store counters. Never serialized.
+	Obs *obs.Registry `json:"-"`
 }
 
 // DefaultConfig is a laptop-scale run that still shows the orders-of-
@@ -68,6 +77,10 @@ func Run(cfg Config) ([]Row, error) {
 	}
 	neo.SetWorkers(cfg.Workers)
 	pg.SetWorkers(cfg.Workers)
+	if cfg.Obs != nil {
+		neo.Instrument(cfg.Obs)
+		pg.Instrument(cfg.Obs)
+	}
 	start, end := data.Span()
 	// The queried window: the middle half of the data.
 	qStart := start + (end-start)/4

@@ -443,8 +443,10 @@ func evalTSCall(c Call, ctx *evalCtx) (Value, error) {
 		}
 		return Scalar(lpg.Float(slope)), nil
 	case "corr":
-		if err := need(3); err != nil {
-			return NullValue, err
+		// ts.corr(a, b, bucket) over the whole series, or
+		// ts.corr(a, b, start, end, bucket) windowed to [start, end).
+		if len(c.Args) != 3 && len(c.Args) != 5 {
+			return NullValue, fmt.Errorf("hyql: ts.corr expects (a, b, bucket) or (a, b, start, end, bucket)")
 		}
 		a, err := resolveSeries(c.Args[0], ctx)
 		if err != nil {
@@ -454,7 +456,15 @@ func evalTSCall(c Call, ctx *evalCtx) (Value, error) {
 		if err != nil {
 			return NullValue, err
 		}
-		bucketV, err := eval(c.Args[2], ctx)
+		if len(c.Args) == 5 {
+			start, end, err := evalTimePair(c.Args[2], c.Args[3], ctx)
+			if err != nil {
+				return NullValue, err
+			}
+			a = a.SliceView(start, end)
+			b = b.SliceView(start, end)
+		}
+		bucketV, err := eval(c.Args[len(c.Args)-1], ctx)
 		if err != nil {
 			return NullValue, err
 		}
@@ -467,6 +477,48 @@ func evalTSCall(c Call, ctx *evalCtx) (Value, error) {
 			return NullValue, nil
 		}
 		return Scalar(lpg.Float(r)), nil
+	case "points":
+		// ts.points(s) or ts.points(s, start, end): the raw observations as a
+		// list of [timestamp, value] pairs, in time order.
+		if len(c.Args) != 1 && len(c.Args) != 3 {
+			return NullValue, fmt.Errorf("hyql: ts.points expects (series) or (series, start, end)")
+		}
+		s, err := resolveSeries(c.Args[0], ctx)
+		if err != nil {
+			return NullValue, err
+		}
+		if len(c.Args) == 3 {
+			start, end, err := evalTimePair(c.Args[1], c.Args[2], ctx)
+			if err != nil {
+				return NullValue, err
+			}
+			s = s.SliceView(start, end)
+		}
+		return pointList(s, nil), nil
+	case "below":
+		// ts.below(s, start, end, threshold): the windowed observations with
+		// value < threshold, as a list of [timestamp, value] pairs.
+		if err := need(4); err != nil {
+			return NullValue, err
+		}
+		s, err := resolveSeries(c.Args[0], ctx)
+		if err != nil {
+			return NullValue, err
+		}
+		start, end, err := evalTimePair(c.Args[1], c.Args[2], ctx)
+		if err != nil {
+			return NullValue, err
+		}
+		thV, err := eval(c.Args[3], ctx)
+		if err != nil {
+			return NullValue, err
+		}
+		th, ok := thV.AsFloat()
+		if !ok {
+			return NullValue, fmt.Errorf("hyql: ts.below threshold must be numeric")
+		}
+		keep := func(v float64) bool { return v < th }
+		return pointList(s.SliceView(start, end), keep), nil
 	case "anomalies":
 		if err := need(2); err != nil {
 			return NullValue, err
@@ -499,7 +551,24 @@ func evalTSCall(c Call, ctx *evalCtx) (Value, error) {
 
 var tsFuncNames = []string{
 	"mean", "sum", "min", "max", "count", "std", "median", "first", "last",
-	"slope", "corr", "anomalies", "len",
+	"slope", "corr", "anomalies", "len", "points", "below",
+}
+
+// pointList renders a series as a list of [timestamp, value] pairs, keeping
+// only points that pass the filter (nil keeps everything).
+func pointList(s *ts.Series, keep func(float64) bool) Value {
+	out := make([]Value, 0, s.Len())
+	for i := 0; i < s.Len(); i++ {
+		v := s.ValueAt(i)
+		if keep != nil && !keep(v) {
+			continue
+		}
+		out = append(out, ListValue([]Value{
+			Scalar(lpg.Int(int64(s.TimeAt(i)))),
+			Scalar(lpg.Float(v)),
+		}))
+	}
+	return ListValue(out)
 }
 
 func evalTimePair(a, b Expr, ctx *evalCtx) (ts.Time, ts.Time, error) {

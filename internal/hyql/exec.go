@@ -21,6 +21,7 @@ import (
 type Engine struct {
 	H     *core.HyGraph
 	views map[ts.Time]cachedView
+	obs   engineObs // metric handles; zero value = instrumentation off
 }
 
 type cachedView struct {
@@ -40,8 +41,10 @@ func NewEngine(h *core.HyGraph) *Engine {
 func (e *Engine) viewAt(at ts.Time) *core.View {
 	v := e.H.Version()
 	if c, ok := e.views[at]; ok && c.version == v {
+		e.obs.viewHits.Inc()
 		return c.view
 	}
+	e.obs.viewMisses.Inc()
 	view := e.H.SnapshotAt(at)
 	if len(e.views) >= viewCacheSize {
 		// Evict everything stale, or an arbitrary entry when all are live.
@@ -63,7 +66,9 @@ type Result struct {
 
 // Query parses and executes src against the instance state at instant `at`.
 func (e *Engine) Query(src string, at ts.Time) (*Result, error) {
+	sw := e.obs.parse.Start()
 	q, err := Parse(src)
+	sw.Stop()
 	if err != nil {
 		return nil, err
 	}
@@ -73,13 +78,16 @@ func (e *Engine) Query(src string, at ts.Time) (*Result, error) {
 // Exec executes a parsed query at the given instant.
 func (e *Engine) Exec(q *Query, at ts.Time) (*Result, error) {
 	view := e.viewAt(at)
-	rows, edgeNames, err := matchRows(view.Graph, q)
+	sw := e.obs.match.Start()
+	rows, edgeNames, err := matchRows(view.Graph, q, e.obs)
+	sw.Stop()
 	if err != nil {
 		return nil, err
 	}
 	_ = edgeNames
 	// WHERE filter.
 	if q.Where != nil {
+		sw := e.obs.where.Start()
 		kept := rows[:0]
 		for _, r := range rows {
 			v, err := eval(q.Where, &evalCtx{row: r})
@@ -91,21 +99,29 @@ func (e *Engine) Exec(q *Query, at ts.Time) (*Result, error) {
 			}
 		}
 		rows = kept
+		sw.Stop()
 	}
 	// WITH stage: re-project the bindings (with aggregation) and apply the
 	// post-projection filter — Cypher's pipeline semantics, enough for the
 	// paper's Listing 1 ("WITH u, collect(m2) AS mrs ... WHERE length(mrs) > 2").
 	if len(q.With) > 0 {
+		sw := e.obs.with.Start()
 		rows, err = projectWith(q, rows)
+		sw.Stop()
 		if err != nil {
 			return nil, err
 		}
 	}
+	sw = e.obs.project.Start()
 	res, err := project(q, rows)
+	sw.Stop()
 	if err != nil {
 		return nil, err
 	}
-	if err := orderAndLimit(q, res, rows); err != nil {
+	sw = e.obs.order.Start()
+	err = orderAndLimit(q, res, rows)
+	sw.Stop()
+	if err != nil {
 		return nil, err
 	}
 	return res, nil
@@ -113,7 +129,7 @@ func (e *Engine) Exec(q *Query, at ts.Time) (*Result, error) {
 
 // matchRows converts the MATCH patterns into one combined lpg.Pattern,
 // enumerates bindings and returns one row per match.
-func matchRows(g *lpg.Graph, q *Query) ([]map[string]Value, []string, error) {
+func matchRows(g *lpg.Graph, q *Query, o engineObs) ([]map[string]Value, []string, error) {
 	p := lpg.NewPattern()
 	nodeLabel := map[string]string{}
 	var nodeOrder []string
@@ -204,6 +220,7 @@ func matchRows(g *lpg.Graph, q *Query) ([]map[string]Value, []string, error) {
 			}
 			if _, isNode := nodeLabel[name]; isNode {
 				nodePred[name] = andPred(nodePred[name], nodeFilter(name, conj))
+				o.pushNode.Inc()
 				continue
 			}
 			// Single-hop named edges get the filter on the pattern edge.
@@ -211,6 +228,7 @@ func matchRows(g *lpg.Graph, q *Query) ([]map[string]Value, []string, error) {
 				if er.name == name && !er.varLen {
 					pe := &patternEdges(p)[er.index]
 					pe.Where = andEdgePred(pe.Where, edgeFilter(name, conj))
+					o.pushEdge.Inc()
 				}
 			}
 		}

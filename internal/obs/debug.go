@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// The expvar name is published at most once per process (expvar.Publish
+// panics on duplicates); the pointer it reads is swappable so the last
+// registry handed to PublishExpvar wins.
+var (
+	expvarOnce sync.Once
+	expvarReg  atomic.Pointer[Registry]
+)
+
+// PublishExpvar exposes r's snapshot under the "hygraph_obs" expvar. Calling
+// it again rebinds the variable to the new registry.
+func PublishExpvar(r *Registry) {
+	expvarReg.Store(r)
+	expvarOnce.Do(func() {
+		expvar.Publish("hygraph_obs", expvar.Func(func() any {
+			return expvarReg.Load().Snapshot()
+		}))
+	})
+}
+
+// ServeDebug starts an HTTP server on addr exposing:
+//
+//	/debug/pprof/   net/http/pprof profiles
+//	/debug/vars     expvar (includes the hygraph_obs snapshot)
+//	/debug/obs      the registry snapshot as plain JSON
+//
+// It binds its own mux (nothing leaks onto http.DefaultServeMux), returns the
+// live listener so callers can report the bound address (useful with ":0")
+// and close it, and serves until the listener is closed. A nil registry
+// serves empty snapshots.
+func ServeDebug(addr string, r *Registry) (net.Listener, error) {
+	PublishExpvar(r)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/obs", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln, nil
+}

@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// maxRecentSpans bounds the ring of finished span records kept for the
+// snapshot, so long-lived processes don't grow without bound.
+const maxRecentSpans = 256
+
+// Tracer records span-style timed regions with parent/child nesting. It keeps
+// two views: per-name totals (count + total duration, unbounded in name count
+// but O(names) in memory) and a bounded ring of the most recent finished
+// spans with their parent links, which is enough to reconstruct recent trees.
+// A nil *Tracer hands out nil *Spans, and all *Span methods are nil-safe, so
+// traced code pays nothing when tracing is disabled.
+type Tracer struct {
+	mu     sync.Mutex
+	nextID uint64
+	totals map[string]*spanTotal
+	recent []SpanRecord
+	head   int  // next write position in recent once full
+	full   bool // recent has wrapped
+}
+
+type spanTotal struct {
+	count   int64
+	totalNS int64
+}
+
+func newTracer() *Tracer {
+	return &Tracer{totals: map[string]*spanTotal{}}
+}
+
+// Span is one in-flight timed region. End it exactly once.
+type Span struct {
+	tr     *Tracer
+	id     uint64
+	parent uint64
+	name   string
+	t0     time.Time
+}
+
+// Start opens a root span. Returns nil (an inert span) on a nil receiver.
+func (t *Tracer) Start(name string) *Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{tr: t, id: id, name: name, t0: time.Now()}
+}
+
+// Child opens a span nested under s. On a nil receiver it returns nil, so
+// chains like root.Child("x").Child("y") stay safe when tracing is off.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tr
+	t.mu.Lock()
+	t.nextID++
+	id := t.nextID
+	t.mu.Unlock()
+	return &Span{tr: t, id: id, parent: s.id, name: name, t0: time.Now()}
+}
+
+// End finishes the span, recording its duration under its name and appending
+// it to the recent ring. Returns the elapsed time (0 on a nil receiver).
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := time.Since(s.t0)
+	s.tr.record(SpanRecord{
+		ID:         s.id,
+		Parent:     s.parent,
+		Name:       s.name,
+		DurationNS: d.Nanoseconds(),
+	})
+	return d
+}
+
+func (t *Tracer) record(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tot, ok := t.totals[rec.Name]
+	if !ok {
+		tot = &spanTotal{}
+		t.totals[rec.Name] = tot
+	}
+	tot.count++
+	tot.totalNS += rec.DurationNS
+	if !t.full {
+		t.recent = append(t.recent, rec)
+		if len(t.recent) == maxRecentSpans {
+			t.full = true
+		}
+		return
+	}
+	t.recent[t.head] = rec
+	t.head = (t.head + 1) % maxRecentSpans
+}
+
+// SpanRecord is one finished span. Parent is 0 for root spans; IDs are unique
+// within a Tracer, so (ID, Parent) links reconstruct the nesting.
+type SpanRecord struct {
+	ID         uint64 `json:"id"`
+	Parent     uint64 `json:"parent,omitempty"`
+	Name       string `json:"name"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// SpanTotal aggregates all finished spans sharing a name.
+type SpanTotal struct {
+	Count   int64 `json:"count"`
+	TotalNS int64 `json:"total_ns"`
+}
+
+// TraceSnapshot is the JSON view of a Tracer: per-name totals plus the most
+// recent finished spans in completion order.
+type TraceSnapshot struct {
+	Totals map[string]SpanTotal `json:"totals,omitempty"`
+	Recent []SpanRecord         `json:"recent,omitempty"`
+}
+
+// Snapshot captures the tracer state; nil when the tracer is nil or has
+// recorded nothing.
+func (t *Tracer) Snapshot() *TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.totals) == 0 {
+		return nil
+	}
+	ts := &TraceSnapshot{Totals: make(map[string]SpanTotal, len(t.totals))}
+	for name, tot := range t.totals {
+		ts.Totals[name] = SpanTotal{Count: tot.count, TotalNS: tot.totalNS}
+	}
+	if t.full {
+		ts.Recent = make([]SpanRecord, 0, maxRecentSpans)
+		ts.Recent = append(ts.Recent, t.recent[t.head:]...)
+		ts.Recent = append(ts.Recent, t.recent[:t.head]...)
+	} else {
+		ts.Recent = append([]SpanRecord(nil), t.recent...)
+	}
+	return ts
+}

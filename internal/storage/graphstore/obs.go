@@ -1,0 +1,40 @@
+package graphstore
+
+import "hygraph/internal/obs"
+
+// storeObs holds the store's preallocated metric handles. The zero value
+// (all nil) is the disabled state: every increment is a nil-check no-op.
+type storeObs struct {
+	reads       *obs.Counter // read-path entry points (prop gets, chain walks, neighbor scans)
+	writes      *obs.Counter // mutations (create/set/remove/delete)
+	propScanned *obs.Counter // property records visited by chain scans
+}
+
+// Instrument attaches metric handles from r to the store. Call it once,
+// before the store is shared across goroutines — handle installation is not
+// synchronized with concurrent operations. A nil registry detaches
+// instrumentation (handles revert to no-op sinks).
+func (db *DB) Instrument(r *obs.Registry) {
+	db.obs = storeObs{
+		reads:       r.Counter("graphstore.reads"),
+		writes:      r.Counter("graphstore.writes"),
+		propScanned: r.Counter("graphstore.prop_records_scanned"),
+	}
+}
+
+// walObs holds the WAL's preallocated metric handles; zero value = disabled.
+type walObs struct {
+	appends *obs.Counter // records appended (post-success)
+	bytes   *obs.Counter // payload bytes appended
+	flushes *obs.Counter // successful flushes (fsync-equivalents)
+}
+
+// Instrument attaches metric handles from r to the WAL. Call before the log
+// is shared; a nil registry detaches.
+func (l *WAL) Instrument(r *obs.Registry) {
+	l.obs = walObs{
+		appends: r.Counter("graphstore.wal.appends"),
+		bytes:   r.Counter("graphstore.wal.append_bytes"),
+		flushes: r.Counter("graphstore.wal.flushes"),
+	}
+}

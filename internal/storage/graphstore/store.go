@@ -135,6 +135,8 @@ type DB struct {
 
 	labelIndex map[uint32][]NodeID
 	freeProps  []uint32 // recycled property records
+
+	obs storeObs // metric handles; zero value = instrumentation off
 }
 
 // New returns an empty store.
@@ -184,6 +186,7 @@ func (db *DB) intern(s string) uint32 {
 
 // CreateNode allocates a node with the given labels.
 func (db *DB) CreateNode(labels ...string) NodeID {
+	db.obs.writes.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	id := NodeID(len(db.nodes))
@@ -200,6 +203,7 @@ func (db *DB) CreateNode(labels ...string) NodeID {
 // CreateRel allocates a relationship from -> to of the given type, threading
 // it into both endpoints' relationship chains.
 func (db *DB) CreateRel(from, to NodeID, typ string) (RelID, error) {
+	db.obs.writes.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if !db.nodeOK(from) || !db.nodeOK(to) {
@@ -290,6 +294,7 @@ func (db *DB) freePropChain(head uint32) {
 // recycles its properties and marks the record dead. Record ids are never
 // reused.
 func (db *DB) DeleteRel(id RelID) error {
+	db.obs.writes.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.deleteRelLocked(id)
@@ -315,6 +320,7 @@ func (db *DB) deleteRelLocked(id RelID) error {
 // uses this to roll back a half-ingested entity; node ids are never reused,
 // so later WAL records stay valid.
 func (db *DB) DeleteNode(id NodeID) error {
+	db.obs.writes.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if !db.nodeOK(id) {
@@ -348,6 +354,7 @@ func (db *DB) DeleteNode(id NodeID) error {
 
 // NodesByLabel returns the nodes carrying the label in creation order.
 func (db *DB) NodesByLabel(label string) []NodeID {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	lid, ok := db.strIndex[label]
@@ -480,6 +487,7 @@ func (db *DB) removeProp(head *uint32, key string) bool {
 
 // SetNodeProp sets a property on a node.
 func (db *DB) SetNodeProp(id NodeID, key string, val PropValue) error {
+	db.obs.writes.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if !db.nodeOK(id) {
@@ -491,6 +499,7 @@ func (db *DB) SetNodeProp(id NodeID, key string, val PropValue) error {
 
 // NodeProp reads a property from a node, walking its chain.
 func (db *DB) NodeProp(id NodeID, key string) (PropValue, bool) {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if !db.nodeOK(id) {
@@ -501,6 +510,7 @@ func (db *DB) NodeProp(id NodeID, key string) (PropValue, bool) {
 
 // RemoveNodeProp deletes a node property.
 func (db *DB) RemoveNodeProp(id NodeID, key string) bool {
+	db.obs.writes.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if !db.nodeOK(id) {
@@ -511,6 +521,7 @@ func (db *DB) RemoveNodeProp(id NodeID, key string) bool {
 
 // SetRelProp sets a property on a relationship.
 func (db *DB) SetRelProp(id RelID, key string, val PropValue) error {
+	db.obs.writes.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if !db.relOK(id) {
@@ -522,6 +533,7 @@ func (db *DB) SetRelProp(id RelID, key string, val PropValue) error {
 
 // RelProp reads a relationship property.
 func (db *DB) RelProp(id RelID, key string) (PropValue, bool) {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if !db.relOK(id) {
@@ -535,6 +547,7 @@ func (db *DB) RelProp(id RelID, key string) (PropValue, bool) {
 // queries are forced through. fn runs under the store's read lock and must
 // not mutate the store.
 func (db *DB) NodeProps(id NodeID, fn func(key string, val PropValue) bool) {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	db.nodePropsLocked(id, fn)
@@ -544,15 +557,21 @@ func (db *DB) nodePropsLocked(id NodeID, fn func(key string, val PropValue) bool
 	if !db.nodeOK(id) {
 		return
 	}
+	// Records visited are accumulated locally and published with one atomic
+	// add, so instrumented chain scans don't pay a per-record atomic.
+	visited := int64(0)
 	for ref := db.nodes[id].firstProp; ref != nilRef; ref = db.props[ref].next {
+		visited++
 		if !fn(db.strings[db.props[ref].key], db.decodeProp(ref)) {
-			return
+			break
 		}
 	}
+	db.obs.propScanned.Add(visited)
 }
 
 // NodePropCount returns the length of the node's property chain.
 func (db *DB) NodePropCount(id NodeID) int {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	n := 0
@@ -572,6 +591,7 @@ type Rel struct {
 // most recent first), calling fn for each. fn runs under the store's read
 // lock and must not mutate the store.
 func (db *DB) Rels(id NodeID, fn func(Rel) bool) {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	db.relsLocked(id, fn)
@@ -600,6 +620,7 @@ func (db *DB) relsLocked(id NodeID, fn func(Rel) bool) {
 // OutNeighbors returns the targets of outgoing relationships of the given
 // type ("" matches all).
 func (db *DB) OutNeighbors(id NodeID, typ string) []NodeID {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var out []NodeID
@@ -614,6 +635,7 @@ func (db *DB) OutNeighbors(id NodeID, typ string) []NodeID {
 
 // Neighbors returns distinct adjacent nodes over any relationship direction.
 func (db *DB) Neighbors(id NodeID, typ string) []NodeID {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	seen := map[NodeID]bool{}

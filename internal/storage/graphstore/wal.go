@@ -33,6 +33,8 @@ type WAL struct {
 	db      *DB
 	fw      *walrec.Writer
 	scratch []byte // payload of the record being built
+
+	obs walObs // metric handles; zero value = instrumentation off
 }
 
 // Log record opcodes.
@@ -66,7 +68,11 @@ func (l *WAL) Flush() error {
 	if err := faults.Check(FaultWALFlush); err != nil {
 		return err
 	}
-	return l.fw.Flush()
+	if err := l.fw.Flush(); err != nil {
+		return err
+	}
+	l.obs.flushes.Inc()
+	return nil
 }
 
 // Payload builders: a record is fully materialized in scratch before any
@@ -110,7 +116,12 @@ func (l *WAL) commit() error {
 	if err := faults.Check(FaultWALAppend); err != nil {
 		return err
 	}
-	return l.fw.Append(l.scratch)
+	if err := l.fw.Append(l.scratch); err != nil {
+		return err
+	}
+	l.obs.appends.Inc()
+	l.obs.bytes.Add(int64(len(l.scratch)))
+	return nil
 }
 
 // CreateNode logs and applies a node creation.

@@ -136,6 +136,8 @@ type DB struct {
 	rcache map[resampleKey]*ts.Series
 	// Cache counters are atomics so the hit path stays on the read lock.
 	cacheHits, cacheMisses, cacheInvalidations atomic.Int64
+
+	obs storeObs // metric handles; zero value = instrumentation off
 }
 
 // DefaultChunkWidth partitions series into week-long chunks, matching
@@ -203,6 +205,7 @@ func (db *DB) slotOf(t ts.Time) int64 {
 
 // Insert adds one point. Upserts on duplicate timestamps.
 func (db *DB) Insert(key SeriesKey, t ts.Time, v float64) {
+	db.obs.writes.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.insertLocked(key, t, v)
@@ -221,6 +224,7 @@ func (db *DB) insertLocked(key SeriesKey, t ts.Time, v float64) {
 
 // InsertSeries bulk-loads a whole series under the key.
 func (db *DB) InsertSeries(key SeriesKey, src *ts.Series) {
+	db.obs.writes.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	for i := 0; i < src.Len(); i++ {
@@ -233,6 +237,7 @@ func (db *DB) InsertSeries(key SeriesKey, src *ts.Series) {
 // key existed; deleting an absent key is a no-op, so crash-recovery rollback
 // can apply it idempotently.
 func (db *DB) DeleteSeries(key SeriesKey) bool {
+	db.obs.writes.Inc()
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.invalidateLocked(key)
@@ -256,12 +261,14 @@ func (db *DB) invalidateLocked(key SeriesKey) {
 		if rk.key == key {
 			delete(db.rcache, rk)
 			db.cacheInvalidations.Add(1)
+			db.obs.cacheInvalidations.Inc()
 		}
 	}
 }
 
 // Range returns the points of a series with start <= t < end in time order.
 func (db *DB) Range(key SeriesKey, start, end ts.Time) []ts.Point {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.rangeLocked(key, start, end)
@@ -277,6 +284,7 @@ func (db *DB) rangeLocked(key SeriesKey, start, end ts.Time) []ts.Point {
 
 // RangeSeries is Range materialized as a ts.Series named after the metric.
 func (db *DB) RangeSeries(key SeriesKey, start, end ts.Time) *ts.Series {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.rangeSeriesLocked(key, start, end)
@@ -310,6 +318,7 @@ func (db *DB) scanRange(key SeriesKey, start, end ts.Time, fn func(ts.Time, floa
 // order without materializing them — the pushdown path for filters. fn runs
 // under the store's read lock and must not mutate the store.
 func (db *DB) RangeFunc(key SeriesKey, start, end ts.Time, fn func(ts.Time, float64)) {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	db.scanRange(key, start, end, fn)
@@ -321,6 +330,7 @@ func (db *DB) RangeFunc(key SeriesKey, start, end ts.Time, fn func(ts.Time, floa
 // extraction entirely. NaN when fewer than two joint points exist or a side
 // is constant.
 func (db *DB) Correlate(a, b SeriesKey, start, end ts.Time) float64 {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	pa := db.rangeLocked(a, start, end)
 	pb := db.rangeLocked(b, start, end)
@@ -377,6 +387,7 @@ func (s Summary) Mean() float64 {
 
 // Aggregate computes the summary of a series over [start, end).
 func (db *DB) Aggregate(key SeriesKey, start, end ts.Time) Summary {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	return db.aggregateLocked(key, start, end)
@@ -432,6 +443,7 @@ func normalize(s Summary) Summary {
 // AggregateAll aggregates every series of the given metric over [start,
 // end), returning per-entity summaries.
 func (db *DB) AggregateAll(metric string, start, end ts.Time) map[uint32]Summary {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	out := map[uint32]Summary{}
@@ -451,6 +463,7 @@ func (db *DB) AggregateAll(metric string, start, end ts.Time) map[uint32]Summary
 // on to stay byte-identical with sequential execution. fn runs under the
 // store's read lock and must not mutate the store.
 func (db *DB) AggregateEach(metric string, start, end ts.Time, fn func(entity uint32, s Summary)) {
+	db.obs.reads.Inc()
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	for _, key := range db.keys {
@@ -535,12 +548,14 @@ func (db *DB) TopKByMean(metric string, start, end ts.Time, k int) []uint32 {
 // until a write to the series invalidates it. The returned series is a copy
 // the caller owns.
 func (db *DB) Downsample(key SeriesKey, start, end, bucket ts.Time, agg ts.AggFunc) *ts.Series {
+	db.obs.reads.Inc()
 	rk := resampleKey{key: key, start: start, end: end, bucket: bucket, agg: agg}
 	db.mu.RLock()
 	if s, ok := db.rcache[rk]; ok {
 		out := s.Clone()
 		db.mu.RUnlock()
 		db.cacheHits.Add(1)
+		db.obs.cacheHits.Inc()
 		return out
 	}
 	db.mu.RUnlock()
@@ -549,9 +564,11 @@ func (db *DB) Downsample(key SeriesKey, start, end, bucket ts.Time, agg ts.AggFu
 	defer db.mu.Unlock()
 	if s, ok := db.rcache[rk]; ok { // filled while we waited for the lock
 		db.cacheHits.Add(1)
+		db.obs.cacheHits.Inc()
 		return s.Clone()
 	}
 	db.cacheMisses.Add(1)
+	db.obs.cacheMisses.Inc()
 	s := db.rangeSeriesLocked(key, start, end).Resample(bucket, agg)
 	if len(db.rcache) >= maxResampleCache {
 		db.rcache = map[resampleKey]*ts.Series{}

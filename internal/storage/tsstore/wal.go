@@ -33,6 +33,8 @@ type WAL struct {
 	db      *DB
 	fw      *walrec.Writer
 	scratch []byte
+
+	obs walObs // metric handles; zero value = instrumentation off
 }
 
 // Log record opcodes.
@@ -62,7 +64,11 @@ func (l *WAL) Flush() error {
 	if err := faults.Check(FaultWALFlush); err != nil {
 		return err
 	}
-	return l.fw.Flush()
+	if err := l.fw.Flush(); err != nil {
+		return err
+	}
+	l.obs.flushes.Inc()
+	return nil
 }
 
 func (l *WAL) beginKey(op byte, key SeriesKey) {
@@ -76,7 +82,12 @@ func (l *WAL) commit() error {
 	if err := faults.Check(FaultWALAppend); err != nil {
 		return err
 	}
-	return l.fw.Append(l.scratch)
+	if err := l.fw.Append(l.scratch); err != nil {
+		return err
+	}
+	l.obs.appends.Inc()
+	l.obs.bytes.Add(int64(len(l.scratch)))
+	return nil
 }
 
 // Insert logs and applies one point. Upserts on duplicate timestamps, so

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"hygraph/internal/faults"
+	"hygraph/internal/obs"
 	"hygraph/internal/storage/graphstore"
 	"hygraph/internal/storage/tsstore"
 	"hygraph/internal/storage/walrec"
@@ -113,6 +114,8 @@ type DurablePolyglot struct {
 	txn     uint64
 	tsErr   error // last permanent TS-side failure; non-nil degrades queries
 	scratch []byte
+
+	obs durObs // metric handles; zero value = instrumentation off
 }
 
 // NewDurable returns an empty durable engine logging to the three writers
@@ -150,7 +153,7 @@ func (d *DurablePolyglot) SetWorkers(n int) { d.eng.SetWorkers(n) }
 // journal appends one intent record and flushes it — each protocol step must
 // be on disk before the next store write starts.
 func (d *DurablePolyglot) journal(op byte, txn uint64, node StationID) error {
-	return d.Retry.run(func() error {
+	err := d.Retry.run(func() error {
 		if err := faults.Check(FaultJournalAppend); err != nil {
 			return err
 		}
@@ -162,6 +165,18 @@ func (d *DurablePolyglot) journal(op byte, txn uint64, node StationID) error {
 		}
 		return d.jw.Flush()
 	})
+	if err != nil {
+		return err
+	}
+	switch op {
+	case jBegin:
+		d.obs.journalBegin.Inc()
+	case jPrepared:
+		d.obs.journalPrepared.Inc()
+	case jCommit:
+		d.obs.journalCommit.Inc()
+	}
+	return nil
 }
 
 // graphSide writes the station node and its properties, then flushes. The
@@ -235,6 +250,7 @@ func (d *DurablePolyglot) IngestStation(name, district string, s *ts.Series) (St
 		// because the series is present. The station is usable.
 		return node, fmt.Errorf("ttdb: txn %d commit record: %w", txn, err)
 	}
+	d.obs.ingests.Inc()
 	return node, nil
 }
 
@@ -265,9 +281,11 @@ func (d *DurablePolyglot) AddTrip(a, b StationID, count int) error {
 // returning a DegradedError otherwise.
 func (d *DurablePolyglot) tsCheck(q string) error {
 	if err := faults.Check(FaultQueryTS); err != nil {
+		d.obs.degraded.Inc()
 		return &DegradedError{Query: q, Cause: err}
 	}
 	if d.tsErr != nil {
+		d.obs.degraded.Inc()
 		return &DegradedError{Query: q, Cause: d.tsErr}
 	}
 	return nil
@@ -414,14 +432,33 @@ func stateName(op byte) string {
 // want them durable re-snapshot via Compact-style flows (cmd/hygraph
 // recover -compact).
 func RecoverPolyglot(graphSnap, graphLog, tsSnap, tsLog, journal io.Reader, chunkWidth ts.Time) (*Polyglot, PolyglotRecovery, error) {
+	return RecoverPolyglotObserved(graphSnap, graphLog, tsSnap, tsLog, journal, chunkWidth, nil)
+}
+
+// RecoverPolyglotObserved is RecoverPolyglot with instrumentation: each
+// recovery phase (graph replay, ts replay, journal scan, fate resolution) is
+// recorded as a child span of a "ttdb.recover" root in the registry's tracer,
+// and op/point/txn totals land in "ttdb.recover.*" counters. A nil registry
+// records nothing and behaves exactly like RecoverPolyglot.
+func RecoverPolyglotObserved(graphSnap, graphLog, tsSnap, tsLog, journal io.Reader, chunkWidth ts.Time, reg *obs.Registry) (*Polyglot, PolyglotRecovery, error) {
+	root := reg.Tracer().Start("ttdb.recover")
+	defer root.End()
+
 	var rec PolyglotRecovery
+	gspan := root.Child("ttdb.recover.graph")
 	g, gsum, err := graphstore.Recover(graphSnap, graphLog)
+	gspan.End()
 	rec.Graph = gsum
+	reg.Counter("ttdb.recover.graph_ops").Add(int64(gsum.Applied))
 	if err != nil {
 		return nil, rec, fmt.Errorf("ttdb: graph recovery: %w", err)
 	}
+	tspan := root.Child("ttdb.recover.ts")
 	t, tsum, err := tsstore.Recover(tsSnap, tsLog, chunkWidth)
+	tspan.End()
 	rec.TS = tsum
+	reg.Counter("ttdb.recover.ts_ops").Add(int64(tsum.Applied))
+	reg.Counter("ttdb.recover.ts_points").Add(int64(tsum.Points))
 	if err != nil {
 		return nil, rec, fmt.Errorf("ttdb: ts recovery: %w", err)
 	}
@@ -434,6 +471,7 @@ func RecoverPolyglot(graphSnap, graphLog, tsSnap, tsLog, journal io.Reader, chun
 	states := map[uint64]*txnState{}
 	var order []uint64
 	if journal != nil {
+		jspan := root.Child("ttdb.recover.journal")
 		sc := walrec.NewScanner(journal)
 		for {
 			payload, err := sc.Next()
@@ -442,11 +480,13 @@ func RecoverPolyglot(graphSnap, graphLog, tsSnap, tsLog, journal io.Reader, chun
 			}
 			if err != nil {
 				rec.Journal = sc.Summary()
+				jspan.End()
 				return nil, rec, fmt.Errorf("ttdb: intent journal: %w", err)
 			}
 			op, txn, node, err := parseJournalRecord(payload)
 			if err != nil {
 				rec.Journal = sc.Summary()
+				jspan.End()
 				return nil, rec, err
 			}
 			if st, ok := states[txn]; ok {
@@ -460,6 +500,7 @@ func RecoverPolyglot(graphSnap, graphLog, tsSnap, tsLog, journal io.Reader, chun
 			}
 		}
 		rec.Journal = sc.Summary()
+		jspan.End()
 	}
 
 	// A node id can appear in more than one transaction across journal
@@ -474,6 +515,14 @@ func RecoverPolyglot(graphSnap, graphLog, tsSnap, tsLog, journal io.Reader, chun
 		}
 	}
 
+	fspan := root.Child("ttdb.recover.fates")
+	defer func() {
+		fspan.End()
+		reg.Counter("ttdb.recover.txns").Add(int64(rec.Txns))
+		reg.Counter("ttdb.recover.committed").Add(int64(rec.Committed))
+		reg.Counter("ttdb.recover.rolled_forward").Add(int64(rec.RolledForward))
+		reg.Counter("ttdb.recover.rolled_back").Add(int64(rec.RolledBack))
+	}()
 	for _, txn := range order {
 		st := states[txn]
 		fate := TxnFate{Txn: txn, Node: st.node, State: stateName(st.state)}

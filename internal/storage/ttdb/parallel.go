@@ -1,6 +1,10 @@
 package ttdb
 
-import "sync"
+import (
+	"sync"
+
+	"hygraph/internal/obs"
+)
 
 // parallelFor runs fn(i) for every i in [0, n) across `workers` goroutines.
 // Work is partitioned by striding — worker w takes i = w, w+workers, ... —
@@ -11,6 +15,16 @@ import "sync"
 // docs/PARALLELISM.md). workers <= 1 degrades to a plain loop with no
 // goroutine overhead, which is also the sequential reference path.
 func parallelFor(workers, n int, fn func(i int)) {
+	parallelForGauged(workers, n, nil, fn)
+}
+
+// parallelForGauged is parallelFor with an in-flight gauge tracked at
+// *worker* granularity: striding means at most `workers` items run at once,
+// so per-worker accounting yields the same high watermark (peak concurrent
+// width) as per-item accounting at O(workers) instead of O(n) gauge
+// updates. A nil gauge is the uninstrumented path — its Add is a no-op, so
+// the only cost is one nil check per worker, never per item.
+func parallelForGauged(workers, n int, active *obs.Gauge, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
@@ -18,9 +32,11 @@ func parallelFor(workers, n int, fn func(i int)) {
 		workers = n
 	}
 	if workers <= 1 {
+		active.Add(1)
 		for i := 0; i < n; i++ {
 			fn(i)
 		}
+		active.Add(-1)
 		return
 	}
 	var wg sync.WaitGroup
@@ -28,6 +44,8 @@ func parallelFor(workers, n int, fn func(i int)) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
+			active.Add(1)
+			defer active.Add(-1)
 			for i := w; i < n; i += workers {
 				fn(i)
 			}

@@ -27,6 +27,7 @@ import (
 	"strconv"
 	"strings"
 
+	"hygraph/internal/obs"
 	"hygraph/internal/storage/graphstore"
 	"hygraph/internal/storage/tsstore"
 	"hygraph/internal/ts"
@@ -54,6 +55,11 @@ type Engine interface {
 	// Q4–Q8 (<= 1 selects the sequential path). Results are identical at
 	// any width; only wall-clock changes.
 	SetWorkers(n int)
+	// Instrument attaches metric handles from the registry (per-query
+	// timers, fan-out width, store counters). Call before the engine is
+	// shared; a nil registry detaches instrumentation. Results are
+	// unaffected either way.
+	Instrument(r *obs.Registry)
 
 	// Q1: raw time-range fetch for one station.
 	Q1TimeRange(st StationID, start, end ts.Time) []ts.Point
@@ -81,6 +87,7 @@ type Engine interface {
 type AllInGraph struct {
 	G       *graphstore.DB
 	workers int
+	obs     queryObs // metric handles; zero value = instrumentation off
 }
 
 // NewAllInGraph returns an empty all-in-graph engine.
@@ -155,16 +162,26 @@ func (a *AllInGraph) scan(st StationID, start, end ts.Time, fn func(ts.Time, flo
 	})
 }
 
-// Q1TimeRange implements Engine.
-func (a *AllInGraph) Q1TimeRange(st StationID, start, end ts.Time) []ts.Point {
+// rangePoints is the untimed Q1 body, shared with Q7 so composite queries
+// don't double-count into Q1's histogram.
+func (a *AllInGraph) rangePoints(st StationID, start, end ts.Time) []ts.Point {
 	var pts []ts.Point
 	a.scan(st, start, end, func(t ts.Time, v float64) { pts = append(pts, ts.Point{T: t, V: v}) })
 	sort.Slice(pts, func(i, j int) bool { return pts[i].T < pts[j].T })
 	return pts
 }
 
+// Q1TimeRange implements Engine.
+func (a *AllInGraph) Q1TimeRange(st StationID, start, end ts.Time) []ts.Point {
+	sw := a.obs.q[0].Start()
+	defer sw.Stop()
+	return a.rangePoints(st, start, end)
+}
+
 // Q2FilteredRange implements Engine.
 func (a *AllInGraph) Q2FilteredRange(st StationID, start, end ts.Time, below float64) []ts.Point {
+	sw := a.obs.q[1].Start()
+	defer sw.Stop()
 	var pts []ts.Point
 	a.scan(st, start, end, func(t ts.Time, v float64) {
 		if v < below {
@@ -175,8 +192,9 @@ func (a *AllInGraph) Q2FilteredRange(st StationID, start, end ts.Time, below flo
 	return pts
 }
 
-// Q3StationMean implements Engine.
-func (a *AllInGraph) Q3StationMean(st StationID, start, end ts.Time) float64 {
+// meanOf is the untimed Q3 body, shared with Q4/Q6/Q8 fan-outs so composite
+// queries don't double-count into Q3's histogram (or pay its timer per item).
+func (a *AllInGraph) meanOf(st StationID, start, end ts.Time) float64 {
 	var sum float64
 	var n int
 	a.scan(st, start, end, func(_ ts.Time, v float64) { sum += v; n++ })
@@ -186,14 +204,19 @@ func (a *AllInGraph) Q3StationMean(st StationID, start, end ts.Time) float64 {
 	return sum / float64(n)
 }
 
-// Q4AllStationMeans implements Engine. The per-station scans are
-// independent, so they fan out across the worker pool; the merge folds the
-// result slice in station order regardless of width.
-func (a *AllInGraph) Q4AllStationMeans(start, end ts.Time) map[StationID]float64 {
+// Q3StationMean implements Engine.
+func (a *AllInGraph) Q3StationMean(st StationID, start, end ts.Time) float64 {
+	sw := a.obs.q[2].Start()
+	defer sw.Stop()
+	return a.meanOf(st, start, end)
+}
+
+// allMeans is the untimed Q4 body, shared with Q6.
+func (a *AllInGraph) allMeans(start, end ts.Time) map[StationID]float64 {
 	stations := a.G.NodesByLabel("Station")
 	means := make([]float64, len(stations))
-	parallelFor(a.workers, len(stations), func(i int) {
-		means[i] = a.Q3StationMean(stations[i], start, end)
+	a.obs.parallelFor(a.workers, len(stations), func(i int) {
+		means[i] = a.meanOf(stations[i], start, end)
 	})
 	out := make(map[StationID]float64, len(stations))
 	for i, st := range stations {
@@ -202,14 +225,25 @@ func (a *AllInGraph) Q4AllStationMeans(start, end ts.Time) map[StationID]float64
 	return out
 }
 
+// Q4AllStationMeans implements Engine. The per-station scans are
+// independent, so they fan out across the worker pool; the merge folds the
+// result slice in station order regardless of width.
+func (a *AllInGraph) Q4AllStationMeans(start, end ts.Time) map[StationID]float64 {
+	sw := a.obs.q[3].Start()
+	defer sw.Stop()
+	return a.allMeans(start, end)
+}
+
 // Q5DistrictSums implements Engine. Per-station sums and district lookups
 // run on the worker pool; the district fold runs sequentially in station
 // order so float accumulation order is fixed.
 func (a *AllInGraph) Q5DistrictSums(start, end ts.Time) map[string]float64 {
+	sw := a.obs.q[4].Start()
+	defer sw.Stop()
 	stations := a.G.NodesByLabel("Station")
 	districts := make([]string, len(stations))
 	sums := make([]float64, len(stations))
-	parallelFor(a.workers, len(stations), func(i int) {
+	a.obs.parallelFor(a.workers, len(stations), func(i int) {
 		districts[i] = "?"
 		if v, ok := a.G.NodeProp(stations[i], "district"); ok {
 			districts[i] = v.S
@@ -227,24 +261,29 @@ func (a *AllInGraph) Q5DistrictSums(start, end ts.Time) map[string]float64 {
 
 // Q6TopKStations implements Engine.
 func (a *AllInGraph) Q6TopKStations(start, end ts.Time, k int) []StationID {
-	means := a.Q4AllStationMeans(start, end)
-	return topK(means, k)
+	sw := a.obs.q[5].Start()
+	defer sw.Stop()
+	return topK(a.allMeans(start, end), k)
 }
 
 // Q7Correlation implements Engine.
 func (a *AllInGraph) Q7Correlation(x, y StationID, start, end, bucket ts.Time) float64 {
-	sx := ts.FromPoints("x", a.Q1TimeRange(x, start, end))
-	sy := ts.FromPoints("y", a.Q1TimeRange(y, start, end))
+	sw := a.obs.q[6].Start()
+	defer sw.Stop()
+	sx := ts.FromPoints("x", a.rangePoints(x, start, end))
+	sy := ts.FromPoints("y", a.rangePoints(y, start, end))
 	return ts.Correlation(sx, sy, bucket)
 }
 
 // Q8NeighborMeans implements Engine: the graph store answers adjacency,
 // then the per-neighbor chain scans fan out across the worker pool.
 func (a *AllInGraph) Q8NeighborMeans(st StationID, start, end ts.Time) map[StationID]float64 {
+	sw := a.obs.q[7].Start()
+	defer sw.Stop()
 	ns := a.G.Neighbors(st, "TRIP")
 	means := make([]float64, len(ns))
-	parallelFor(a.workers, len(ns), func(i int) {
-		means[i] = a.Q3StationMean(ns[i], start, end)
+	a.obs.parallelFor(a.workers, len(ns), func(i int) {
+		means[i] = a.meanOf(ns[i], start, end)
 	})
 	out := make(map[StationID]float64, len(ns))
 	for i, n := range ns {
@@ -261,6 +300,7 @@ type Polyglot struct {
 	G       *graphstore.DB
 	T       *tsstore.DB
 	workers int
+	obs     queryObs // metric handles; zero value = instrumentation off
 }
 
 // NewPolyglot returns an empty polyglot engine with the given chunk width
@@ -308,12 +348,16 @@ func (p *Polyglot) LoadSeries(st StationID, s *ts.Series) error {
 
 // Q1TimeRange implements Engine.
 func (p *Polyglot) Q1TimeRange(st StationID, start, end ts.Time) []ts.Point {
+	sw := p.obs.q[0].Start()
+	defer sw.Stop()
 	return p.T.Range(key(st), start, end)
 }
 
 // Q2FilteredRange implements Engine: the value filter is pushed into the
 // chunk scan so only matching points are materialized.
 func (p *Polyglot) Q2FilteredRange(st StationID, start, end ts.Time, below float64) []ts.Point {
+	sw := p.obs.q[1].Start()
+	defer sw.Stop()
 	var out []ts.Point
 	p.T.RangeFunc(key(st), start, end, func(t ts.Time, v float64) {
 		if v < below {
@@ -323,13 +367,21 @@ func (p *Polyglot) Q2FilteredRange(st StationID, start, end ts.Time, below float
 	return out
 }
 
-// Q3StationMean implements Engine.
-func (p *Polyglot) Q3StationMean(st StationID, start, end ts.Time) float64 {
+// meanOf is the untimed Q3 body, shared with the Q8 fan-out so composite
+// queries don't double-count into Q3's histogram (or pay its timer per item).
+func (p *Polyglot) meanOf(st StationID, start, end ts.Time) float64 {
 	s := p.T.Aggregate(key(st), start, end)
 	if s.Count == 0 {
 		return 0
 	}
 	return s.Mean()
+}
+
+// Q3StationMean implements Engine.
+func (p *Polyglot) Q3StationMean(st StationID, start, end ts.Time) float64 {
+	sw := p.obs.q[2].Start()
+	defer sw.Stop()
+	return p.meanOf(st, start, end)
 }
 
 // entities returns the metric's station list in hypertable insertion order
@@ -339,9 +391,11 @@ func (p *Polyglot) entities() []uint32 { return p.T.EntitiesOf(Metric) }
 // Q4AllStationMeans implements Engine: per-station summary pushdowns fan
 // out across the worker pool, merged in insertion order.
 func (p *Polyglot) Q4AllStationMeans(start, end ts.Time) map[StationID]float64 {
+	sw := p.obs.q[3].Start()
+	defer sw.Stop()
 	entities := p.entities()
 	means := make([]float64, len(entities))
-	parallelFor(p.workers, len(entities), func(i int) {
+	p.obs.parallelFor(p.workers, len(entities), func(i int) {
 		if s := p.T.Aggregate(key(StationID(entities[i])), start, end); s.Count > 0 {
 			means[i] = s.Mean()
 		}
@@ -361,10 +415,12 @@ func (p *Polyglot) Q4AllStationMeans(start, end ts.Time) map[StationID]float64 {
 // previous map-iteration fold made even two sequential runs differ in the
 // last ulp).
 func (p *Polyglot) Q5DistrictSums(start, end ts.Time) map[string]float64 {
+	sw := p.obs.q[4].Start()
+	defer sw.Stop()
 	entities := p.entities()
 	districts := make([]string, len(entities))
 	sums := make([]float64, len(entities))
-	parallelFor(p.workers, len(entities), func(i int) {
+	p.obs.parallelFor(p.workers, len(entities), func(i int) {
 		st := StationID(entities[i])
 		districts[i] = "?"
 		if v, ok := p.G.NodeProp(st, "district"); ok {
@@ -382,9 +438,11 @@ func (p *Polyglot) Q5DistrictSums(start, end ts.Time) map[string]float64 {
 // Q6TopKStations implements Engine: summaries fan out like Q4, then one
 // deterministic sort ranks the stations (ties by ascending id).
 func (p *Polyglot) Q6TopKStations(start, end ts.Time, k int) []StationID {
+	sw := p.obs.q[5].Start()
+	defer sw.Stop()
 	entities := p.entities()
 	sums := make([]tsstore.Summary, len(entities))
-	parallelFor(p.workers, len(entities), func(i int) {
+	p.obs.parallelFor(p.workers, len(entities), func(i int) {
 		sums[i] = p.T.Aggregate(key(StationID(entities[i])), start, end)
 	})
 	m := make(map[StationID]float64, len(entities))
@@ -403,6 +461,8 @@ func (p *Polyglot) Q6TopKStations(start, end ts.Time, k int) []StationID {
 // shared grid, matching ts.Correlation); bucket <= 0 merge-joins raw
 // points on exact timestamps.
 func (p *Polyglot) Q7Correlation(x, y StationID, start, end, bucket ts.Time) float64 {
+	sw := p.obs.q[6].Start()
+	defer sw.Stop()
 	if bucket > 0 {
 		return p.T.CorrelateResampled(key(x), key(y), start, end, bucket)
 	}
@@ -412,10 +472,12 @@ func (p *Polyglot) Q7Correlation(x, y StationID, start, end, bucket ts.Time) flo
 // Q8NeighborMeans implements Engine: adjacency from the graph store, then
 // per-neighbor summary pushdowns on the worker pool.
 func (p *Polyglot) Q8NeighborMeans(st StationID, start, end ts.Time) map[StationID]float64 {
+	sw := p.obs.q[7].Start()
+	defer sw.Stop()
 	ns := p.G.Neighbors(st, "TRIP")
 	means := make([]float64, len(ns))
-	parallelFor(p.workers, len(ns), func(i int) {
-		means[i] = p.Q3StationMean(ns[i], start, end)
+	p.obs.parallelFor(p.workers, len(ns), func(i int) {
+		means[i] = p.meanOf(ns[i], start, end)
 	})
 	out := make(map[StationID]float64, len(ns))
 	for i, n := range ns {
