@@ -37,11 +37,16 @@ bench:
 # Race-enabled smoke of the parallel bench path: DefaultConfig at Reps=2
 # with the sequential-vs-parallel comparison (which exits non-zero if the
 # parallel results ever diverge), a concurrent-client burst, and a schema
-# check of the emitted baseline. Writes to a scratch file so the committed
-# BENCH_table1.json is never clobbered by a -race-skewed run.
+# check of the emitted baseline. The second run smokes the mixed
+# read/write path — concurrent ingest + query clients over the sharded
+# group-committed durable engine — at small scale, still under -race.
+# Writes to scratch files so the committed BENCH_table1.json is never
+# clobbered by a -race-skewed run.
 benchsmoke:
 	$(GO) run -race ./cmd/hybench -reps 2 -parallel -clients 4 -ops 8 -metrics -json /tmp/hybench_smoke.json
+	$(GO) run -race ./cmd/hybench -scale small -reps 2 -mixed -ingest 2 -query 2 -mixedms 25 -shapemin 5 -json /tmp/hybench_smoke_mixed.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke.json
+	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_mixed.json
 
 # Coverage gate: statement coverage of the storage engines, the observability
 # layer, and the bench harness must stay at or above the floor recorded in

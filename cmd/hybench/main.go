@@ -6,6 +6,7 @@
 //
 //	hybench [-scale small|default|paper] [-reps N] [-stations N] [-days N]
 //	        [-parallel] [-workers N] [-clients N] [-ops N]
+//	        [-mixed] [-ingest N] [-query N] [-mixedms N] [-shapemin X]
 //	        [-json FILE] [-check FILE] [-metrics]
 //
 // The default scale (200 stations × 180 days hourly) finishes in well under
@@ -16,7 +17,11 @@
 // fanned out over the worker pool (-workers, default GOMAXPROCS) and
 // verifies both modes return identical results. -clients N runs the
 // concurrent-client throughput mode: N goroutines issuing the Q1–Q8 mix,
-// -ops queries each. -json writes the machine-readable BENCH_table1.json
+// -ops queries each. -mixed runs the mixed read/write scaling comparison —
+// -ingest writer clients streaming durable appends alongside -query reader
+// clients for a -mixedms window, once on the single-stripe per-record-flush
+// baseline and once on sharded stores with WAL group commit.
+// -json writes the machine-readable BENCH_table1.json
 // baseline; -check validates an existing baseline file's schema and exits.
 // -metrics attaches the observability registry to every engine, pushes a
 // small workload slice through the durable layer (WALs + journal + observed
@@ -42,6 +47,11 @@ func main() {
 	workers := flag.Int("workers", 0, "fan-out width for -parallel and Table 1 queries (0 = GOMAXPROCS for -parallel, sequential otherwise)")
 	clients := flag.Int("clients", 0, "concurrent-client throughput mode: N goroutines issuing the Q1-Q8 mix")
 	ops := flag.Int("ops", 32, "queries per client in throughput mode")
+	mixed := flag.Bool("mixed", false, "mixed read/write scaling: single-lock baseline vs sharded stores with WAL group commit")
+	ingest := flag.Int("ingest", 4, "ingest clients in -mixed mode")
+	query := flag.Int("query", 4, "query clients in -mixed mode")
+	mixedMS := flag.Int("mixedms", 100, "measured window per rep in -mixed mode, milliseconds")
+	shapeMin := flag.Float64("shapemin", 50, "minimum Q4-Q6/Q8 speedup the Table 1 shape check enforces (lower it for -scale small smokes)")
 	jsonPath := flag.String("json", "", "write the machine-readable baseline to this file")
 	checkPath := flag.String("check", "", "validate an existing baseline file's schema and exit")
 	metrics := flag.Bool("metrics", false, "instrument the run and embed an observability snapshot in the baseline")
@@ -137,6 +147,17 @@ func main() {
 		baseline.Throughput = &rep
 	}
 
+	if *mixed {
+		fmt.Println()
+		cmp, err := bench.RunMixed(cfg, *ingest, *query, *mixedMS)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatMixed(cmp))
+		baseline.Mixed = &cmp
+	}
+
 	if *metrics {
 		if err := bench.DurableExercise(cfg, reg); err != nil {
 			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
@@ -176,9 +197,9 @@ func main() {
 	}
 
 	fmt.Println()
-	problems := bench.ShapeCheck(rows, 50)
+	problems := bench.ShapeCheck(rows, *shapeMin)
 	if len(problems) == 0 {
-		fmt.Println("shape check: PASS — TTDB ≥50x on Q4–Q6/Q8 and ahead everywhere, matching the paper's Table 1 shape")
+		fmt.Printf("shape check: PASS — TTDB ≥%gx on Q4–Q6/Q8 and ahead everywhere, matching the paper's Table 1 shape\n", *shapeMin)
 	} else {
 		fmt.Println("shape check: FAIL")
 		for _, p := range problems {

@@ -20,12 +20,23 @@ import (
 //     a guaranteed deadlock and is reported with a dedicated message.
 //  3. A *Locked method may only be called with the lock held, and must not
 //     take the lock itself.
+//  4. Striped locks — multiple instances of one guarded type reached through
+//     indexing (`db.shards[i].mu`) or stripe-local variables — must not be
+//     held two at a time with no fixed order: acquiring a second stripe of
+//     the same guarded type while one is held risks an ABBA deadlock against
+//     a goroutine acquiring the same pair in the opposite order. Functions
+//     whose name ends in "Ordered" are exempt — the suffix declares the body
+//     acquires stripes in a canonical order (ascending index), which is the
+//     blessed way to hold two stripes.
 //
 // The analysis is a linear, position-ordered simulation of each function
 // body: acquire/release events on `x.mu` update a per-owner lock state, and
-// method calls are checked against that state. Function literals are
-// simulated separately with an unlocked state (callbacks are assumed to run
-// without the caller's lock unless they trip rule 3 on their own).
+// method calls are checked against that state. Owner keys flatten
+// identifier/selector/index chains ("db", "l.db", "db.shards[i]"), so two
+// different stripe expressions of one striped store map to two different
+// owners of the same guarded type. Function literals are simulated
+// separately with an unlocked state (callbacks are assumed to run without
+// the caller's lock unless they trip rule 3 on their own).
 var LockDiscipline = &Analyzer{
 	Name: "lockdiscipline",
 	Doc:  "lock-taking methods must not nest; *Locked internals require the lock held",
@@ -143,7 +154,7 @@ func classifyLockMethods(pass *Pass, guarded map[*types.Named]string) map[*types
 				if !ok {
 					return
 				}
-				if op, _, ok := mutexOp(pass, call, muField); ok {
+				if op, _, _, ok := mutexOp(pass, call, muField); ok {
 					switch op {
 					case "Lock":
 						class.write = true
@@ -175,30 +186,43 @@ func inspectSkippingFuncLits(n ast.Node, fn func(ast.Node)) {
 }
 
 // mutexOp matches `<owner>.<muField>.Lock()` (and RLock/Unlock/RUnlock),
-// returning the operation name and the owner key.
-func mutexOp(pass *Pass, call *ast.CallExpr, muField string) (op, owner string, ok bool) {
+// returning the operation name, the owner key, and the owner's named type
+// (for the cross-stripe rule).
+func mutexOp(pass *Pass, call *ast.CallExpr, muField string) (op, owner string, typ *types.Named, ok bool) {
 	sel, isSel := call.Fun.(*ast.SelectorExpr)
 	if !isSel {
-		return "", "", false
+		return "", "", nil, false
 	}
 	switch sel.Sel.Name {
 	case "Lock", "RLock", "Unlock", "RUnlock":
 	default:
-		return "", "", false
+		return "", "", nil, false
 	}
 	muSel, isSel := sel.X.(*ast.SelectorExpr)
 	if !isSel || muSel.Sel.Name != muField || !isSyncMutex(pass.Info.TypeOf(sel.X)) {
-		return "", "", false
+		return "", "", nil, false
 	}
 	owner, ok = exprKey(muSel.X)
 	if !ok {
-		return "", "", false
+		return "", "", nil, false
 	}
-	return sel.Sel.Name, owner, true
+	return sel.Sel.Name, owner, namedOf(pass.Info.TypeOf(muSel.X)), true
 }
 
-// exprKey flattens an identifier/selector chain ("db", "l.db") into a
-// stable key for lock-state tracking.
+// namedOf unwraps a pointer and returns the named type underneath, if any.
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// exprKey flattens an identifier/selector/index chain ("db", "l.db",
+// "db.shards[i]") into a stable key for lock-state tracking. Two stripes of
+// one striped store reached through different variables or indexes get
+// different keys; callers must use one expression per stripe for the
+// tracking to be sound.
 func exprKey(e ast.Expr) (string, bool) {
 	switch e := e.(type) {
 	case *ast.Ident:
@@ -209,21 +233,42 @@ func exprKey(e ast.Expr) (string, bool) {
 			return "", false
 		}
 		return base + "." + e.Sel.Name, true
+	case *ast.IndexExpr:
+		base, ok := exprKey(e.X)
+		if !ok {
+			return "", false
+		}
+		idx, ok := indexKey(e.Index)
+		if !ok {
+			return "", false
+		}
+		return base + "[" + idx + "]", true
 	case *ast.ParenExpr:
 		return exprKey(e.X)
 	}
 	return "", false
 }
 
+// indexKey renders an index expression usable as part of an owner key:
+// plain identifiers, literals, and selector chains. Computed indexes
+// (i+1, f(x)) are not trackable and make the whole owner untracked.
+func indexKey(e ast.Expr) (string, bool) {
+	if lit, ok := e.(*ast.BasicLit); ok {
+		return lit.Value, true
+	}
+	return exprKey(e)
+}
+
 // lockEvent is one acquire/release/call observed in a function body.
 type lockEvent struct {
 	pos      token.Pos
 	owner    string
-	op       string      // mutex op, or "" for method calls
-	deferred bool        // inside a defer statement
-	target   *types.Func // callee, for method calls
-	class    lockClass   // callee's lock class
-	locked   bool        // callee has the *Locked suffix
+	typ      *types.Named // guarded type owning the mutex (stripe identity)
+	op       string       // mutex op, or "" for method calls
+	deferred bool         // inside a defer statement
+	target   *types.Func  // callee, for method calls
+	class    lockClass    // callee's lock class
+	locked   bool         // callee has the *Locked suffix
 }
 
 // simulateLockStates runs the linear lock-state simulation over one
@@ -288,8 +333,8 @@ func lockEventOf(pass *Pass, call *ast.CallExpr, guarded map[*types.Named]string
 	}
 	// Direct mutex operation on any guarded type's mutex field?
 	for _, muField := range guarded {
-		if op, owner, ok := mutexOp(pass, call, muField); ok {
-			return lockEvent{pos: call.Pos(), owner: owner, op: op}, true
+		if op, owner, typ, ok := mutexOp(pass, call, muField); ok {
+			return lockEvent{pos: call.Pos(), owner: owner, typ: typ, op: op}, true
 		}
 	}
 	// Method call on a guarded type?
@@ -317,13 +362,32 @@ func lockEventOf(pass *Pass, call *ast.CallExpr, guarded map[*types.Named]string
 	if !ok {
 		return lockEvent{}, false
 	}
-	return lockEvent{pos: call.Pos(), owner: owner, target: fn, class: class, locked: locked}, true
+	return lockEvent{pos: call.Pos(), owner: owner, typ: named, target: fn, class: class, locked: locked}, true
 }
 
 // runLockSim replays the events, updating per-owner lock state and
 // reporting rule violations.
 func runLockSim(pass *Pass, fname, recvKey string, isLockedFn bool, events []lockEvent) {
 	state := map[string]int{}
+	ownerTyp := map[string]*types.Named{}
+	// An ...Ordered function declares it acquires same-type stripes in a
+	// canonical order, which makes holding two at once deadlock-free.
+	ordered := strings.HasSuffix(strings.TrimSuffix(fname, " (func literal)"), "Ordered")
+	// heldStripe returns a held owner of the same guarded type under a
+	// different key — the ABBA hazard the cross-stripe rule reports. The
+	// smallest matching key keeps the finding deterministic.
+	heldStripe := func(ev lockEvent) (string, bool) {
+		if ev.typ == nil || ordered {
+			return "", false
+		}
+		best, found := "", false
+		for o, st := range state {
+			if st != stUnlocked && o != ev.owner && ownerTyp[o] == ev.typ && (!found || o < best) {
+				best, found = o, true
+			}
+		}
+		return best, found
+	}
 	if isLockedFn && recvKey != "" {
 		// A *Locked method runs with its receiver's lock already held.
 		state[recvKey] = stWrite
@@ -334,11 +398,15 @@ func runLockSim(pass *Pass, fname, recvKey string, isLockedFn bool, events []loc
 			if isLockedFn && ev.owner == recvKey {
 				pass.Reportf(ev.pos, "%s must not take %s.mu: *Locked functions run with the lock already held", fname, ev.owner)
 			}
+			if other, ok := heldStripe(ev); ok {
+				pass.Reportf(ev.pos, "cross-stripe acquisition: %s.mu taken while %s.mu is held (two stripes of %s); acquire stripes in a fixed order in a function named *Ordered", ev.owner, other, ev.typ.Obj().Name())
+			}
 			if ev.op == "Lock" {
 				state[ev.owner] = stWrite
 			} else {
 				state[ev.owner] = stRead
 			}
+			ownerTyp[ev.owner] = ev.typ
 		case "Unlock", "RUnlock":
 			// A deferred unlock keeps the lock held to the end of the
 			// function; only inline releases change the linear state.
@@ -354,6 +422,12 @@ func runLockSim(pass *Pass, fname, recvKey string, isLockedFn bool, events []loc
 				pass.Reportf(ev.pos, "nested lock acquisition: %s takes %s.mu which is already held", ev.target.Name(), ev.owner)
 			case ev.locked && st == stUnlocked:
 				pass.Reportf(ev.pos, "%s requires %s.mu to be held, but the caller does not hold it", ev.target.Name(), ev.owner)
+			default:
+				if ev.class.takesLock() {
+					if other, ok := heldStripe(ev); ok {
+						pass.Reportf(ev.pos, "cross-stripe acquisition: %s takes %s.mu while %s.mu is held (two stripes of %s); acquire stripes in a fixed order in a function named *Ordered", ev.target.Name(), ev.owner, other, ev.typ.Obj().Name())
+					}
+				}
 			}
 		}
 	}

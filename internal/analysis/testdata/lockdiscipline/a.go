@@ -96,3 +96,89 @@ func (s *Store) Refresh(k string) int {
 	//hyvet:allow lockdiscipline demonstration of a reviewed, deliberate re-entrant read
 	return s.Get(k)
 }
+
+// ---------------------------------------------------------------------------
+// Striped-lock shape: many instances of one guarded type behind indexes.
+
+type stripe struct {
+	mu   sync.Mutex
+	vals map[string]int
+}
+
+// get takes its stripe's lock (correct public method; no finding).
+func (s *stripe) get(k string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vals[k]
+}
+
+type Striped struct {
+	shards []stripe
+}
+
+// MoveBad holds one stripe while taking another with no fixed order — the
+// ABBA deadlock shape.
+func (d *Striped) MoveBad(i, j int, k string) {
+	a := &d.shards[i]
+	b := &d.shards[j]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "cross-stripe acquisition: b.mu taken while a.mu is held \(two stripes of stripe\); acquire stripes in a fixed order in a function named \*Ordered"
+	defer b.mu.Unlock()
+	b.vals[k] = a.vals[k]
+}
+
+// SwapBadIndexed trips the same rule through index expressions.
+func (d *Striped) SwapBadIndexed(i, j int, k string) {
+	d.shards[i].mu.Lock()
+	defer d.shards[i].mu.Unlock()
+	d.shards[j].mu.Lock() // want "cross-stripe acquisition: d.shards\[j\].mu taken while d.shards\[i\].mu is held \(two stripes of stripe\)"
+	defer d.shards[j].mu.Unlock()
+	d.shards[j].vals[k] = d.shards[i].vals[k]
+}
+
+// CopyBadCall holds a stripe while calling a lock-taking method on another.
+func (d *Striped) CopyBadCall(i, j int, k string) int {
+	a := &d.shards[i]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return d.shards[j].get(k) // want "cross-stripe acquisition: get takes d.shards\[j\].mu while a.mu is held \(two stripes of stripe\)"
+}
+
+// swapOrdered declares a canonical acquisition order via its suffix — the
+// blessed way to hold two stripes (no finding).
+func (d *Striped) swapOrdered(lo, hi int, k string) {
+	a, b := &d.shards[lo], &d.shards[hi]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.vals[k], b.vals[k] = b.vals[k], a.vals[k]
+}
+
+// Reconcile documents a reviewed two-stripe hold, suppressed with a reason.
+func (d *Striped) Reconcile(i, j int, k string) {
+	a := &d.shards[i]
+	b := &d.shards[j]
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	//hyvet:allow lockdiscipline demonstration of a reviewed two-stripe section under an external ordering guarantee
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.vals[k] = a.vals[k]
+}
+
+// SequentialStripes releases each stripe before the next — the shard-scan
+// pattern (no finding).
+func (d *Striped) SequentialStripes(k string) int {
+	n := 0
+	a := &d.shards[0]
+	a.mu.Lock()
+	n += a.vals[k]
+	a.mu.Unlock()
+	b := &d.shards[1]
+	b.mu.Lock()
+	n += b.vals[k]
+	b.mu.Unlock()
+	return n
+}

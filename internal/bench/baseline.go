@@ -11,8 +11,9 @@ import (
 )
 
 // BaselineSchema versions the BENCH_table1.json layout so later PRs can
-// detect incompatible baselines instead of mis-reading them.
-const BaselineSchema = "hybench-table1/v1"
+// detect incompatible baselines instead of mis-reading them. v2 added the
+// mixed read/write throughput section (sharded stores + WAL group commit).
+const BaselineSchema = "hybench-table1/v2"
 
 // Baseline is the machine-readable record of one Table 1 run, written to
 // BENCH_table1.json so the performance trajectory is trackable across PRs.
@@ -26,6 +27,9 @@ type Baseline struct {
 	Parallel    []ParallelRow     `json:"parallel,omitempty"`
 	Workers     int               `json:"workers,omitempty"` // fan-out width of Parallel
 	Throughput  *ThroughputReport `json:"throughput,omitempty"`
+	// Mixed is the read/write scaling section: single-stripe per-record-flush
+	// baseline vs sharded stores with WAL group commit, same workload.
+	Mixed *MixedComparison `json:"mixed,omitempty"`
 	// Metrics is the observability snapshot of the instrumented run
 	// (hybench -metrics): per-query timers, WAL/store counters, cache
 	// hit rates, and the durable-exercise trace.
@@ -77,8 +81,65 @@ func (b *Baseline) Validate() []string {
 				"config.effective_workers %d disagrees with workers %d", b.Config.EffectiveWorkers, b.Workers))
 		}
 	}
+	if b.Mixed != nil {
+		problems = append(problems, checkMixed(b.Mixed)...)
+	}
 	if b.Metrics != nil {
 		problems = append(problems, CheckMetrics(b.Metrics)...)
+	}
+	return problems
+}
+
+// checkMixed validates the structural invariants of the mixed read/write
+// section: the baseline leg must really be the single-stripe per-record
+// configuration, the sharded leg must stripe and batch, throughputs must be
+// finite and positive, and the WAL counters must show what each mode claims
+// (per-record flushing cannot flush less often than once per append batch;
+// group commit must not flush more often than it appends).
+func checkMixed(c *MixedComparison) []string {
+	var problems []string
+	for _, r := range []struct {
+		name string
+		rep  MixedReport
+	}{{"mixed.baseline", c.Baseline}, {"mixed.sharded", c.Sharded}} {
+		if r.rep.IngestClients < 1 || r.rep.QueryClients < 1 || r.rep.WindowMS < 1 {
+			problems = append(problems, fmt.Sprintf("%s: empty client counts or window", r.name))
+		}
+		if r.rep.IngestOps < 1 || r.rep.QueryOps < 1 {
+			problems = append(problems, fmt.Sprintf(
+				"%s: %d writes / %d reads — both kinds must make progress for the run to count as mixed",
+				r.name, r.rep.IngestOps, r.rep.QueryOps))
+		}
+		if math.IsNaN(r.rep.OpsPerSec) || math.IsInf(r.rep.OpsPerSec, 0) || r.rep.OpsPerSec <= 0 {
+			problems = append(problems, fmt.Sprintf("%s: ops_per_sec %v not finite and positive", r.name, r.rep.OpsPerSec))
+		}
+		if r.rep.WALFlushes > r.rep.WALAppends && r.rep.WALAppends > 0 {
+			problems = append(problems, fmt.Sprintf("%s: %d flushes exceed %d appends", r.name, r.rep.WALFlushes, r.rep.WALAppends))
+		}
+		if r.rep.Procs < 1 {
+			problems = append(problems, fmt.Sprintf("%s: procs %d not positive", r.name, r.rep.Procs))
+		}
+	}
+	if c.Baseline.Procs != c.Sharded.Procs {
+		problems = append(problems, fmt.Sprintf(
+			"mixed: legs ran at different widths (procs %d vs %d); the comparison is not like-for-like",
+			c.Baseline.Procs, c.Sharded.Procs))
+	}
+	if c.Baseline.Shards != 1 || c.Baseline.GroupCommit != 1 {
+		problems = append(problems, fmt.Sprintf(
+			"mixed.baseline: shards=%d group_commit=%d, want the 1/1 single-lock reference", c.Baseline.Shards, c.Baseline.GroupCommit))
+	}
+	if c.Sharded.Shards < 2 || c.Sharded.GroupCommit < 2 {
+		problems = append(problems, fmt.Sprintf(
+			"mixed.sharded: shards=%d group_commit=%d, want striping and batching enabled", c.Sharded.Shards, c.Sharded.GroupCommit))
+	}
+	for _, s := range []struct {
+		name string
+		v    float64
+	}{{"mixed.speedup", c.Speedup}, {"mixed.write_speedup", c.WriteSpeedup}, {"mixed.read_speedup", c.ReadSpeedup}} {
+		if math.IsNaN(s.v) || math.IsInf(s.v, 0) || s.v <= 0 {
+			problems = append(problems, fmt.Sprintf("%s %v not finite and positive", s.name, s.v))
+		}
 	}
 	return problems
 }

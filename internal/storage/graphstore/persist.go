@@ -7,58 +7,86 @@ import (
 	"io"
 )
 
-// Binary snapshot format: a magic header, then the string table, then node,
-// relationship and property records, all little-endian with uvarint lengths.
-// The format is versioned so future layouts can evolve.
+// Binary snapshot format: a magic header, then the string table and id
+// allocators, then each shard's node, relationship and property records,
+// all little-endian with uvarint lengths. Version 2 is the physical
+// per-shard layout: the shard count is persisted so Load reconstructs the
+// exact same striping (local slot indexes embedded in property chains stay
+// valid), and free lists and the label index are rebuilt from the records.
 
 const (
 	snapshotMagic   = "HYGS"
-	snapshotVersion = 1
+	snapshotVersion = 2
 )
 
-// Save writes a binary snapshot of the store.
+// Save writes a binary snapshot of the store. Each shard is serialized under
+// its own read lock.
 func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
 	}
 	writeUvarint(bw, snapshotVersion)
+	writeUvarint(bw, uint64(len(db.nodeShards)))
+	writeUvarint(bw, db.nextNode.Load())
+	writeUvarint(bw, db.nextRel.Load())
 
-	writeUvarint(bw, uint64(len(db.strings)))
-	for _, s := range db.strings {
+	db.str.mu.RLock()
+	writeUvarint(bw, uint64(len(db.str.names)))
+	for _, s := range db.str.names {
 		writeUvarint(bw, uint64(len(s)))
 		bw.WriteString(s) //hyvet:allow walerrlatch bufio.Writer latches its first error; the checked Flush at the end reports it
 	}
+	db.str.mu.RUnlock()
 
-	writeUvarint(bw, uint64(len(db.nodes)))
-	for i := range db.nodes {
-		n := &db.nodes[i]
+	for i := range db.nodeShards {
+		db.nodeShards[i].save(bw)
+	}
+	for i := range db.relShards {
+		db.relShards[i].save(bw)
+	}
+	return bw.Flush()
+}
+
+func (sh *nodeShard) save(bw *bufio.Writer) {
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	writeUvarint(bw, uint64(len(sh.nodes)))
+	for i := range sh.nodes {
+		n := &sh.nodes[i]
 		writeBool(bw, n.inUse)
 		writeUvarint(bw, uint64(len(n.labels)))
 		for _, l := range n.labels {
 			writeUvarint(bw, uint64(l))
 		}
-		writeUvarint(bw, uint64(n.firstRel))
+		writeUvarint(bw, uint64(len(n.adj)))
+		for _, r := range n.adj {
+			writeUvarint(bw, uint64(r))
+		}
 		writeUvarint(bw, uint64(n.firstProp))
 	}
+	savePropStore(bw, &sh.props)
+}
 
-	writeUvarint(bw, uint64(len(db.rels)))
-	for i := range db.rels {
-		r := &db.rels[i]
+func (rs *relShard) save(bw *bufio.Writer) {
+	rs.mu.RLock()
+	defer rs.mu.RUnlock()
+	writeUvarint(bw, uint64(len(rs.rels)))
+	for i := range rs.rels {
+		r := &rs.rels[i]
 		writeBool(bw, r.inUse)
 		writeUvarint(bw, uint64(r.from))
 		writeUvarint(bw, uint64(r.to))
 		writeUvarint(bw, uint64(r.typ))
-		writeUvarint(bw, uint64(r.fromNext))
-		writeUvarint(bw, uint64(r.toNext))
 		writeUvarint(bw, uint64(r.firstProp))
 	}
+	savePropStore(bw, &rs.props)
+}
 
-	writeUvarint(bw, uint64(len(db.props)))
-	for i := range db.props {
-		p := &db.props[i]
+func savePropStore(bw *bufio.Writer, ps *propStore) {
+	writeUvarint(bw, uint64(len(ps.recs)))
+	for i := range ps.recs {
+		p := &ps.recs[i]
 		writeBool(bw, p.inUse)
 		writeUvarint(bw, uint64(p.key))
 		writeUvarint(bw, uint64(p.kind))
@@ -66,10 +94,10 @@ func (db *DB) Save(w io.Writer) error {
 		writeUvarint(bw, uint64(p.str))
 		writeUvarint(bw, uint64(p.next))
 	}
-	return bw.Flush()
 }
 
-// Load reads a snapshot written by Save into a fresh store.
+// Load reads a snapshot written by Save into a fresh store with the
+// persisted shard count.
 func Load(r io.Reader) (*DB, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
@@ -86,14 +114,31 @@ func Load(r io.Reader) (*DB, error) {
 	if version != snapshotVersion {
 		return nil, fmt.Errorf("graphstore: unsupported snapshot version %d", version)
 	}
-	db := New()
+	nShards, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if nShards == 0 || nShards > 1<<16 || nShards&(nShards-1) != 0 {
+		return nil, fmt.Errorf("graphstore: corrupt shard count %d", nShards)
+	}
+	db := NewSharded(int(nShards))
+	nextNode, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	nextRel, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	db.nextNode.Store(nextNode)
+	db.nextRel.Store(nextRel)
 
 	nStr, err := binary.ReadUvarint(br)
 	if err != nil {
 		return nil, err
 	}
-	db.strings = make([]string, nStr)
-	for i := range db.strings {
+	db.str.names = make([]string, nStr)
+	for i := range db.str.names {
 		l, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
@@ -102,111 +147,134 @@ func Load(r io.Reader) (*DB, error) {
 		if _, err := io.ReadFull(br, buf); err != nil {
 			return nil, err
 		}
-		db.strings[i] = string(buf)
-		db.strIndex[db.strings[i]] = uint32(i)
+		db.str.names[i] = string(buf)
+		db.str.index[db.str.names[i]] = uint32(i)
 	}
+	db.str.snap.Store(db.str.names)
 
+	for si := range db.nodeShards {
+		if err := db.nodeShards[si].load(br, db, uint32(si)); err != nil {
+			return nil, err
+		}
+	}
+	for si := range db.relShards {
+		if err := db.relShards[si].load(br); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+func (sh *nodeShard) load(br *bufio.Reader, db *DB, shardIdx uint32) error {
 	nNodes, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	db.nodes = make([]nodeRec, nNodes)
-	for i := range db.nodes {
-		n := &db.nodes[i]
+	sh.nodes = make([]nodeRec, nNodes)
+	for i := range sh.nodes {
+		n := &sh.nodes[i]
 		if n.inUse, err = readBool(br); err != nil {
-			return nil, err
+			return err
 		}
 		nl, err := binary.ReadUvarint(br)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		n.labels = make([]uint32, nl)
 		for j := range n.labels {
 			v, err := binary.ReadUvarint(br)
 			if err != nil {
-				return nil, err
+				return err
 			}
 			n.labels[j] = uint32(v)
 			if n.inUse {
-				db.labelIndex[n.labels[j]] = append(db.labelIndex[n.labels[j]], NodeID(i))
+				id := NodeID(uint32(i)<<db.shift | shardIdx)
+				sh.labelIndex[n.labels[j]] = append(sh.labelIndex[n.labels[j]], id)
 			}
 		}
-		if n.firstRel, err = readRef(br); err != nil {
-			return nil, err
+		na, err := binary.ReadUvarint(br)
+		if err != nil {
+			return err
+		}
+		n.adj = make([]uint32, na)
+		for j := range n.adj {
+			if n.adj[j], err = readRef(br); err != nil {
+				return err
+			}
 		}
 		if n.firstProp, err = readRef(br); err != nil {
-			return nil, err
+			return err
 		}
 	}
+	return loadPropStore(br, &sh.props)
+}
 
+func (rs *relShard) load(br *bufio.Reader) error {
 	nRels, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	db.rels = make([]relRec, nRels)
-	for i := range db.rels {
-		rr := &db.rels[i]
+	rs.rels = make([]relRec, nRels)
+	for i := range rs.rels {
+		rr := &rs.rels[i]
 		if rr.inUse, err = readBool(br); err != nil {
-			return nil, err
+			return err
 		}
 		var v uint64
 		if v, err = binary.ReadUvarint(br); err != nil {
-			return nil, err
+			return err
 		}
 		rr.from = NodeID(v)
 		if v, err = binary.ReadUvarint(br); err != nil {
-			return nil, err
+			return err
 		}
 		rr.to = NodeID(v)
 		if v, err = binary.ReadUvarint(br); err != nil {
-			return nil, err
+			return err
 		}
 		rr.typ = uint32(v)
-		if rr.fromNext, err = readRef(br); err != nil {
-			return nil, err
-		}
-		if rr.toNext, err = readRef(br); err != nil {
-			return nil, err
-		}
 		if rr.firstProp, err = readRef(br); err != nil {
-			return nil, err
+			return err
 		}
 	}
+	return loadPropStore(br, &rs.props)
+}
 
+func loadPropStore(br *bufio.Reader, ps *propStore) error {
 	nProps, err := binary.ReadUvarint(br)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	db.props = make([]propRec, nProps)
-	for i := range db.props {
-		p := &db.props[i]
+	ps.recs = make([]propRec, nProps)
+	for i := range ps.recs {
+		p := &ps.recs[i]
 		if p.inUse, err = readBool(br); err != nil {
-			return nil, err
+			return err
 		}
 		var v uint64
 		if v, err = binary.ReadUvarint(br); err != nil {
-			return nil, err
+			return err
 		}
 		p.key = uint32(v)
 		if v, err = binary.ReadUvarint(br); err != nil {
-			return nil, err
+			return err
 		}
 		p.kind = PropKind(v)
 		if p.num, err = binary.ReadUvarint(br); err != nil {
-			return nil, err
+			return err
 		}
 		if v, err = binary.ReadUvarint(br); err != nil {
-			return nil, err
+			return err
 		}
 		p.str = uint32(v)
 		if p.next, err = readRef(br); err != nil {
-			return nil, err
+			return err
 		}
 		if !p.inUse {
-			db.freeProps = append(db.freeProps, uint32(i))
+			ps.free = append(ps.free, uint32(i))
 		}
 	}
-	return db, nil
+	return nil
 }
 
 // Recover rebuilds a store from an optional snapshot plus an optional WAL:

@@ -237,9 +237,10 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if got := back.NodesByLabel("A"); len(got) != 10 {
 		t.Fatalf("label index after load: %d", len(got))
 	}
-	// Free list survives: adding a property reuses a record.
+	// Free list survives: adding a property in the shard holding the freed
+	// record reuses it (free lists are per shard).
 	stats := back.Stats()
-	back.SetNodeProp(nodes[0], "fresh", IntVal(1))
+	back.SetNodeProp(nodes[3], "fresh", IntVal(1))
 	if back.Stats().Props != stats.Props {
 		t.Fatal("free list lost on load")
 	}

@@ -146,18 +146,44 @@ func TestCorrelateResampled(t *testing.T) {
 	}
 }
 
-// The cache cap must bound memory: overflowing drops the cache rather than
-// growing without limit.
+// The cache cap must bound memory: a full shard evicts one random entry per
+// admission instead of growing without limit, and the counters stay exact:
+// live entries == misses - evictions - invalidations.
 func TestResampleCacheCap(t *testing.T) {
 	db := New(ts.Day)
 	keys := loadNSeries(db, 1, 48)
-	for i := 0; i < maxResampleCache+10; i++ {
+	base := db.ResampleCacheStats()
+	const n = maxResampleCache + 10
+	for i := 0; i < n; i++ {
 		db.Downsample(keys[0], 0, ts.Time(48)*ts.Hour, ts.Time(i+1)*ts.Minute, ts.AggMean)
 	}
-	db.mu.RLock()
-	size := len(db.rcache)
-	db.mu.RUnlock()
+	size := db.resampleCacheLen()
 	if size > maxResampleCache {
 		t.Fatalf("cache grew past cap: %d", size)
+	}
+	st := db.ResampleCacheStats()
+	misses := st.Misses - base.Misses
+	evictions := st.Evictions - base.Evictions
+	if misses != n {
+		t.Fatalf("expected %d misses, got %d", n, misses)
+	}
+	if evictions == 0 {
+		t.Fatal("overflow evicted nothing")
+	}
+	if int(misses-evictions) != size {
+		t.Fatalf("accounting drift: misses=%d evictions=%d live=%d", misses, evictions, size)
+	}
+	// A second pass recomputes evicted entries as fresh misses and the
+	// accounting identity keeps holding.
+	pre := db.ResampleCacheStats()
+	for i := 0; i < n; i++ {
+		db.Downsample(keys[0], 0, ts.Time(48)*ts.Hour, ts.Time(i+1)*ts.Minute, ts.AggMean)
+	}
+	post := db.ResampleCacheStats()
+	if post.Misses == pre.Misses {
+		t.Fatal("evicted entries were not recomputed")
+	}
+	if int(post.Misses-post.Evictions-post.Invalidations) != db.resampleCacheLen() {
+		t.Fatalf("accounting drift after churn: %+v live=%d", post, db.resampleCacheLen())
 	}
 }

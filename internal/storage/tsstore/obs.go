@@ -13,6 +13,7 @@ type storeObs struct {
 	cacheHits          *obs.Counter
 	cacheMisses        *obs.Counter
 	cacheInvalidations *obs.Counter
+	cacheEvictions     *obs.Counter
 }
 
 // Instrument attaches metric handles from r to the store. Call it once,
@@ -26,6 +27,7 @@ func (db *DB) Instrument(r *obs.Registry) {
 		cacheHits:          r.Counter("tsstore.cache.hits"),
 		cacheMisses:        r.Counter("tsstore.cache.misses"),
 		cacheInvalidations: r.Counter("tsstore.cache.invalidations"),
+		cacheEvictions:     r.Counter("tsstore.cache.evictions"),
 	}
 }
 

@@ -19,43 +19,58 @@ const (
 	snapshotVersion = 1
 )
 
-// Save writes a binary snapshot of the store.
+// Save writes a binary snapshot of the store. Keys are emitted in merged
+// first-insertion order (one short read lock per shard while walking each
+// key's series), so the on-disk layout is byte-identical regardless of the
+// shard count and Load reproduces the same iteration order.
 func (db *DB) Save(w io.Writer) error {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
 		return err
 	}
 	writeUvarint(bw, snapshotVersion)
 	writeUvarint(bw, uint64(db.chunkWidth))
-	writeUvarint(bw, uint64(len(db.keys)))
-	for _, key := range db.keys {
+	ordered := db.orderedKeys()
+	writeUvarint(bw, uint64(len(ordered)))
+	for _, sk := range ordered {
+		key := sk.key
 		writeUvarint(bw, uint64(key.Entity))
 		writeUvarint(bw, uint64(len(key.Metric)))
 		bw.WriteString(key.Metric) //hyvet:allow walerrlatch bufio.Writer latches its first error; the checked Flush at the end reports it
-		s := db.data[key]
-		writeUvarint(bw, uint64(len(s.chunks)))
-		for _, c := range s.chunks {
-			writeVarint(bw, c.slot)
-			writeUvarint(bw, uint64(len(c.times)))
-			prev := ts.Time(0)
-			for i, t := range c.times {
-				if i == 0 {
-					writeVarint(bw, int64(t))
-				} else {
-					writeVarint(bw, int64(t-prev))
-				}
-				prev = t
-			}
-			for _, v := range c.vals {
-				var buf [8]byte
-				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-				bw.Write(buf[:]) //hyvet:allow walerrlatch bufio.Writer latches its first error; the checked Flush at the end reports it
-			}
-		}
+		db.saveSeries(bw, key)
 	}
 	return bw.Flush()
+}
+
+// saveSeries writes one series' chunk payloads under its shard's read lock.
+func (db *DB) saveSeries(bw *bufio.Writer, key SeriesKey) {
+	sh := db.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	s := sh.data[key]
+	if s == nil { // deleted since the key snapshot: persist as empty
+		writeUvarint(bw, 0)
+		return
+	}
+	writeUvarint(bw, uint64(len(s.chunks)))
+	for _, c := range s.chunks {
+		writeVarint(bw, c.slot)
+		writeUvarint(bw, uint64(len(c.times)))
+		prev := ts.Time(0)
+		for i, t := range c.times {
+			if i == 0 {
+				writeVarint(bw, int64(t))
+			} else {
+				writeVarint(bw, int64(t-prev))
+			}
+			prev = t
+		}
+		for _, v := range c.vals {
+			var buf [8]byte
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+			bw.Write(buf[:]) //hyvet:allow walerrlatch bufio.Writer latches its first error; the checked Flush at the end reports it
+		}
+	}
 }
 
 // Load reads a snapshot written by Save. Chunk summaries are recomputed on
@@ -100,8 +115,12 @@ func Load(r io.Reader) (*DB, error) {
 		}
 		key := SeriesKey{Entity: uint32(entity), Metric: string(mbuf)}
 		s := &series{}
-		db.data[key] = s
-		db.keys = append(db.keys, key)
+		// Load runs before the store is shared; keys get ascending sequence
+		// numbers in file order, reproducing the saved iteration order.
+		sh := db.shard(key)
+		sh.data[key] = s
+		sh.keys = append(sh.keys, key)
+		sh.seqs = append(sh.seqs, db.seq.Add(1))
 		nChunks, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err

@@ -43,7 +43,19 @@ func (c *chunk) add(t ts.Time, v float64) {
 			old := c.vals[i]
 			c.vals[i] = v
 			c.sum += v - old
-			c.recomputeMinMax()
+			// A full min/max rescan is only needed when the replaced value
+			// was an extremum — otherwise the new value can only extend the
+			// current bounds.
+			if old == c.minV || old == c.maxV {
+				c.recomputeMinMax()
+			} else {
+				if v < c.minV {
+					c.minV = v
+				}
+				if v > c.maxV {
+					c.maxV = v
+				}
+			}
 			return
 		}
 		c.times = append(c.times, 0)
@@ -108,9 +120,17 @@ type resampleKey struct {
 	agg                ts.AggFunc
 }
 
-// maxResampleCache bounds the memo cache; when full the whole cache is
-// dropped (downsample results are cheap to rebuild relative to tracking an
-// eviction order).
+// rcEntry is one memoized resample: the series plus its position in the
+// shard's key list, kept in sync so random eviction and invalidation are
+// both O(1).
+type rcEntry struct {
+	s   *ts.Series
+	idx int // index into the shard's rkeys
+}
+
+// maxResampleCache bounds the memo cache across all shards; each shard caps
+// its slice at maxResampleCache / shard count. A full shard evicts one
+// random entry (cheap, no recency tracking) instead of dropping everything.
 const maxResampleCache = 1024
 
 // CacheStats reports resample-cache behaviour for tests and capacity
@@ -119,23 +139,42 @@ type CacheStats struct {
 	Hits          int64
 	Misses        int64
 	Invalidations int64 // entries dropped by writes to their series
+	Evictions     int64 // entries dropped by random eviction at capacity
+}
+
+// tsShard is one lock stripe of the store: a private map and insertion-order
+// key list, plus this stripe's slice of the resample cache. Everything in
+// the struct is guarded by mu. Methods with the *Locked suffix assume the
+// caller holds mu (read or write as appropriate).
+type tsShard struct {
+	mu   sync.RWMutex
+	data map[SeriesKey]*series
+	keys []SeriesKey // insertion order within the shard
+	seqs []uint64    // global insertion sequence per key, for merged iteration
+
+	rcache map[resampleKey]*rcEntry
+	rkeys  []resampleKey // parallel key list for O(1) random eviction
+	rng    uint64        // deterministic xorshift state for eviction picks
 }
 
 // DB is the time-series store. All exported methods are safe for concurrent
-// use: reads share an RWMutex read lock (the parallel Q4–Q8 fan-out path),
-// mutations take it exclusively. The embedded resample cache is guarded by
-// the same lock — a cache miss upgrades to the write lock to fill the entry,
-// and every mutation invalidates the touched series' entries before
-// releasing the lock, so readers can never observe a stale cached result.
+// use. State is striped across a power-of-two array of independently locked
+// shards, selected by hashing the SeriesKey — writers on different series
+// almost never contend, and the parallel Q4–Q8 fan-out partitions whole
+// shards per worker instead of bouncing one store-wide lock. Each inserted
+// key records a global sequence number, so merged iteration (Keys,
+// AggregateEach, Save) reproduces the exact single-writer first-insertion
+// order and floating-point folds over it stay byte-identical to the
+// pre-striping store.
 type DB struct {
-	mu         sync.RWMutex
 	chunkWidth ts.Time
-	data       map[SeriesKey]*series
-	keys       []SeriesKey // insertion order for deterministic scans
+	mask       uint32
+	shards     []tsShard
+	seq        atomic.Uint64 // global insertion sequence
+	shardCap   int           // per-shard resample cache capacity
 
-	rcache map[resampleKey]*ts.Series
 	// Cache counters are atomics so the hit path stays on the read lock.
-	cacheHits, cacheMisses, cacheInvalidations atomic.Int64
+	cacheHits, cacheMisses, cacheInvalidations, cacheEvictions atomic.Int64
 
 	obs storeObs // metric handles; zero value = instrumentation off
 }
@@ -144,52 +183,125 @@ type DB struct {
 // TimescaleDB's default interval ethos.
 const DefaultChunkWidth = 7 * ts.Day
 
+// DefaultShards is the lock-stripe count used by New.
+const DefaultShards = 16
+
 // New returns an empty store with the given chunk width (<= 0 selects
-// DefaultChunkWidth).
+// DefaultChunkWidth) and DefaultShards lock stripes.
 func New(chunkWidth ts.Time) *DB {
+	return NewSharded(chunkWidth, DefaultShards)
+}
+
+// NewSharded is New with an explicit lock-stripe count, rounded up to a
+// power of two (<= 0 selects one shard — the single-lock layout, used as the
+// mixed-throughput baseline).
+func NewSharded(chunkWidth ts.Time, shards int) *DB {
 	if chunkWidth <= 0 {
 		chunkWidth = DefaultChunkWidth
 	}
-	return &DB{
-		chunkWidth: chunkWidth,
-		data:       map[SeriesKey]*series{},
-		rcache:     map[resampleKey]*ts.Series{},
+	n := 1
+	for n < shards {
+		n <<= 1
 	}
+	db := &DB{
+		chunkWidth: chunkWidth,
+		mask:       uint32(n - 1),
+		shards:     make([]tsShard, n),
+		shardCap:   maxResampleCache / n,
+	}
+	if db.shardCap < 1 {
+		db.shardCap = 1
+	}
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.data = map[SeriesKey]*series{}
+		sh.rcache = map[resampleKey]*rcEntry{}
+		// Fixed per-shard seed: eviction picks are deterministic across runs.
+		sh.rng = 0x9E3779B97F4A7C15 * uint64(i+1)
+	}
+	return db
+}
+
+// NumShards returns the lock-stripe count.
+func (db *DB) NumShards() int { return len(db.shards) }
+
+// shard selects the lock stripe of a key by FNV-1a over entity and metric.
+func (db *DB) shard(key SeriesKey) *tsShard {
+	h := uint32(2166136261)
+	for i := 0; i < 4; i++ {
+		h ^= (key.Entity >> (8 * i)) & 0xff
+		h *= 16777619
+	}
+	for i := 0; i < len(key.Metric); i++ {
+		h ^= uint32(key.Metric[i])
+		h *= 16777619
+	}
+	return &db.shards[h&db.mask]
 }
 
 // NumSeries returns how many distinct series the store holds.
 func (db *DB) NumSeries() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return len(db.data)
+	n := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		n += len(sh.data)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // HasSeries reports whether the key holds any points. The crash-recovery
 // layer uses it to decide whether a prepared ingest reached the TS side.
 func (db *DB) HasSeries(key SeriesKey) bool {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	_, ok := db.data[key]
+	sh := db.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.data[key]
 	return ok
+}
+
+// seqKey pairs a key with its global insertion sequence for merged iteration.
+type seqKey struct {
+	seq uint64
+	key SeriesKey
+}
+
+// orderedKeys snapshots every shard's key list (one short read lock per
+// shard) and merges by insertion sequence, reproducing global
+// first-insertion order.
+func (db *DB) orderedKeys() []seqKey {
+	var out []seqKey
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		for j, k := range sh.keys {
+			out = append(out, seqKey{seq: sh.seqs[j], key: k})
+		}
+		sh.mu.RUnlock()
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].seq < out[b].seq })
+	return out
 }
 
 // Keys returns all series keys in first-insertion order.
 func (db *DB) Keys() []SeriesKey {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return append([]SeriesKey(nil), db.keys...)
+	ordered := db.orderedKeys()
+	out := make([]SeriesKey, len(ordered))
+	for i, sk := range ordered {
+		out[i] = sk.key
+	}
+	return out
 }
 
 // EntitiesOf returns the entity ids of every series of the metric in
 // first-insertion order — the deterministic work list the parallel Q4–Q8
 // executor partitions across workers.
 func (db *DB) EntitiesOf(metric string) []uint32 {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	var out []uint32
-	for _, key := range db.keys {
-		if key.Metric == metric {
-			out = append(out, key.Entity)
+	for _, sk := range db.orderedKeys() {
+		if sk.key.Metric == metric {
+			out = append(out, sk.key.Entity)
 		}
 	}
 	return out
@@ -206,18 +318,20 @@ func (db *DB) slotOf(t ts.Time) int64 {
 // Insert adds one point. Upserts on duplicate timestamps.
 func (db *DB) Insert(key SeriesKey, t ts.Time, v float64) {
 	db.obs.writes.Inc()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.insertLocked(key, t, v)
-	db.invalidateLocked(key)
+	sh := db.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.insertLocked(db, key, t, v)
+	sh.invalidateLocked(db, key)
 }
 
-func (db *DB) insertLocked(key SeriesKey, t ts.Time, v float64) {
-	s, ok := db.data[key]
+func (sh *tsShard) insertLocked(db *DB, key SeriesKey, t ts.Time, v float64) {
+	s, ok := sh.data[key]
 	if !ok {
 		s = &series{}
-		db.data[key] = s
-		db.keys = append(db.keys, key)
+		sh.data[key] = s
+		sh.keys = append(sh.keys, key)
+		sh.seqs = append(sh.seqs, db.seq.Add(1))
 	}
 	s.chunkFor(db.slotOf(t), true).add(t, v)
 }
@@ -225,12 +339,13 @@ func (db *DB) insertLocked(key SeriesKey, t ts.Time, v float64) {
 // InsertSeries bulk-loads a whole series under the key.
 func (db *DB) InsertSeries(key SeriesKey, src *ts.Series) {
 	db.obs.writes.Inc()
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	sh := db.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	for i := 0; i < src.Len(); i++ {
-		db.insertLocked(key, src.TimeAt(i), src.ValueAt(i))
+		sh.insertLocked(db, key, src.TimeAt(i), src.ValueAt(i))
 	}
-	db.invalidateLocked(key)
+	sh.invalidateLocked(db, key)
 }
 
 // DeleteSeries removes a series and all its chunks. It reports whether the
@@ -238,16 +353,18 @@ func (db *DB) InsertSeries(key SeriesKey, src *ts.Series) {
 // can apply it idempotently.
 func (db *DB) DeleteSeries(key SeriesKey) bool {
 	db.obs.writes.Inc()
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	db.invalidateLocked(key)
-	if _, ok := db.data[key]; !ok {
+	sh := db.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	sh.invalidateLocked(db, key)
+	if _, ok := sh.data[key]; !ok {
 		return false
 	}
-	delete(db.data, key)
-	for i, k := range db.keys {
+	delete(sh.data, key)
+	for i, k := range sh.keys {
 		if k == key {
-			db.keys = append(db.keys[:i], db.keys[i+1:]...)
+			sh.keys = append(sh.keys[:i], sh.keys[i+1:]...)
+			sh.seqs = append(sh.seqs[:i], sh.seqs[i+1:]...)
 			break
 		}
 	}
@@ -255,28 +372,60 @@ func (db *DB) DeleteSeries(key SeriesKey) bool {
 }
 
 // invalidateLocked drops every cached resample derived from the series.
-// Callers hold the write lock.
-func (db *DB) invalidateLocked(key SeriesKey) {
-	for rk := range db.rcache {
+// Resample entries live in the shard of their series key, so invalidation
+// never has to look outside the shard. Callers hold the write lock.
+func (sh *tsShard) invalidateLocked(db *DB, key SeriesKey) {
+	for rk := range sh.rcache {
 		if rk.key == key {
-			delete(db.rcache, rk)
+			sh.removeCacheEntryLocked(rk)
 			db.cacheInvalidations.Add(1)
 			db.obs.cacheInvalidations.Inc()
 		}
 	}
 }
 
+// removeCacheEntryLocked drops one memo entry, swap-removing its key from
+// the eviction list and fixing the moved entry's back-index.
+func (sh *tsShard) removeCacheEntryLocked(rk resampleKey) {
+	e, ok := sh.rcache[rk]
+	if !ok {
+		return
+	}
+	last := len(sh.rkeys) - 1
+	moved := sh.rkeys[last]
+	sh.rkeys[e.idx] = moved
+	sh.rcache[moved].idx = e.idx
+	sh.rkeys = sh.rkeys[:last]
+	delete(sh.rcache, rk)
+}
+
+// evictOneLocked drops a uniformly random memo entry — cheap per-shard
+// random eviction instead of the old drop-everything-when-full policy. The
+// pick comes from a per-shard xorshift stream seeded at construction, so
+// runs are reproducible.
+func (sh *tsShard) evictOneLocked(db *DB) {
+	n := len(sh.rkeys)
+	if n == 0 {
+		return
+	}
+	x := sh.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	sh.rng = x
+	sh.removeCacheEntryLocked(sh.rkeys[int(x%uint64(n))])
+	db.cacheEvictions.Add(1)
+	db.obs.cacheEvictions.Inc()
+}
+
 // Range returns the points of a series with start <= t < end in time order.
 func (db *DB) Range(key SeriesKey, start, end ts.Time) []ts.Point {
 	db.obs.reads.Inc()
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.rangeLocked(key, start, end)
-}
-
-func (db *DB) rangeLocked(key SeriesKey, start, end ts.Time) []ts.Point {
+	sh := db.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
 	var out []ts.Point
-	db.scanRange(key, start, end, func(t ts.Time, v float64) {
+	sh.scanRangeLocked(db, key, start, end, func(t ts.Time, v float64) {
 		out = append(out, ts.Point{T: t, V: v})
 	})
 	return out
@@ -285,21 +434,22 @@ func (db *DB) rangeLocked(key SeriesKey, start, end ts.Time) []ts.Point {
 // RangeSeries is Range materialized as a ts.Series named after the metric.
 func (db *DB) RangeSeries(key SeriesKey, start, end ts.Time) *ts.Series {
 	db.obs.reads.Inc()
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.rangeSeriesLocked(key, start, end)
+	sh := db.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.rangeSeriesLocked(db, key, start, end)
 }
 
-func (db *DB) rangeSeriesLocked(key SeriesKey, start, end ts.Time) *ts.Series {
+func (sh *tsShard) rangeSeriesLocked(db *DB, key SeriesKey, start, end ts.Time) *ts.Series {
 	s := ts.New(fmt.Sprintf("%s@%d", key.Metric, key.Entity))
-	db.scanRange(key, start, end, func(t ts.Time, v float64) { s.MustAppend(t, v) })
+	sh.scanRangeLocked(db, key, start, end, func(t ts.Time, v float64) { s.MustAppend(t, v) })
 	return s
 }
 
-// scanRange visits points in [start, end), locating the first chunk by
+// scanRangeLocked visits points in [start, end), locating the first chunk by
 // binary search and the range within each chunk by binary search.
-func (db *DB) scanRange(key SeriesKey, start, end ts.Time, fn func(ts.Time, float64)) {
-	s, ok := db.data[key]
+func (sh *tsShard) scanRangeLocked(db *DB, key SeriesKey, start, end ts.Time, fn func(ts.Time, float64)) {
+	s, ok := sh.data[key]
 	if !ok || start >= end {
 		return
 	}
@@ -316,25 +466,25 @@ func (db *DB) scanRange(key SeriesKey, start, end ts.Time, fn func(ts.Time, floa
 
 // RangeFunc streams the points of a series with start <= t < end in time
 // order without materializing them — the pushdown path for filters. fn runs
-// under the store's read lock and must not mutate the store.
+// under the key's shard read lock and must not mutate the store.
 func (db *DB) RangeFunc(key SeriesKey, start, end ts.Time, fn func(ts.Time, float64)) {
 	db.obs.reads.Inc()
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	db.scanRange(key, start, end, fn)
+	sh := db.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	sh.scanRangeLocked(db, key, start, end, fn)
 }
 
 // Correlate computes the Pearson correlation of two series over [start, end)
 // by merge-joining their points on exact timestamps inside the store — the
 // pushdown analogue of SQL corr() in TimescaleDB, avoiding client-side
-// extraction entirely. NaN when fewer than two joint points exist or a side
-// is constant.
+// extraction entirely. Each side is snapshotted under its own shard lock in
+// turn (never both at once, so striping introduces no lock-order concerns).
+// NaN when fewer than two joint points exist or a side is constant.
 func (db *DB) Correlate(a, b SeriesKey, start, end ts.Time) float64 {
 	db.obs.reads.Inc()
-	db.mu.RLock()
-	pa := db.rangeLocked(a, start, end)
-	pb := db.rangeLocked(b, start, end)
-	db.mu.RUnlock()
+	pa := db.rangeSnapshot(a, start, end)
+	pb := db.rangeSnapshot(b, start, end)
 	var n float64
 	var sx, sy, sxx, syy, sxy float64
 	i, j := 0, 0
@@ -368,6 +518,19 @@ func (db *DB) Correlate(a, b SeriesKey, start, end ts.Time) float64 {
 	return cov / math.Sqrt(vx*vy)
 }
 
+// rangeSnapshot is Range without the read-counter increment, for internal
+// composition.
+func (db *DB) rangeSnapshot(key SeriesKey, start, end ts.Time) []ts.Point {
+	sh := db.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var out []ts.Point
+	sh.scanRangeLocked(db, key, start, end, func(t ts.Time, v float64) {
+		out = append(out, ts.Point{T: t, V: v})
+	})
+	return out
+}
+
 // Summary aggregates a series over [start, end) using chunk summaries for
 // fully covered chunks and point scans only at the range edges.
 type Summary struct {
@@ -388,14 +551,15 @@ func (s Summary) Mean() float64 {
 // Aggregate computes the summary of a series over [start, end).
 func (db *DB) Aggregate(key SeriesKey, start, end ts.Time) Summary {
 	db.obs.reads.Inc()
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.aggregateLocked(key, start, end)
+	sh := db.shard(key)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	return sh.aggregateLocked(db, key, start, end)
 }
 
-func (db *DB) aggregateLocked(key SeriesKey, start, end ts.Time) Summary {
+func (sh *tsShard) aggregateLocked(db *DB, key SeriesKey, start, end ts.Time) Summary {
 	out := Summary{Min: math.Inf(1), Max: math.Inf(-1)}
-	s, ok := db.data[key]
+	s, ok := sh.data[key]
 	if !ok || start >= end {
 		return normalize(out)
 	}
@@ -440,18 +604,72 @@ func normalize(s Summary) Summary {
 	return s
 }
 
+// EntitySummary is one entity's summary tagged with its insertion sequence,
+// the unit of shard-partitioned aggregation. Sorting a batch by Seq
+// reproduces global first-insertion order.
+type EntitySummary struct {
+	Seq    uint64
+	Entity uint32
+	Summary
+}
+
+// aggregateShard summarizes every series of the metric in one shard under a
+// single read lock — the per-worker locked batch of the parallel executor.
+func (db *DB) aggregateShard(shard int, metric string, start, end ts.Time) []EntitySummary {
+	sh := &db.shards[shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	var out []EntitySummary
+	for j, key := range sh.keys {
+		if key.Metric == metric {
+			out = append(out, EntitySummary{
+				Seq:     sh.seqs[j],
+				Entity:  key.Entity,
+				Summary: sh.aggregateLocked(db, key, start, end),
+			})
+		}
+	}
+	return out
+}
+
+// AggregateShard summarizes every series of the metric held by one lock
+// stripe (0 <= shard < NumShards), taking that stripe's read lock exactly
+// once. Callers fan shards out across workers and MergeBySeq the parts; the
+// fan-out as a whole counts as one store read, which the caller's entry
+// point accounts for.
+func (db *DB) AggregateShard(shard int, metric string, start, end ts.Time) []EntitySummary {
+	return db.aggregateShard(shard, metric, start, end)
+}
+
+// MergeBySeq flattens per-shard summary batches into global first-insertion
+// order.
+func MergeBySeq(parts [][]EntitySummary) []EntitySummary {
+	var out []EntitySummary
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Seq < out[b].Seq })
+	return out
+}
+
+// aggregateSeq computes the metric's summaries shard by shard (one read lock
+// per shard) and merges them into first-insertion order.
+func (db *DB) aggregateSeq(metric string, start, end ts.Time) []EntitySummary {
+	parts := make([][]EntitySummary, len(db.shards))
+	for i := range db.shards {
+		parts[i] = db.aggregateShard(i, metric, start, end)
+	}
+	return MergeBySeq(parts)
+}
+
 // AggregateAll aggregates every series of the given metric over [start,
-// end), returning per-entity summaries.
+// end), returning per-entity summaries. One call counts as one read.
 func (db *DB) AggregateAll(metric string, start, end ts.Time) map[uint32]Summary {
 	db.obs.reads.Inc()
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out := map[uint32]Summary{}
-	for _, key := range db.keys {
-		if key.Metric != metric {
-			continue
-		}
-		out[key.Entity] = db.aggregateLocked(key, start, end)
+	es := db.aggregateSeq(metric, start, end)
+	out := make(map[uint32]Summary, len(es))
+	for _, e := range es {
+		out[e.Entity] = e.Summary
 	}
 	return out
 }
@@ -460,54 +678,48 @@ func (db *DB) AggregateAll(metric string, start, end ts.Time) map[uint32]Summary
 // calling fn with each entity's summary. The fixed visit order makes
 // floating-point folds over the results (district sums, global totals)
 // deterministic — the property the parallel executor's merge phase relies
-// on to stay byte-identical with sequential execution. fn runs under the
-// store's read lock and must not mutate the store.
+// on to stay byte-identical with sequential execution. Summaries are
+// computed as one locked batch per shard; fn runs after the locks are
+// released and must not assume a store-wide atomic snapshot.
 func (db *DB) AggregateEach(metric string, start, end ts.Time, fn func(entity uint32, s Summary)) {
 	db.obs.reads.Inc()
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	for _, key := range db.keys {
-		if key.Metric == metric {
-			fn(key.Entity, db.aggregateLocked(key, start, end))
-		}
+	for _, e := range db.aggregateSeq(metric, start, end) {
+		fn(e.Entity, e.Summary)
 	}
 }
 
 // AggregateAllParallel is AggregateAll fanned out over `workers` goroutines
 // — the horizontal-scaling lever of requirement R4. Work is partitioned by
-// striding over the insertion-ordered key list and every summary lands in
-// its slot of a pre-sized slice, so results are deterministic regardless of
-// scheduling. workers <= 1 falls back to the serial path.
+// shard: each worker takes whole lock stripes and summarizes them under a
+// single read lock per stripe, so one fan-out costs one read-counter
+// increment and O(shards) lock operations instead of one of each per key.
+// Results are merged by insertion sequence, so output is deterministic
+// regardless of scheduling. workers <= 1 falls back to the serial path.
 func (db *DB) AggregateAllParallel(metric string, start, end ts.Time, workers int) map[uint32]Summary {
 	if workers <= 1 {
 		return db.AggregateAll(metric, start, end)
 	}
-	var keys []SeriesKey
-	db.mu.RLock()
-	for _, key := range db.keys {
-		if key.Metric == metric {
-			keys = append(keys, key)
-		}
+	db.obs.reads.Inc()
+	nsh := len(db.shards)
+	if workers > nsh {
+		workers = nsh
 	}
-	db.mu.RUnlock()
-	sums := make([]Summary, len(keys))
+	parts := make([][]EntitySummary, nsh)
 	var wg sync.WaitGroup
-	if workers > len(keys) {
-		workers = len(keys)
-	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			for i := w; i < len(keys); i += workers {
-				sums[i] = db.Aggregate(keys[i], start, end)
+			for i := w; i < nsh; i += workers {
+				parts[i] = db.aggregateShard(i, metric, start, end)
 			}
 		}(w)
 	}
 	wg.Wait()
-	out := make(map[uint32]Summary, len(keys))
-	for i, key := range keys {
-		out[key.Entity] = sums[i]
+	es := MergeBySeq(parts)
+	out := make(map[uint32]Summary, len(es))
+	for _, e := range es {
+		out[e.Entity] = e.Summary
 	}
 	return out
 }
@@ -543,37 +755,40 @@ func (db *DB) TopKByMean(metric string, start, end ts.Time, k int) []uint32 {
 
 // Downsample buckets a series over [start, end) at the given width with the
 // aggregation — a continuous-aggregate style query. Results are memoized per
-// (series, range, bucket, aggregation): repeated downsampling, as issued by
-// correlation queries and dashboard-style refresh loops, hits the warm entry
-// until a write to the series invalidates it. The returned series is a copy
-// the caller owns.
+// (series, range, bucket, aggregation) in the series' shard: repeated
+// downsampling, as issued by correlation queries and dashboard-style refresh
+// loops, hits the warm entry until a write to the series invalidates it or
+// random eviction reclaims the slot. The returned series is a copy the
+// caller owns.
 func (db *DB) Downsample(key SeriesKey, start, end, bucket ts.Time, agg ts.AggFunc) *ts.Series {
 	db.obs.reads.Inc()
 	rk := resampleKey{key: key, start: start, end: end, bucket: bucket, agg: agg}
-	db.mu.RLock()
-	if s, ok := db.rcache[rk]; ok {
-		out := s.Clone()
-		db.mu.RUnlock()
+	sh := db.shard(key)
+	sh.mu.RLock()
+	if e, ok := sh.rcache[rk]; ok {
+		out := e.s.Clone()
+		sh.mu.RUnlock()
 		db.cacheHits.Add(1)
 		db.obs.cacheHits.Inc()
 		return out
 	}
-	db.mu.RUnlock()
+	sh.mu.RUnlock()
 
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if s, ok := db.rcache[rk]; ok { // filled while we waited for the lock
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if e, ok := sh.rcache[rk]; ok { // filled while we waited for the lock
 		db.cacheHits.Add(1)
 		db.obs.cacheHits.Inc()
-		return s.Clone()
+		return e.s.Clone()
 	}
 	db.cacheMisses.Add(1)
 	db.obs.cacheMisses.Inc()
-	s := db.rangeSeriesLocked(key, start, end).Resample(bucket, agg)
-	if len(db.rcache) >= maxResampleCache {
-		db.rcache = map[resampleKey]*ts.Series{}
+	s := sh.rangeSeriesLocked(db, key, start, end).Resample(bucket, agg)
+	if len(sh.rkeys) >= db.shardCap {
+		sh.evictOneLocked(db)
 	}
-	db.rcache[rk] = s
+	sh.rcache[rk] = &rcEntry{s: s, idx: len(sh.rkeys)}
+	sh.rkeys = append(sh.rkeys, rk)
 	return s.Clone()
 }
 
@@ -613,7 +828,20 @@ func (db *DB) ResampleCacheStats() CacheStats {
 		Hits:          db.cacheHits.Load(),
 		Misses:        db.cacheMisses.Load(),
 		Invalidations: db.cacheInvalidations.Load(),
+		Evictions:     db.cacheEvictions.Load(),
 	}
+}
+
+// resampleCacheLen counts live memo entries across shards (test hook).
+func (db *DB) resampleCacheLen() int {
+	n := 0
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		n += len(sh.rcache)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Stats describes storage shape for capacity reports.
@@ -625,14 +853,18 @@ type Stats struct {
 
 // Stats returns storage counts.
 func (db *DB) Stats() Stats {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	st := Stats{Series: len(db.data)}
-	for _, s := range db.data {
-		st.Chunks += len(s.chunks)
-		for _, c := range s.chunks {
-			st.Points += len(c.times)
+	var st Stats
+	for i := range db.shards {
+		sh := &db.shards[i]
+		sh.mu.RLock()
+		st.Series += len(sh.data)
+		for _, s := range sh.data {
+			st.Chunks += len(s.chunks)
+			for _, c := range s.chunks {
+				st.Points += len(c.times)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return st
 }

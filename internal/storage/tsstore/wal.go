@@ -29,10 +29,14 @@ const (
 // log at all, so any crash silently lost every point. Records are framed
 // with length + CRC32C (internal/storage/walrec): replay truncates torn
 // tails and detects corruption, mirroring the graph-store WAL.
+//
+// Appends run through a group-commit writer: each mutation enqueues its
+// framed record (no I/O, safe from many goroutines) and Flush coalesces
+// everything pending into one buffered write + flush. A single writer sees
+// exactly the old per-commit behaviour; concurrent writers share flushes.
 type WAL struct {
-	db      *DB
-	fw      *walrec.Writer
-	scratch []byte
+	db *DB
+	gw *walrec.GroupWriter
 
 	obs walObs // metric handles; zero value = instrumentation off
 }
@@ -47,56 +51,66 @@ const (
 // NewWAL wraps a store with a log appended to w. The store should be empty
 // or match the snapshot the log continues from.
 func NewWAL(db *DB, w io.Writer) *WAL {
-	return &WAL{db: db, fw: walrec.NewWriter(w)}
+	l := &WAL{db: db, gw: walrec.NewGroup(walrec.NewWriter(w))}
+	// The flush fault point and flush counter move into the group writer's
+	// hooks so they fire once per physical flush — exactly once per Flush
+	// call for a single writer, once per coalesced batch under load.
+	l.gw.SetHooks(
+		func() error { return faults.Check(FaultWALFlush) },
+		func(int) { l.obs.flushes.Inc() },
+	)
+	return l
 }
+
+// SetMaxBatch bounds group-commit batches; 1 restores per-record flushing
+// (the single-lock baseline of the mixed-throughput benchmark). Call before
+// the WAL is shared.
+func (l *WAL) SetMaxBatch(n int) { l.gw.SetMaxBatch(n) }
 
 // DB exposes the underlying store for reads.
 func (l *WAL) DB() *DB { return l.db }
 
 // Err returns the WAL's latched write error, if any.
-func (l *WAL) Err() error { return l.fw.Err() }
+func (l *WAL) Err() error { return l.gw.Err() }
 
-// Flush forces buffered log records to the underlying writer.
-func (l *WAL) Flush() error {
-	if err := l.fw.Err(); err != nil {
-		return err
-	}
-	if err := faults.Check(FaultWALFlush); err != nil {
-		return err
-	}
-	if err := l.fw.Flush(); err != nil {
-		return err
-	}
-	l.obs.flushes.Inc()
-	return nil
+// Flush makes every record enqueued so far durable: the caller either leads
+// one coalesced write+flush of the batch window or rides a flush already in
+// flight.
+func (l *WAL) Flush() error { return l.gw.Sync() }
+
+// Commit makes every record enqueued so far durable without forcing a
+// physical flush of its own: a committer whose records another leader
+// already covered returns immediately. The streaming-ingest path uses this
+// instead of Flush so concurrent writers coalesce into shared flushes.
+func (l *WAL) Commit() error { return l.gw.Commit(l.gw.Enqueued()) }
+
+func appendKey(buf []byte, op byte, key SeriesKey) []byte {
+	buf = append(buf, op)
+	buf = binary.AppendUvarint(buf, uint64(key.Entity))
+	buf = binary.AppendUvarint(buf, uint64(len(key.Metric)))
+	buf = append(buf, key.Metric...)
+	return buf
 }
 
-func (l *WAL) beginKey(op byte, key SeriesKey) {
-	l.scratch = append(l.scratch[:0], op)
-	l.scratch = binary.AppendUvarint(l.scratch, uint64(key.Entity))
-	l.scratch = binary.AppendUvarint(l.scratch, uint64(len(key.Metric)))
-	l.scratch = append(l.scratch, key.Metric...)
-}
-
-func (l *WAL) commit() error {
+func (l *WAL) commit(payload []byte) error {
 	if err := faults.Check(FaultWALAppend); err != nil {
 		return err
 	}
-	if err := l.fw.Append(l.scratch); err != nil {
+	if _, err := l.gw.Append(payload); err != nil {
 		return err
 	}
 	l.obs.appends.Inc()
-	l.obs.bytes.Add(int64(len(l.scratch)))
+	l.obs.bytes.Add(int64(len(payload)))
 	return nil
 }
 
 // Insert logs and applies one point. Upserts on duplicate timestamps, so
 // replaying or retrying the same insert is idempotent.
 func (l *WAL) Insert(key SeriesKey, t ts.Time, v float64) error {
-	l.beginKey(opInsert, key)
-	l.scratch = binary.AppendVarint(l.scratch, int64(t))
-	l.scratch = binary.LittleEndian.AppendUint64(l.scratch, math.Float64bits(v))
-	if err := l.commit(); err != nil {
+	buf := appendKey(nil, opInsert, key)
+	buf = binary.AppendVarint(buf, int64(t))
+	buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	if err := l.commit(buf); err != nil {
 		return err
 	}
 	l.db.Insert(key, t, v)
@@ -108,19 +122,19 @@ func (l *WAL) Insert(key SeriesKey, t ts.Time, v float64) error {
 // series keeps the ingest atomic at the record level — a torn tail drops
 // the whole batch, never half of it.
 func (l *WAL) InsertSeries(key SeriesKey, src *ts.Series) error {
-	l.beginKey(opInsertBatch, key)
+	buf := appendKey(nil, opInsertBatch, key)
 	n := src.Len()
-	l.scratch = binary.AppendUvarint(l.scratch, uint64(n))
+	buf = binary.AppendUvarint(buf, uint64(n))
 	prev := ts.Time(0)
 	for i := 0; i < n; i++ {
 		t := src.TimeAt(i)
-		l.scratch = binary.AppendVarint(l.scratch, int64(t-prev))
+		buf = binary.AppendVarint(buf, int64(t-prev))
 		prev = t
 	}
 	for i := 0; i < n; i++ {
-		l.scratch = binary.LittleEndian.AppendUint64(l.scratch, math.Float64bits(src.ValueAt(i)))
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(src.ValueAt(i)))
 	}
-	if err := l.commit(); err != nil {
+	if err := l.commit(buf); err != nil {
 		return err
 	}
 	l.db.InsertSeries(key, src)
@@ -130,8 +144,7 @@ func (l *WAL) InsertSeries(key SeriesKey, src *ts.Series) error {
 // DeleteSeries logs and applies removal of a whole series (the rollback
 // primitive of the cross-store ingest protocol).
 func (l *WAL) DeleteSeries(key SeriesKey) error {
-	l.beginKey(opDeleteSeries, key)
-	if err := l.commit(); err != nil {
+	if err := l.commit(appendKey(nil, opDeleteSeries, key)); err != nil {
 		return err
 	}
 	l.db.DeleteSeries(key)

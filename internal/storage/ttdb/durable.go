@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"hygraph/internal/faults"
@@ -80,7 +82,7 @@ func (r RetryPolicy) run(op func() error) error {
 
 // Intent-journal opcodes. One station ingest is one transaction:
 //
-//	BEGIN(txn, node)    — node id pre-allocated via graphstore.NextNodeID
+//	BEGIN(txn, node)    — node id reserved via graphstore.AllocNodeID
 //	  ... graph writes flushed ...
 //	PREPARED(txn, node) — graph side durable
 //	  ... time-series writes flushed ...
@@ -106,16 +108,34 @@ type DurablePolyglot struct {
 	eng *Polyglot
 	gw  *graphstore.WAL
 	tw  *tsstore.WAL
-	jw  *walrec.Writer
+	jw  *walrec.GroupWriter
 
 	// Retry bounds transient-error retries on every storage operation.
 	Retry RetryPolicy
 
-	txn     uint64
-	tsErr   error // last permanent TS-side failure; non-nil degrades queries
-	scratch []byte
+	txn   atomic.Uint64
+	tsErr errBox // last permanent TS-side failure; non-nil degrades queries
 
 	obs durObs // metric handles; zero value = instrumentation off
+}
+
+// errBox is a mutex-guarded error slot, the concurrency-safe form of the
+// degraded-mode latch: ingest clients store into it while query clients read.
+type errBox struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *errBox) set(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.err = err
+}
+
+func (b *errBox) get() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
 }
 
 // NewDurable returns an empty durable engine logging to the three writers
@@ -128,14 +148,25 @@ func NewDurable(chunkWidth ts.Time, graphLog, tsLog, journal io.Writer) *Durable
 // RecoverPolyglot) with fresh logs. nextTxn must exceed every transaction id
 // in any journal the new journal continues (PolyglotRecovery.NextTxn).
 func ResumeDurable(eng *Polyglot, graphLog, tsLog, journal io.Writer, nextTxn uint64) *DurablePolyglot {
-	return &DurablePolyglot{
+	d := &DurablePolyglot{
 		eng:   eng,
 		gw:    graphstore.NewWAL(eng.G, graphLog),
 		tw:    tsstore.NewWAL(eng.T, tsLog),
-		jw:    walrec.NewWriter(journal),
+		jw:    walrec.NewGroup(walrec.NewWriter(journal)),
 		Retry: DefaultRetry,
-		txn:   nextTxn,
 	}
+	d.txn.Store(nextTxn)
+	return d
+}
+
+// SetGroupCommit sets the maximum records coalesced into one physical flush
+// on all three logs (graph WAL, time-series WAL, intent journal). n <= 1
+// restores per-record flushing — the pre-group-commit baseline the mixed
+// throughput benchmark compares against.
+func (d *DurablePolyglot) SetGroupCommit(n int) {
+	d.gw.SetMaxBatch(n)
+	d.tw.SetMaxBatch(n)
+	d.jw.SetMaxBatch(n)
 }
 
 // Engine exposes the wrapped engine for direct (non-durable) reads.
@@ -144,26 +175,32 @@ func (d *DurablePolyglot) Engine() *Polyglot { return d.eng }
 // Name identifies the engine in reports.
 func (d *DurablePolyglot) Name() string { return "ttdb-durable" }
 
-// SetWorkers sets the Q4–Q8 fan-out width of the wrapped engine. The write
-// path stays single-writer regardless (IngestStation predicts node ids via
-// NextNodeID, which two concurrent ingests would race on — see
-// docs/PARALLELISM.md); only reads parallelize.
+// SetWorkers sets the Q4–Q8 fan-out width of the wrapped engine. Since the
+// move to explicit id reservation (AllocNodeID) and group-committed logs,
+// ingest is concurrency-safe too: any number of IngestStation/AppendPoint
+// clients may run alongside queries — see docs/PARALLELISM.md.
 func (d *DurablePolyglot) SetWorkers(n int) { d.eng.SetWorkers(n) }
 
-// journal appends one intent record and flushes it — each protocol step must
-// be on disk before the next store write starts.
+// journal appends one intent record and commits it through the journal's
+// group writer — each protocol step must be durable before the next store
+// write starts, but concurrent transactions' steps coalesce into shared
+// flushes. A retried closure may re-enqueue a record whose first copy was
+// already buffered; duplicates are harmless because recovery keys on the
+// LAST record per transaction and the states are idempotent.
 func (d *DurablePolyglot) journal(op byte, txn uint64, node StationID) error {
 	err := d.Retry.run(func() error {
 		if err := faults.Check(FaultJournalAppend); err != nil {
 			return err
 		}
-		d.scratch = append(d.scratch[:0], op)
-		d.scratch = binary.AppendUvarint(d.scratch, txn)
-		d.scratch = binary.AppendUvarint(d.scratch, uint64(node))
-		if err := d.jw.Append(d.scratch); err != nil {
+		buf := make([]byte, 0, 2*binary.MaxVarintLen64+1)
+		buf = append(buf, op)
+		buf = binary.AppendUvarint(buf, txn)
+		buf = binary.AppendUvarint(buf, uint64(node))
+		seq, err := d.jw.Append(buf)
+		if err != nil {
 			return err
 		}
-		return d.jw.Flush()
+		return d.jw.Commit(seq)
 	})
 	if err != nil {
 		return err
@@ -180,21 +217,17 @@ func (d *DurablePolyglot) journal(op byte, txn uint64, node StationID) error {
 }
 
 // graphSide writes the station node and its properties, then flushes. The
-// closure is safe to retry: CreateNode is guarded by the pre-allocated id and
-// property sets are upserts, so a transient failure at any point re-runs
-// without duplicating state.
+// closure is safe to retry: CreateNodeAt is guarded by NodeExists on the
+// reserved id and property sets are upserts, so a transient failure at any
+// point re-runs without duplicating state.
 func (d *DurablePolyglot) graphSide(node StationID, name, district string) error {
 	return d.Retry.run(func() error {
 		if err := faults.Check(FaultIngestGraph); err != nil {
 			return err
 		}
-		if d.eng.G.NextNodeID() == node {
-			id, err := d.gw.CreateNode("Station")
-			if err != nil {
+		if !d.eng.G.NodeExists(node) {
+			if err := d.gw.CreateNodeAt(node, "Station"); err != nil {
 				return err
-			}
-			if id != node {
-				return fmt.Errorf("ttdb: node id drift: journaled %d, created %d", node, id)
 			}
 		}
 		if err := d.gw.SetNodeProp(node, "name", graphstore.StrVal(name)); err != nil {
@@ -228,9 +261,8 @@ func (d *DurablePolyglot) tsSide(node StationID, s *ts.Series) error {
 // RecoverPolyglot over the written logs restores consistency; this mirrors
 // how a real engine treats an unrecoverable storage fault as fail-stop.
 func (d *DurablePolyglot) IngestStation(name, district string, s *ts.Series) (StationID, error) {
-	txn := d.txn
-	d.txn++
-	node := d.eng.G.NextNodeID()
+	txn := d.txn.Add(1) - 1
+	node := d.eng.G.AllocNodeID()
 	if err := d.journal(jBegin, txn, node); err != nil {
 		return 0, fmt.Errorf("ttdb: txn %d begin: %w", txn, err)
 	}
@@ -241,10 +273,10 @@ func (d *DurablePolyglot) IngestStation(name, district string, s *ts.Series) (St
 		return 0, fmt.Errorf("ttdb: txn %d prepared: %w", txn, err)
 	}
 	if err := d.tsSide(node, s); err != nil {
-		d.tsErr = err
+		d.tsErr.set(err)
 		return 0, fmt.Errorf("ttdb: txn %d ts write: %w", txn, err)
 	}
-	d.tsErr = nil
+	d.tsErr.set(nil)
 	if err := d.journal(jCommit, txn, node); err != nil {
 		// Both sides are durable; recovery rolls the PREPARED record forward
 		// because the series is present. The station is usable.
@@ -277,6 +309,31 @@ func (d *DurablePolyglot) AddTrip(a, b StationID, count int) error {
 	})
 }
 
+// AppendPoint durably appends one observation to an existing station's
+// series — the streaming-ingest op of the mixed read/write workload. It
+// touches only the time-series store (the station's node and series already
+// exist, so the cross-store invariant holds throughout), which makes the
+// TS WAL alone sufficient: no intent journal round trips, and concurrent
+// appends coalesce into shared group-commit flushes.
+func (d *DurablePolyglot) AppendPoint(st StationID, t ts.Time, v float64) error {
+	err := d.Retry.run(func() error {
+		if err := faults.Check(FaultIngestTS); err != nil {
+			return err
+		}
+		if err := d.tw.Insert(key(st), t, v); err != nil {
+			return err
+		}
+		// Commit, not Flush: concurrent appenders ride each other's flushes
+		// instead of each forcing a physical one.
+		return d.tw.Commit()
+	})
+	if err != nil {
+		d.tsErr.set(err)
+		return fmt.Errorf("ttdb: append point: %w", err)
+	}
+	return nil
+}
+
 // tsCheck reports whether the time-series store is usable for query q,
 // returning a DegradedError otherwise.
 func (d *DurablePolyglot) tsCheck(q string) error {
@@ -284,9 +341,9 @@ func (d *DurablePolyglot) tsCheck(q string) error {
 		d.obs.degraded.Inc()
 		return &DegradedError{Query: q, Cause: err}
 	}
-	if d.tsErr != nil {
+	if err := d.tsErr.get(); err != nil {
 		d.obs.degraded.Inc()
-		return &DegradedError{Query: q, Cause: d.tsErr}
+		return &DegradedError{Query: q, Cause: err}
 	}
 	return nil
 }

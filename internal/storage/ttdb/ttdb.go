@@ -309,6 +309,13 @@ func NewPolyglot(chunkWidth ts.Time) *Polyglot {
 	return &Polyglot{G: graphstore.New(), T: tsstore.New(chunkWidth)}
 }
 
+// NewPolyglotSharded is NewPolyglot with an explicit lock-stripe count for
+// both stores. shards <= 1 collapses to the single-stripe configuration —
+// the pre-striping baseline the mixed throughput benchmark compares against.
+func NewPolyglotSharded(chunkWidth ts.Time, shards int) *Polyglot {
+	return &Polyglot{G: graphstore.NewSharded(shards), T: tsstore.NewSharded(chunkWidth, shards)}
+}
+
 // Name implements Engine.
 func (p *Polyglot) Name() string { return "ttdb" }
 
@@ -384,53 +391,58 @@ func (p *Polyglot) Q3StationMean(st StationID, start, end ts.Time) float64 {
 	return p.meanOf(st, start, end)
 }
 
-// entities returns the metric's station list in hypertable insertion order
-// — the deterministic work list Q4–Q6 partition across workers.
-func (p *Polyglot) entities() []uint32 { return p.T.EntitiesOf(Metric) }
+// shardSummaries fans the metric's per-entity summaries out across the
+// worker pool, one whole lock stripe per work item, and merges the parts
+// back into hypertable insertion order. Each worker takes a shard's read
+// lock exactly once for its whole batch instead of once per station, and
+// the merged order makes every downstream fold byte-identical at any worker
+// width.
+func (p *Polyglot) shardSummaries(start, end ts.Time) []tsstore.EntitySummary {
+	parts := make([][]tsstore.EntitySummary, p.T.NumShards())
+	p.obs.parallelFor(p.workers, len(parts), func(i int) {
+		parts[i] = p.T.AggregateShard(i, Metric, start, end)
+	})
+	return tsstore.MergeBySeq(parts)
+}
 
-// Q4AllStationMeans implements Engine: per-station summary pushdowns fan
-// out across the worker pool, merged in insertion order.
+// Q4AllStationMeans implements Engine: per-shard summary batches fan out
+// across the worker pool, merged in insertion order.
 func (p *Polyglot) Q4AllStationMeans(start, end ts.Time) map[StationID]float64 {
 	sw := p.obs.q[3].Start()
 	defer sw.Stop()
-	entities := p.entities()
-	means := make([]float64, len(entities))
-	p.obs.parallelFor(p.workers, len(entities), func(i int) {
-		if s := p.T.Aggregate(key(StationID(entities[i])), start, end); s.Count > 0 {
-			means[i] = s.Mean()
+	sums := p.shardSummaries(start, end)
+	out := make(map[StationID]float64, len(sums))
+	for _, e := range sums {
+		if e.Count > 0 {
+			out[StationID(e.Entity)] = e.Mean()
+		} else {
+			out[StationID(e.Entity)] = 0
 		}
-	})
-	out := make(map[StationID]float64, len(entities))
-	for i, e := range entities {
-		out[StationID(e)] = means[i]
 	}
 	return out
 }
 
-// Q5DistrictSums implements Engine: topology (district) from the graph
-// store, aggregation pushdown in the hypertable, both fanned out per
-// station. The district fold runs sequentially in hypertable insertion
-// order, fixing the float accumulation order — sequential and parallel
-// runs, and repeated runs of either, all produce bit-identical sums (the
-// previous map-iteration fold made even two sequential runs differ in the
-// last ulp).
+// Q5DistrictSums implements Engine: aggregation pushdown fans out one lock
+// stripe per worker, then the district lookups (graph-store topology) fan
+// out per station. The district fold runs sequentially in hypertable
+// insertion order, fixing the float accumulation order — sequential and
+// parallel runs, and repeated runs of either, all produce bit-identical
+// sums (a map-iteration fold would make even two sequential runs differ in
+// the last ulp).
 func (p *Polyglot) Q5DistrictSums(start, end ts.Time) map[string]float64 {
 	sw := p.obs.q[4].Start()
 	defer sw.Stop()
-	entities := p.entities()
-	districts := make([]string, len(entities))
-	sums := make([]float64, len(entities))
-	p.obs.parallelFor(p.workers, len(entities), func(i int) {
-		st := StationID(entities[i])
+	sums := p.shardSummaries(start, end)
+	districts := make([]string, len(sums))
+	p.obs.parallelFor(p.workers, len(sums), func(i int) {
 		districts[i] = "?"
-		if v, ok := p.G.NodeProp(st, "district"); ok {
+		if v, ok := p.G.NodeProp(StationID(sums[i].Entity), "district"); ok {
 			districts[i] = v.S
 		}
-		sums[i] = p.T.Aggregate(key(st), start, end).Sum
 	})
 	out := map[string]float64{}
-	for i := range entities {
-		out[districts[i]] += sums[i]
+	for i := range sums {
+		out[districts[i]] += sums[i].Sum
 	}
 	return out
 }
@@ -440,15 +452,11 @@ func (p *Polyglot) Q5DistrictSums(start, end ts.Time) map[string]float64 {
 func (p *Polyglot) Q6TopKStations(start, end ts.Time, k int) []StationID {
 	sw := p.obs.q[5].Start()
 	defer sw.Stop()
-	entities := p.entities()
-	sums := make([]tsstore.Summary, len(entities))
-	p.obs.parallelFor(p.workers, len(entities), func(i int) {
-		sums[i] = p.T.Aggregate(key(StationID(entities[i])), start, end)
-	})
-	m := make(map[StationID]float64, len(entities))
-	for i, e := range entities {
-		if sums[i].Count > 0 {
-			m[StationID(e)] = sums[i].Mean()
+	sums := p.shardSummaries(start, end)
+	m := make(map[StationID]float64, len(sums))
+	for _, e := range sums {
+		if e.Count > 0 {
+			m[StationID(e.Entity)] = e.Mean()
 		}
 	}
 	return topK(m, k)

@@ -1,0 +1,233 @@
+package walrec
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+)
+
+func scanAll(t *testing.T, buf *bytes.Buffer) [][]byte {
+	t.Helper()
+	sc := NewScanner(bytes.NewReader(buf.Bytes()))
+	var out [][]byte
+	for {
+		p, err := sc.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("scan: %v", err)
+		}
+		cp := make([]byte, len(p))
+		copy(cp, p)
+		out = append(out, cp)
+	}
+}
+
+// A single committer must see exactly the plain Writer's behaviour: every
+// Sync is one physical flush covering everything appended since the last.
+func TestGroupSingleWriter(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewGroup(NewWriter(&buf))
+	flushes, covered := 0, 0
+	g.SetHooks(nil, func(n int) { flushes++; covered += n })
+
+	for i := 0; i < 5; i++ {
+		if _, err := g.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if flushes != 1 || covered != 5 {
+		t.Fatalf("flushes=%d covered=%d, want 1/5", flushes, covered)
+	}
+	if _, err := g.Append([]byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if flushes != 2 || covered != 6 {
+		t.Fatalf("flushes=%d covered=%d, want 2/6", flushes, covered)
+	}
+	recs := scanAll(t, &buf)
+	if len(recs) != 6 {
+		t.Fatalf("scanned %d records, want 6", len(recs))
+	}
+	for i, r := range recs {
+		want := byte(i)
+		if i == 5 {
+			want = 9
+		}
+		if len(r) != 1 || r[0] != want {
+			t.Fatalf("record %d = %v", i, r)
+		}
+	}
+}
+
+// An explicit Sync with nothing pending still performs a physical flush —
+// the pre-group-commit Flush contract that fault injection relies on.
+func TestGroupSyncAlwaysFlushesWhenLeading(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewGroup(NewWriter(&buf))
+	flushes := 0
+	g.SetHooks(nil, func(int) { flushes++ })
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if flushes != 2 {
+		t.Fatalf("empty Syncs flushed %d times, want 2", flushes)
+	}
+}
+
+// MaxBatch(1) degrades to per-record flushing: the baseline mode of the
+// mixed-throughput benchmark.
+func TestGroupMaxBatchOne(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewGroup(NewWriter(&buf))
+	g.SetMaxBatch(1)
+	flushes := 0
+	g.SetHooks(nil, func(n int) {
+		if n > 1 {
+			t.Errorf("batch of %d under MaxBatch(1)", n)
+		}
+		flushes++
+	})
+	for i := 0; i < 4; i++ {
+		if _, err := g.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 single-record batches plus the forced final flush of the Sync.
+	if flushes < 4 {
+		t.Fatalf("flushes=%d, want >=4", flushes)
+	}
+	if got := len(scanAll(t, &buf)); got != 4 {
+		t.Fatalf("scanned %d records, want 4", got)
+	}
+}
+
+// A transient flush failure (the fault-injection shape: beforeFlush errors,
+// the Writer itself stays healthy) must surface to the committer, keep the
+// records buffered, and let a retried Sync deliver each record exactly once.
+func TestGroupTransientFlushFailureRetries(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewGroup(NewWriter(&buf))
+	injected := errors.New("injected flush fault")
+	arm := true
+	g.SetHooks(func() error {
+		if arm {
+			arm = false
+			return injected
+		}
+		return nil
+	}, nil)
+
+	if _, err := g.Append([]byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Append([]byte("b")); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Sync(); !errors.Is(err, injected) {
+		t.Fatalf("Sync error = %v, want injected fault", err)
+	}
+	if err := g.Err(); err != nil {
+		t.Fatalf("transient fault latched the writer: %v", err)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatalf("retried Sync: %v", err)
+	}
+	recs := scanAll(t, &buf)
+	if len(recs) != 2 || string(recs[0]) != "a" || string(recs[1]) != "b" {
+		t.Fatalf("after retry: %q", recs)
+	}
+}
+
+// A fatal Writer error latches the group: later Appends and Commits fail.
+func TestGroupLatchesFatalError(t *testing.T) {
+	g := NewGroup(NewWriter(&failAfter{n: 8}))
+	payload := bytes.Repeat([]byte{7}, 3000)
+	var firstErr error
+	for i := 0; i < 10 && firstErr == nil; i++ {
+		if _, err := g.Append(payload); err != nil {
+			firstErr = err
+			break
+		}
+		firstErr = g.Sync()
+	}
+	if firstErr == nil {
+		t.Fatal("failing writer accepted everything")
+	}
+	if _, err := g.Append([]byte("more")); err == nil {
+		t.Fatal("append after latched error succeeded")
+	}
+	if err := g.Sync(); err == nil {
+		t.Fatal("sync after latched error succeeded")
+	}
+	if g.Err() == nil {
+		t.Fatal("error not latched")
+	}
+}
+
+// Many concurrent committers: every record lands exactly once, in a valid
+// log, and the flush count shows coalescing (fewer flushes than commits).
+func TestGroupConcurrentCommitters(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewGroup(NewWriter(&buf))
+	var mu sync.Mutex
+	flushes := 0
+	g.SetHooks(nil, func(int) { mu.Lock(); flushes++; mu.Unlock() })
+
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				seq, err := g.Append([]byte(fmt.Sprintf("w%d-%d", w, i)))
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := g.Commit(seq); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := g.Sync(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := scanAll(t, &buf)
+	if len(recs) != writers*per {
+		t.Fatalf("scanned %d records, want %d", len(recs), writers*per)
+	}
+	seen := map[string]bool{}
+	for _, r := range recs {
+		if seen[string(r)] {
+			t.Fatalf("duplicate record %q", r)
+		}
+		seen[string(r)] = true
+	}
+	// At most one physical flush per commit, plus the final forced Sync.
+	if flushes > writers*per+1 {
+		t.Fatalf("flushes=%d exceeds commits=%d", flushes, writers*per)
+	}
+	t.Logf("commits=%d physical flushes=%d", writers*per, flushes)
+}
