@@ -3,9 +3,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify vet lint build test race fuzz bench benchsmoke cover
+.PHONY: verify vet lint build test race fuzz bench benchsmoke servesmoke cover
 
-verify: vet lint build race fuzz benchsmoke cover
+verify: vet lint build race fuzz benchsmoke servesmoke cover
 
 vet:
 	$(GO) vet ./...
@@ -40,13 +40,27 @@ bench:
 # check of the emitted baseline. The second run smokes the mixed
 # read/write path — concurrent ingest + query clients over the sharded
 # group-committed durable engine — at small scale, still under -race.
+# The third run smokes the served-workload path: the network query service
+# on a loopback port under open-loop load below and above the admission
+# limit (not under -race — open-loop timing is the point being measured).
 # Writes to scratch files so the committed BENCH_table1.json is never
 # clobbered by a -race-skewed run.
 benchsmoke:
 	$(GO) run -race ./cmd/hybench -reps 2 -parallel -clients 4 -ops 8 -metrics -json /tmp/hybench_smoke.json
 	$(GO) run -race ./cmd/hybench -scale small -reps 2 -mixed -ingest 2 -query 2 -mixedms 25 -shapemin 5 -json /tmp/hybench_smoke_mixed.json
+	$(GO) run ./cmd/hybench -scale small -reps 2 -serve -servems 200 -shapemin 5 -json /tmp/hybench_smoke_serve.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_mixed.json
+	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_serve.json
+
+# Server smoke (docs/SERVICE.md): one live `hygraph serve -smoke` run under
+# -race — random loopback port, durable ingest + query through the retry
+# client, one forced shed carrying Retry-After, one deadline-exceeded
+# request, graceful stop, then a recovery check proving the acknowledged
+# writes survive from the directory alone.
+servesmoke:
+	rm -rf /tmp/hygraph_servesmoke
+	$(GO) run -race ./cmd/hygraph serve -smoke -dir /tmp/hygraph_servesmoke
 
 # Coverage gate: statement coverage of the storage engines, the observability
 # layer, and the bench harness must stay at or above the floor recorded in

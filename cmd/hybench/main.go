@@ -7,6 +7,7 @@
 //	hybench [-scale small|default|paper] [-reps N] [-stations N] [-days N]
 //	        [-parallel] [-workers N] [-clients N] [-ops N]
 //	        [-mixed] [-ingest N] [-query N] [-mixedms N] [-shapemin X]
+//	        [-serve] [-serverate R] [-servems N] [-servetenants N]
 //	        [-json FILE] [-check FILE] [-metrics]
 //
 // The default scale (200 stations × 180 days hourly) finishes in well under
@@ -21,6 +22,11 @@
 // -ingest writer clients streaming durable appends alongside -query reader
 // clients for a -mixedms window, once on the single-stripe per-record-flush
 // baseline and once on sharded stores with WAL group commit.
+// -serve runs the served-workload mode: it boots the network
+// query service (internal/server) on a loopback port and drives an
+// open-loop load generator at offered rates below and above the admission
+// limit, reporting served QPS, latency quantiles, shed rate and
+// deadline-miss rate per level.
 // -json writes the machine-readable BENCH_table1.json
 // baseline; -check validates an existing baseline file's schema and exits.
 // -metrics attaches the observability registry to every engine, pushes a
@@ -51,6 +57,10 @@ func main() {
 	ingest := flag.Int("ingest", 4, "ingest clients in -mixed mode")
 	query := flag.Int("query", 4, "query clients in -mixed mode")
 	mixedMS := flag.Int("mixedms", 100, "measured window per rep in -mixed mode, milliseconds")
+	serve := flag.Bool("serve", false, "served-workload mode: open-loop load against the network query service at levels below and above the admission limit")
+	serveRate := flag.Float64("serverate", 400, "per-tenant admitted request rate in -serve mode, req/s")
+	serveMS := flag.Int("servems", 500, "measured window per offered-load level in -serve mode, milliseconds")
+	serveTenants := flag.Int("servetenants", 2, "tenant namespaces under load in -serve mode")
 	shapeMin := flag.Float64("shapemin", 50, "minimum Q4-Q6/Q8 speedup the Table 1 shape check enforces (lower it for -scale small smokes)")
 	jsonPath := flag.String("json", "", "write the machine-readable baseline to this file")
 	checkPath := flag.String("check", "", "validate an existing baseline file's schema and exit")
@@ -156,6 +166,21 @@ func main() {
 		}
 		fmt.Print(bench.FormatMixed(cmp))
 		baseline.Mixed = &cmp
+	}
+
+	if *serve {
+		fmt.Println()
+		rep, err := bench.RunServe(bench.ServeConfig{
+			Tenants:       *serveTenants,
+			RatePerTenant: *serveRate,
+			WindowMS:      *serveMS,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatServe(rep))
+		baseline.Serve = &rep
 	}
 
 	if *metrics {

@@ -11,18 +11,32 @@
 //	hygraph ingest   -dir DIR [-stations N] [-seed S] [-crash POINT[:NTH]]
 //	hygraph recover  -dir DIR [-compact]
 //	hygraph stats    [-seed S] [-workers N]
+//	hygraph serve    -dir DIR [-addr HOST:PORT] [-rate R] [-maxconc N]
+//	                 [-maxqueue N] [-drain DUR] [-smoke]
+//
+// serve runs the hardened network query service (internal/server,
+// docs/SERVICE.md) over the durable store directory: per-tenant HyQL, Q1–Q8
+// and ingest with admission control, request deadlines, and a SIGTERM drain
+// that flushes the group-commit WALs before exit. -smoke runs the
+// self-contained CI smoke instead: random port, a client mix including one
+// forced shed and one deadline-exceeded request, graceful stop, recovery
+// check.
 //
 // Every command accepts -debug-addr ADDR to serve net/http/pprof, expvar and
 // the observability snapshot (/debug/obs) for the life of the process; stats
 // runs an instrumented pass over the bike workload and prints the snapshot.
+//
+// Unknown subcommands and flags exit 2 with a usage message.
 package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"hygraph/internal/core"
 	"hygraph/internal/dataset"
@@ -31,39 +45,79 @@ import (
 	"hygraph/internal/ts"
 )
 
+// commands is the closed set of subcommands; anything else is a usage error
+// before any flag parsing or dataset generation happens.
+var commands = map[string]bool{
+	"generate": true, "query": true, "analyze": true, "repl": true,
+	"ingest": true, "recover": true, "stats": true, "serve": true,
+}
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
 		os.Exit(2)
 	}
 	cmd := os.Args[1]
-	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	switch {
+	case cmd == "help" || cmd == "-h" || cmd == "-help" || cmd == "--help":
+		usage()
+		return
+	case !commands[cmd]:
+		fmt.Fprintf(os.Stderr, "hygraph: unknown command %q\n", cmd)
+		usage()
+		os.Exit(2)
+	}
+
+	// ContinueOnError (not ExitOnError) so a bad flag prints the full
+	// command usage, not just the flag table, and still exits non-zero.
+	fs := flag.NewFlagSet(cmd, flag.ContinueOnError)
 	ds := fs.String("dataset", "fraud", "workload: bike, fraud, or iot")
 	seed := fs.Int64("seed", 1, "generator seed")
 	at := fs.Int64("at", -1, "query instant in epoch ms (-1 = mid-series)")
 	op := fs.String("op", "correlate", "analyze operator: correlate, aggregate, segment, anomalies, motifs")
-	dir := fs.String("dir", "hygraph-data", "durable store directory (ingest/recover)")
+	dir := fs.String("dir", "hygraph-data", "durable store directory (ingest/recover/serve)")
 	stations := fs.Int("stations", 8, "stations to ingest (ingest)")
 	crash := fs.String("crash", "", "fault point to crash at, e.g. ttdb.ingest.ts[:nth] (ingest)")
 	compact := fs.Bool("compact", false, "snapshot and truncate logs after recovery (recover)")
-	workers := fs.Int("workers", 0, "fan-out width for stats (0 = sequential)")
+	workers := fs.Int("workers", 0, "fan-out width for stats and serve (0 = sequential / GOMAXPROCS)")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/pprof, /debug/vars and /debug/obs on this address")
-	fs.Parse(os.Args[2:])
+	addr := fs.String("addr", "127.0.0.1:8091", "listen address (serve)")
+	rate := fs.Float64("rate", 0, "per-tenant admitted request rate, req/s; 0 = unlimited (serve)")
+	maxConc := fs.Int("maxconc", 0, "max concurrent requests; 0 = 4x GOMAXPROCS (serve)")
+	maxQueue := fs.Int("maxqueue", 0, "max queued requests; 0 = 4x maxconc (serve)")
+	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain bound (serve)")
+	smoke := fs.Bool("smoke", false, "run the self-contained server smoke and exit (serve)")
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return
+		}
+		os.Exit(2)
+	}
 
-	// One registry backs both the stats command and the debug server; other
-	// commands leave it nil, which keeps instrumentation at its nil-sink
-	// zero-overhead path.
+	// Commands that take no positional arguments must reject strays instead
+	// of silently ignoring them — a misquoted shell line should fail loudly.
+	if cmd != "query" && fs.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "hygraph %s: unexpected argument %q\n", cmd, fs.Arg(0))
+		usage()
+		os.Exit(2)
+	}
+
+	// One registry backs the stats command, the serve subcommand's metrics
+	// endpoint, and the debug server; other commands leave it nil, which
+	// keeps instrumentation at its nil-sink zero-overhead path.
 	var reg *obs.Registry
-	if cmd == "stats" || *debugAddr != "" {
+	if cmd == "stats" || cmd == "serve" || *debugAddr != "" {
 		reg = obs.New()
 	}
+	var dbg *obs.DebugServer
 	if *debugAddr != "" {
-		ln, err := obs.ServeDebug(*debugAddr, reg)
+		var err error
+		dbg, err = obs.ServeDebug(*debugAddr, reg)
 		if err != nil {
 			fail(err.Error())
 		}
-		defer ln.Close()
-		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ (pprof, vars, obs)\n", ln.Addr())
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug server on http://%s/debug/ (pprof, vars, obs)\n", dbg.Addr())
 	}
 
 	if cmd == "stats" {
@@ -79,6 +133,13 @@ func main() {
 		return
 	case "recover":
 		runRecover(*dir, *compact)
+		return
+	case "serve":
+		if *smoke {
+			runServeSmoke(*dir)
+			return
+		}
+		runServe(*addr, *dir, *rate, *maxConc, *maxQueue, *workers, *drain, reg, dbg)
 		return
 	}
 
@@ -103,9 +164,6 @@ func main() {
 		repl(h, when, reg)
 	case "analyze":
 		analyze(h, *op, when)
-	default:
-		usage()
-		os.Exit(2)
 	}
 }
 
@@ -117,7 +175,9 @@ func usage() {
   hygraph repl     -dataset ...
   hygraph ingest   -dir DIR [-stations N] [-seed S] [-crash POINT[:NTH]]
   hygraph recover  -dir DIR [-compact]
-  hygraph stats    [-seed S] [-workers N] [-debug-addr ADDR]`)
+  hygraph stats    [-seed S] [-workers N] [-debug-addr ADDR]
+  hygraph serve    -dir DIR [-addr HOST:PORT] [-rate R] [-maxconc N]
+                   [-maxqueue N] [-drain DUR] [-smoke]`)
 }
 
 func fail(msg string) {

@@ -12,8 +12,11 @@ import (
 
 // BaselineSchema versions the BENCH_table1.json layout so later PRs can
 // detect incompatible baselines instead of mis-reading them. v2 added the
-// mixed read/write throughput section (sharded stores + WAL group commit).
-const BaselineSchema = "hybench-table1/v2"
+// mixed read/write throughput section (sharded stores + WAL group commit);
+// v3 added the served-workload section (network service under open-loop
+// offered load: served QPS, latency quantiles, shed and deadline-miss
+// rates).
+const BaselineSchema = "hybench-table1/v3"
 
 // Baseline is the machine-readable record of one Table 1 run, written to
 // BENCH_table1.json so the performance trajectory is trackable across PRs.
@@ -30,6 +33,10 @@ type Baseline struct {
 	// Mixed is the read/write scaling section: single-stripe per-record-flush
 	// baseline vs sharded stores with WAL group commit, same workload.
 	Mixed *MixedComparison `json:"mixed,omitempty"`
+	// Serve is the served-workload section (hybench -serve): the network
+	// query service under open-loop offered load at levels below and above
+	// the admission limit.
+	Serve *ServeReport `json:"serve,omitempty"`
 	// Metrics is the observability snapshot of the instrumented run
 	// (hybench -metrics): per-query timers, WAL/store counters, cache
 	// hit rates, and the durable-exercise trace.
@@ -83,6 +90,9 @@ func (b *Baseline) Validate() []string {
 	}
 	if b.Mixed != nil {
 		problems = append(problems, checkMixed(b.Mixed)...)
+	}
+	if b.Serve != nil {
+		problems = append(problems, checkServe(b.Serve)...)
 	}
 	if b.Metrics != nil {
 		problems = append(problems, CheckMetrics(b.Metrics)...)

@@ -1,0 +1,92 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// A tiny end-to-end served-workload run: boots the real service on a
+// loopback port, seeds tenants through the ingest API, drives both load
+// levels, and the resulting report must pass its own checker.
+func TestRunServeSmallReportIsValid(t *testing.T) {
+	rep, err := RunServe(ServeConfig{
+		Tenants:       2,
+		Stations:      4,
+		RatePerTenant: 200,
+		WindowMS:      120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tenants != 2 || rep.Stations != 4 || len(rep.Levels) != 2 {
+		t.Fatalf("report shape: %+v", rep)
+	}
+	if problems := checkServe(&rep); len(problems) != 0 {
+		t.Fatalf("self-check problems: %v", problems)
+	}
+	if !rep.Levels[0].BelowLimit || rep.Levels[1].BelowLimit {
+		t.Fatalf("default multipliers must span the limit: %+v", rep.Levels)
+	}
+	out := FormatServe(rep)
+	for _, want := range []string{"Served workload", "below limit", "qps"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("FormatServe missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestServeConfigDefaults(t *testing.T) {
+	c := ServeConfig{}.withDefaults()
+	if c.Tenants != 2 || c.Stations != 16 || c.RatePerTenant != 400 ||
+		c.WindowMS != 500 || len(c.Multipliers) != 2 {
+		t.Fatalf("defaults: %+v", c)
+	}
+	keep := ServeConfig{Tenants: 5, Stations: 3, RatePerTenant: 7, WindowMS: 9,
+		Multipliers: []float64{2}}.withDefaults()
+	if keep.Tenants != 5 || keep.Stations != 3 || keep.RatePerTenant != 7 ||
+		keep.WindowMS != 9 || len(keep.Multipliers) != 1 {
+		t.Fatalf("explicit values clobbered: %+v", keep)
+	}
+}
+
+func TestQuantilesMS(t *testing.T) {
+	if p50, p99 := quantilesMS(nil); p50 != 0 || p99 != 0 {
+		t.Fatalf("empty sample: %v %v", p50, p99)
+	}
+	lat := make([]time.Duration, 100)
+	for i := range lat {
+		lat[i] = time.Duration(i+1) * time.Millisecond
+	}
+	p50, p99 := quantilesMS(lat)
+	if p50 != 50 || p99 != 99 {
+		t.Fatalf("quantiles of 1..100ms: p50=%v p99=%v", p50, p99)
+	}
+}
+
+// checkServe must flag every accounting and SLO violation the schema
+// guards against — these are the failure modes `hybench -check` exists
+// to catch in CI.
+func TestCheckServeFlagsViolations(t *testing.T) {
+	bad := ServeReport{Levels: []ServeLevel{
+		{BelowLimit: true, Offered: 10, Completed: 4, Shed: 1, // 5 vanish
+			MissRate: 0.5, P50MS: 3, P99MS: 1},
+		{BelowLimit: true, Offered: 0},
+	}}
+	problems := checkServe(&bad)
+	joined := strings.Join(problems, "\n")
+	for _, want := range []string{
+		"vanished unaccounted",
+		"deadline-miss rate",
+		"p99 1.000ms below p50",
+		"no requests offered",
+		"no above-limit level",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("checkServe missed %q in:\n%s", want, joined)
+		}
+	}
+	if probs := checkServe(&ServeReport{}); len(probs) == 0 {
+		t.Fatal("empty report passed checkServe")
+	}
+}

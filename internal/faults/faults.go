@@ -11,6 +11,7 @@
 package faults
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -184,15 +185,53 @@ func Active() []string {
 // configured latency. When nothing is armed anywhere it is a single atomic
 // load.
 func Check(name string) error {
+	err, delay := check(name)
+	if delay > 0 {
+		time.Sleep(delay)
+	}
+	return err
+}
+
+// CheckCtx is Check with context-aware latency injection: a configured
+// Delay is waited out under the context, so a cancelled request or a
+// draining server stops waiting early and gets the context's error instead
+// of sleeping through the full injected latency. Server-side fault points
+// (slow-handler injection under a per-request deadline) use this form; with
+// no armed Delay it behaves exactly like Check. A nil context is allowed
+// and degrades to a plain sleep.
+func CheckCtx(ctx context.Context, name string) error {
+	err, delay := check(name)
+	if delay > 0 {
+		if ctx == nil {
+			time.Sleep(delay)
+		} else {
+			t := time.NewTimer(delay)
+			defer t.Stop()
+			select {
+			case <-t.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	if err == nil && ctx != nil {
+		err = ctx.Err()
+	}
+	return err
+}
+
+// check evaluates the fault point and returns the injected error plus any
+// configured latency for the caller to apply outside the registry lock.
+func check(name string) (error, time.Duration) {
 	if active.Load() == 0 {
-		return nil
+		return nil, 0
 	}
 	mu.Lock()
 	hits[name]++
 	p, ok := armed[name]
 	if !ok {
 		mu.Unlock()
-		return nil
+		return nil, 0
 	}
 	p.hits++
 	var delay time.Duration
@@ -222,8 +261,5 @@ func Check(name string) error {
 		return e
 	}()
 	mu.Unlock()
-	if delay > 0 {
-		time.Sleep(delay)
-	}
-	return err
+	return err, delay
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"expvar"
 	"net"
@@ -29,17 +30,47 @@ func PublishExpvar(r *Registry) {
 	})
 }
 
+// DebugServer is a running debug endpoint started by ServeDebug. Unlike a
+// bare listener, it owns the http.Server, so stopping it can drain in-flight
+// scrapes (Shutdown) or cut them off (Close) instead of only refusing new
+// connections.
+type DebugServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{} // closed when Serve returns
+}
+
+// Addr reports the bound address (useful with ":0").
+func (d *DebugServer) Addr() net.Addr { return d.ln.Addr() }
+
+// Shutdown stops accepting connections and waits, bounded by ctx, for
+// in-flight debug requests (a pprof profile mid-capture, a snapshot scrape)
+// to finish.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	err := d.srv.Shutdown(ctx)
+	<-d.done
+	return err
+}
+
+// Close stops the server immediately, aborting in-flight requests. It
+// satisfies io.Closer so a DebugServer drops in where the old listener-only
+// API was deferred-closed.
+func (d *DebugServer) Close() error {
+	err := d.srv.Close()
+	<-d.done
+	return err
+}
+
 // ServeDebug starts an HTTP server on addr exposing:
 //
 //	/debug/pprof/   net/http/pprof profiles
 //	/debug/vars     expvar (includes the hygraph_obs snapshot)
 //	/debug/obs      the registry snapshot as plain JSON
 //
-// It binds its own mux (nothing leaks onto http.DefaultServeMux), returns the
-// live listener so callers can report the bound address (useful with ":0")
-// and close it, and serves until the listener is closed. A nil registry
+// It binds its own mux (nothing leaks onto http.DefaultServeMux) and serves
+// until the returned DebugServer is shut down or closed. A nil registry
 // serves empty snapshots.
-func ServeDebug(addr string, r *Registry) (net.Listener, error) {
+func ServeDebug(addr string, r *Registry) (*DebugServer, error) {
 	PublishExpvar(r)
 	mux := http.NewServeMux()
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -58,7 +89,10 @@ func ServeDebug(addr string, r *Registry) (net.Listener, error) {
 	if err != nil {
 		return nil, err
 	}
-	srv := &http.Server{Handler: mux}
-	go func() { _ = srv.Serve(ln) }()
-	return ln, nil
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}, done: make(chan struct{})}
+	go func() {
+		defer close(d.done)
+		_ = d.srv.Serve(ln)
+	}()
+	return d, nil
 }

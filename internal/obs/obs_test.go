@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -302,5 +303,16 @@ func TestServeDebugEndpoints(t *testing.T) {
 	}
 	if !strings.Contains(get("/debug/pprof/"), "goroutine") {
 		t.Fatal("/debug/pprof/ missing profile index")
+	}
+
+	// Graceful stop: Shutdown returns only after the serve loop exits, and
+	// the port no longer accepts connections.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := ln.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if _, err := http.Get(base + "/debug/obs"); err == nil {
+		t.Fatal("debug server still serving after Shutdown")
 	}
 }

@@ -1,0 +1,229 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sync"
+
+	"hygraph/internal/storage/ttdb"
+	"hygraph/internal/ts"
+)
+
+// Backend opens the durable engine for a tenant namespace on first use. The
+// returned closer (which may be nil) releases whatever the open acquired —
+// file handles for DirBackend — and is called during Shutdown after the
+// final WAL flush.
+type Backend interface {
+	Open(name string) (*ttdb.DurablePolyglot, io.Closer, error)
+}
+
+// tenantName validates tenant path segments: the namespace doubles as a
+// directory name under DirBackend, so it must not smuggle separators or
+// dot-segments.
+var tenantName = regexp.MustCompile(`^[a-zA-Z0-9][a-zA-Z0-9_.-]{0,63}$`)
+
+func validTenant(name string) bool {
+	return tenantName.MatchString(name) && name != "." && name != ".."
+}
+
+// ---------------------------------------------------------------------------
+// MemBackend
+
+// memLogs is one tenant's retained log bytes. The chaos harness reads them
+// back to prove no acknowledged write was lost.
+type memLogs struct {
+	mu                  sync.Mutex
+	graph, tsl, journal bytes.Buffer
+}
+
+// lockedBuf serializes writes to one buffer; the WAL group writers flush
+// from whichever rider becomes leader, so the sink must be self-synchronized.
+type lockedBuf struct {
+	mu  *sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w lockedBuf) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+// MemBackend keeps every tenant's WAL bytes in memory. It exists for tests:
+// the retained logs make "kill the server, recover from its logs, compare"
+// possible without a filesystem.
+type MemBackend struct {
+	ChunkWidth ts.Time // series chunk width; 0 selects ts.Week
+
+	mu   sync.Mutex
+	logs map[string]*memLogs
+}
+
+// NewMemBackend returns an empty in-memory backend.
+func NewMemBackend() *MemBackend { return &MemBackend{logs: map[string]*memLogs{}} }
+
+func (b *MemBackend) width() ts.Time {
+	if b.ChunkWidth > 0 {
+		return b.ChunkWidth
+	}
+	return ts.Week
+}
+
+// Open creates the tenant on first open; reopening an existing tenant
+// recovers from its retained logs and appends to them — the same resume
+// contract a file-backed deployment has.
+func (b *MemBackend) Open(name string) (*ttdb.DurablePolyglot, io.Closer, error) {
+	b.mu.Lock()
+	l, ok := b.logs[name]
+	if !ok {
+		l = &memLogs{}
+		b.logs[name] = l
+	}
+	b.mu.Unlock()
+
+	l.mu.Lock()
+	graph := append([]byte(nil), l.graph.Bytes()...)
+	tsl := append([]byte(nil), l.tsl.Bytes()...)
+	journal := append([]byte(nil), l.journal.Bytes()...)
+	l.mu.Unlock()
+
+	eng, rec, err := ttdb.RecoverPolyglot(nil, bytes.NewReader(graph), nil,
+		bytes.NewReader(tsl), bytes.NewReader(journal), b.width())
+	if err != nil {
+		return nil, nil, fmt.Errorf("membackend: recovering %s: %w", name, err)
+	}
+	d := ttdb.ResumeDurable(eng,
+		lockedBuf{&l.mu, &l.graph}, lockedBuf{&l.mu, &l.tsl}, lockedBuf{&l.mu, &l.journal},
+		rec.NextTxn)
+	return d, nil, nil
+}
+
+// Recover rebuilds a tenant's engine from the retained logs without going
+// through a server — the post-crash/post-shutdown verification step of the
+// chaos harness. The logs are snapshotted under the tenant lock, so calling
+// it against a live server observes some consistent prefix.
+func (b *MemBackend) Recover(name string) (*ttdb.Polyglot, ttdb.PolyglotRecovery, error) {
+	b.mu.Lock()
+	l, ok := b.logs[name]
+	b.mu.Unlock()
+	if !ok {
+		return nil, ttdb.PolyglotRecovery{}, fmt.Errorf("membackend: unknown tenant %s", name)
+	}
+	l.mu.Lock()
+	graph := append([]byte(nil), l.graph.Bytes()...)
+	tsl := append([]byte(nil), l.tsl.Bytes()...)
+	journal := append([]byte(nil), l.journal.Bytes()...)
+	l.mu.Unlock()
+	return ttdb.RecoverPolyglot(nil, bytes.NewReader(graph), nil,
+		bytes.NewReader(tsl), bytes.NewReader(journal), b.width())
+}
+
+// ---------------------------------------------------------------------------
+// DirBackend
+
+// DirBackend stores each tenant as a directory Root/<tenant>/ holding the
+// standard five store files (graph.snap, graph.wal, ts.snap, ts.wal,
+// ingest.journal — the cmd/hygraph layout). Opening a tenant recovers from
+// whatever the directory holds, then appends.
+type DirBackend struct {
+	Root       string
+	ChunkWidth ts.Time // 0 selects ts.Week
+}
+
+// storeFiles is the on-disk layout shared with cmd/hygraph.
+var storeFiles = struct {
+	graphSnap, graphLog, tsSnap, tsLog, journal string
+}{"graph.snap", "graph.wal", "ts.snap", "ts.wal", "ingest.journal"}
+
+// multiCloser closes all parts, keeping the first error.
+type multiCloser []io.Closer
+
+func (m multiCloser) Close() error {
+	var first error
+	for _, c := range m {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func openMaybe(dir, name string, closers *[]io.Closer) (io.Reader, error) {
+	f, err := os.Open(filepath.Join(dir, name))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	*closers = append(*closers, f)
+	return f, nil
+}
+
+// Open recovers the tenant from its directory (created if absent) and opens
+// the three logs for append. The returned closer syncs and closes the log
+// files.
+func (b *DirBackend) Open(name string) (*ttdb.DurablePolyglot, io.Closer, error) {
+	if !validTenant(name) {
+		return nil, nil, fmt.Errorf("dirbackend: invalid tenant name %q", name)
+	}
+	dir := filepath.Join(b.Root, name)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	width := b.ChunkWidth
+	if width <= 0 {
+		width = ts.Week
+	}
+
+	var readers []io.Closer
+	fail := func(err error) (*ttdb.DurablePolyglot, io.Closer, error) {
+		multiCloser(readers).Close()
+		return nil, nil, err
+	}
+	var srcs [5]io.Reader
+	for i, fname := range []string{storeFiles.graphSnap, storeFiles.graphLog,
+		storeFiles.tsSnap, storeFiles.tsLog, storeFiles.journal} {
+		r, err := openMaybe(dir, fname, &readers)
+		if err != nil {
+			return fail(err)
+		}
+		srcs[i] = r
+	}
+	eng, rec, err := ttdb.RecoverPolyglot(srcs[0], srcs[1], srcs[2], srcs[3], srcs[4], width)
+	multiCloser(readers).Close()
+	if err != nil {
+		return nil, nil, fmt.Errorf("dirbackend: recovering %s: %w", name, err)
+	}
+
+	var logs []io.Closer
+	openAppend := func(fname string) (*os.File, error) {
+		f, err := os.OpenFile(filepath.Join(dir, fname), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			multiCloser(logs).Close()
+			return nil, err
+		}
+		logs = append(logs, f)
+		return f, nil
+	}
+	gf, err := openAppend(storeFiles.graphLog)
+	if err != nil {
+		return nil, nil, err
+	}
+	tf, err := openAppend(storeFiles.tsLog)
+	if err != nil {
+		return nil, nil, err
+	}
+	jf, err := openAppend(storeFiles.journal)
+	if err != nil {
+		return nil, nil, err
+	}
+	d := ttdb.ResumeDurable(eng, gf, tf, jf, rec.NextTxn)
+	return d, multiCloser(logs), nil
+}

@@ -1,0 +1,185 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func newClient(t *testing.T, base string, maxAttempts int) *Client {
+	t.Helper()
+	c, err := New(Config{
+		Base:        base,
+		MaxAttempts: maxAttempts,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    5 * time.Millisecond,
+		Seed:        1,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func TestRetriesShedsUntilSuccess(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.Header().Set("X-Retry-After-MS", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte(`{"error":{"code":"queue_full","message":"shed"}}`))
+			return
+		}
+		w.Write([]byte(`{"tenant":"a","stations":3,"version":7}`))
+	}))
+	defer hs.Close()
+
+	c := newClient(t, hs.URL, 4)
+	st, err := c.TenantStats(context.Background(), "a")
+	if err != nil {
+		t.Fatalf("TenantStats: %v", err)
+	}
+	if st.Stations != 3 || st.Version != 7 {
+		t.Fatalf("stats = %+v", st)
+	}
+	s := c.Stats()
+	if s.Attempts != 3 || s.Retries != 2 || s.Sheds != 2 || s.GiveUps != 0 {
+		t.Fatalf("stats = %+v, want attempts=3 retries=2 sheds=2", s)
+	}
+}
+
+func TestGivesUpAfterMaxAttempts(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":{"code":"rate_limited","message":"slow down"}}`))
+	}))
+	defer hs.Close()
+
+	c := newClient(t, hs.URL, 3)
+	_, err := c.TenantStats(context.Background(), "a")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusTooManyRequests {
+		t.Fatalf("err = %v, want 429 APIError", err)
+	}
+	if got := calls.Load(); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (MaxAttempts)", got)
+	}
+	s := c.Stats()
+	if s.GiveUps != 1 || s.Sheds != 3 {
+		t.Fatalf("stats = %+v, want giveups=1 sheds=3", s)
+	}
+}
+
+func TestStationIngestWithoutKeyNeverRetries(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"queue_full","message":"shed"}}`))
+	}))
+	defer hs.Close()
+
+	c := newClient(t, hs.URL, 5)
+	_, err := c.IngestStation(context.Background(), "a", "s", "d", nil, "")
+	if !errors.Is(err, ErrNotRetried) {
+		t.Fatalf("err = %v, want ErrNotRetried in chain", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("keyless station ingest was attempted %d times, want exactly 1", got)
+	}
+
+	// The same ingest with a key IS retried.
+	calls.Store(0)
+	_, err = c.IngestStation(context.Background(), "a", "s", "d", nil, "key-1")
+	if err == nil {
+		t.Fatalf("expected failure from an always-shedding server")
+	}
+	if got := calls.Load(); got != 5 {
+		t.Fatalf("keyed station ingest attempted %d times, want 5", got)
+	}
+}
+
+func TestClientErrorsAreNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":{"code":"bad_query","message":"no"}}`))
+	}))
+	defer hs.Close()
+
+	c := newClient(t, hs.URL, 5)
+	_, err := c.Query(context.Background(), "a", "Q99", nil)
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Code != "bad_query" {
+		t.Fatalf("err = %v, want bad_query APIError", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("400 retried: %d calls", got)
+	}
+}
+
+func TestNetworkErrorsRetryIdempotentRequests(t *testing.T) {
+	// A listener that is already closed: every attempt is a transport error.
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	hs.Close()
+
+	c := newClient(t, hs.URL, 3)
+	_, err := c.TenantStats(context.Background(), "a")
+	if err == nil {
+		t.Fatalf("expected transport error")
+	}
+	s := c.Stats()
+	if s.Attempts != 3 || s.NetErrors != 3 || s.Retries != 2 {
+		t.Fatalf("stats = %+v, want 3 attempts / 3 net errors / 2 retries", s)
+	}
+}
+
+func TestBackoffHonorsHintAndCap(t *testing.T) {
+	c := newClient(t, "http://x", 4)
+	if got := c.backoff(1, 42*time.Millisecond); got != 42*time.Millisecond {
+		t.Fatalf("hint ignored: %v", got)
+	}
+	for n := 1; n <= 10; n++ {
+		d := c.backoff(n, 0)
+		if d <= 0 || d > c.cfg.MaxDelay {
+			t.Fatalf("backoff(%d) = %v outside (0, %v]", n, d, c.cfg.MaxDelay)
+		}
+	}
+	// Jitter must actually vary.
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 16; i++ {
+		seen[c.backoff(1, 0)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("backoff shows no jitter: %v", seen)
+	}
+}
+
+func TestDeadlineStopsRetryLoop(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Retry-After-MS", "250")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		w.Write([]byte(`{"error":{"code":"queue_full","message":"shed"}}`))
+	}))
+	defer hs.Close()
+
+	c := newClient(t, hs.URL, 100)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	t0 := time.Now()
+	_, err := c.TenantStats(ctx, "a")
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context deadline", err)
+	}
+	if time.Since(t0) > time.Second {
+		t.Fatalf("retry loop outlived its context")
+	}
+}

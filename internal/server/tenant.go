@@ -1,0 +1,199 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"hygraph/internal/core"
+	"hygraph/internal/hyql"
+	"hygraph/internal/lpg"
+	"hygraph/internal/obs"
+	"hygraph/internal/storage/graphstore"
+	"hygraph/internal/storage/tsstore"
+	"hygraph/internal/storage/ttdb"
+	"hygraph/internal/tpg"
+	"hygraph/internal/ts"
+)
+
+// idemCap bounds the per-tenant idempotency table; at the cap an arbitrary
+// completed entry is evicted, so memory stays bounded under key churn while
+// recent keys (the ones a retrying client actually resends) stay resolvable.
+const idemCap = 4096
+
+// idemEntry is one idempotency-key slot. done closes when the owning
+// request finishes; a successful owner leaves the committed station id
+// behind, a failed owner removes the entry so a retry re-executes.
+type idemEntry struct {
+	done    chan struct{}
+	station ttdb.StationID
+	ok      bool
+}
+
+// tenant is one namespace: a durable engine plus the per-tenant admission
+// state (concurrency slots, token bucket), the idempotency table, and the
+// cached HyQL view.
+type tenant struct {
+	name   string
+	db     *ttdb.DurablePolyglot
+	closer interface{ Close() error }
+	sem    chan struct{}
+	bucket *bucket
+	lat    *obs.Histogram // per-tenant end-to-end latency
+
+	version atomic.Uint64 // bumped on every committed write; invalidates the view
+
+	mu          sync.Mutex
+	idem        map[string]*idemEntry
+	view        *hyql.Engine
+	viewVersion uint64
+}
+
+func newTenant(name string, db *ttdb.DurablePolyglot, closer interface{ Close() error }, l Limits, reg *obs.Registry) *tenant {
+	return &tenant{
+		name:   name,
+		db:     db,
+		closer: closer,
+		sem:    make(chan struct{}, l.TenantConcurrent),
+		bucket: newBucket(l.TenantRate, l.TenantBurst),
+		lat:    reg.Histogram("server.tenant." + name + ".latency"),
+		idem:   map[string]*idemEntry{},
+	}
+}
+
+// ingestStation runs one idempotency-keyed station ingest. With an empty
+// key it executes unconditionally (the caller accepted at-most-once ⇒ maybe
+// duplicated semantics). With a key, exactly one in-flight request executes
+// per key; concurrent and later holders of the same key wait for it and
+// share its committed id, and a failed execution clears the key so a retry
+// re-executes.
+func (t *tenant) ingestStation(key, name, district string, s *ts.Series) (ttdb.StationID, error) {
+	if key == "" {
+		id, err := t.db.IngestStation(name, district, s)
+		if err == nil {
+			t.version.Add(1)
+		}
+		return id, err
+	}
+	for {
+		t.mu.Lock()
+		if e, ok := t.idem[key]; ok {
+			t.mu.Unlock()
+			<-e.done
+			if e.ok {
+				return e.station, nil
+			}
+			// The owning attempt failed and removed the entry; race for
+			// ownership of the retry.
+			continue
+		}
+		e := &idemEntry{done: make(chan struct{})}
+		if len(t.idem) >= idemCap {
+			t.evictIdemLocked()
+		}
+		t.idem[key] = e
+		t.mu.Unlock()
+
+		id, err := t.db.IngestStation(name, district, s)
+		t.mu.Lock()
+		if err != nil {
+			delete(t.idem, key)
+		} else {
+			e.station, e.ok = id, true
+		}
+		t.mu.Unlock()
+		close(e.done)
+		if err == nil {
+			t.version.Add(1)
+		}
+		return id, err
+	}
+}
+
+// evictIdemLocked drops one completed entry (never an in-flight one, whose
+// waiters would dangle). Called with t.mu held.
+func (t *tenant) evictIdemLocked() {
+	for k, e := range t.idem {
+		select {
+		case <-e.done:
+			delete(t.idem, k)
+			return
+		default:
+		}
+	}
+}
+
+// hyqlQuery executes a HyQL query against a materialized view of the
+// tenant's engine state as of the write version at build time. The view is
+// cached and rebuilt only after writes; HyQL execution is serialized per
+// tenant because the hyql engine's snapshot cache is single-threaded —
+// cross-tenant queries still run concurrently, and the per-tenant
+// concurrency cap bounds the queue behind the lock.
+func (t *tenant) hyqlQuery(src string, at ts.Time) (*hyql.Result, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	v := t.version.Load()
+	if t.view == nil || t.viewVersion != v {
+		t.view = hyql.NewEngine(buildView(t.db.Engine()))
+		t.viewVersion = v
+	}
+	return t.view.Query(src, at)
+}
+
+// buildView materializes a core.HyGraph from the polyglot stores in the
+// same shape dataset.BikeData.ToHyGraph produces: Station PG vertices with
+// name/district properties, their availability series as first-class TS
+// vertices linked by HAS_SERIES, and TRIP edges carrying count. HyQL
+// queries written against generated datasets therefore run unchanged
+// against served tenants.
+func buildView(eng *ttdb.Polyglot) *core.HyGraph {
+	h := core.New()
+	stations := eng.G.NodesByLabel("Station")
+	vids := make(map[ttdb.StationID]core.VID, len(stations))
+	for _, st := range stations {
+		v, err := h.AddVertex(tpg.Always, "Station")
+		if err != nil {
+			continue
+		}
+		for _, prop := range []string{"name", "district"} {
+			if pv, ok := eng.G.NodeProp(st, prop); ok {
+				h.SetVertexProp(v, prop, lpg.Str(pv.S))
+			}
+		}
+		vids[st] = v
+		series := eng.T.RangeSeries(tsstore.SeriesKey{Entity: uint32(st), Metric: ttdb.Metric}, 0, ts.MaxTime)
+		if series == nil || series.Empty() {
+			continue
+		}
+		series.SetName(ttdb.Metric)
+		if tsv, err := h.AddTSVertexUni(series, "Availability"); err == nil {
+			_, _ = h.AddEdge(v, tsv, "HAS_SERIES", tpg.Always)
+		}
+	}
+	seen := map[graphstore.RelID]bool{}
+	for _, st := range stations {
+		eng.G.Rels(st, func(r graphstore.Rel) bool {
+			if r.Type != "TRIP" || seen[r.ID] {
+				return true
+			}
+			seen[r.ID] = true
+			from, okF := vids[r.From]
+			to, okT := vids[r.To]
+			if !okF || !okT {
+				return true
+			}
+			e, err := h.AddEdge(from, to, "TRIP", tpg.Always)
+			if err != nil {
+				return true
+			}
+			if cv, ok := eng.G.RelProp(r.ID, "count"); ok {
+				h.SetEdgeProp(e, "count", lpg.Int(cv.I))
+			}
+			return true
+		})
+	}
+	return h
+}
+
+// String identifies the tenant in errors.
+func (t *tenant) String() string { return fmt.Sprintf("tenant(%s)", t.name) }

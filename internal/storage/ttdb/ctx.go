@@ -1,0 +1,185 @@
+package ttdb
+
+import (
+	"context"
+
+	"hygraph/internal/storage/tsstore"
+	"hygraph/internal/ts"
+)
+
+// This file is the context-aware query surface the network service layer
+// (internal/server) drives: every Table 1 query gets a *Ctx variant that
+// honors cancellation and deadlines. The fan-out queries (Q4–Q6, Q8) check
+// the context between work items inside the worker pool, so a
+// server-assigned per-request budget cancels a slow multi-station scan
+// after at most one in-flight item per worker; the single-entity probes
+// (Q1–Q3, Q7) check at their store-read boundaries, which bounds wasted
+// work by one series scan. An uncancelled run is byte-identical to the
+// plain methods — the ctx variants share the untimed bodies and the same
+// deterministic merge discipline.
+
+// ctxErr reports a done context's error; a nil context never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
+// Q1TimeRangeCtx is Q1TimeRange with cancellation.
+func (p *Polyglot) Q1TimeRangeCtx(ctx context.Context, st StationID, start, end ts.Time) ([]ts.Point, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	sw := p.obs.q[0].Start()
+	defer sw.Stop()
+	return p.T.Range(key(st), start, end), nil
+}
+
+// Q2FilteredRangeCtx is Q2FilteredRange with cancellation.
+func (p *Polyglot) Q2FilteredRangeCtx(ctx context.Context, st StationID, start, end ts.Time, below float64) ([]ts.Point, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	sw := p.obs.q[1].Start()
+	defer sw.Stop()
+	var out []ts.Point
+	p.T.RangeFunc(key(st), start, end, func(t ts.Time, v float64) {
+		if v < below {
+			out = append(out, ts.Point{T: t, V: v})
+		}
+	})
+	return out, ctxErr(ctx)
+}
+
+// Q3StationMeanCtx is Q3StationMean with cancellation.
+func (p *Polyglot) Q3StationMeanCtx(ctx context.Context, st StationID, start, end ts.Time) (float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	sw := p.obs.q[2].Start()
+	defer sw.Stop()
+	return p.meanOf(st, start, end), nil
+}
+
+// shardSummariesC is shardSummaries with per-shard cancellation checks in
+// the worker pool. On cancellation the partial parts are discarded.
+func (p *Polyglot) shardSummariesC(ctx context.Context, start, end ts.Time) ([]tsstore.EntitySummary, error) {
+	parts := make([][]tsstore.EntitySummary, p.T.NumShards())
+	if err := p.obs.parallelForCtx(ctx, p.workers, len(parts), func(i int) {
+		parts[i] = p.T.AggregateShard(i, Metric, start, end)
+	}); err != nil {
+		return nil, err
+	}
+	return tsstore.MergeBySeq(parts), nil
+}
+
+// Q4AllStationMeansCtx is Q4AllStationMeans with cancellation.
+func (p *Polyglot) Q4AllStationMeansCtx(ctx context.Context, start, end ts.Time) (map[StationID]float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	sw := p.obs.q[3].Start()
+	defer sw.Stop()
+	sums, err := p.shardSummariesC(ctx, start, end)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[StationID]float64, len(sums))
+	for _, e := range sums {
+		if e.Count > 0 {
+			out[StationID(e.Entity)] = e.Mean()
+		} else {
+			out[StationID(e.Entity)] = 0
+		}
+	}
+	return out, nil
+}
+
+// Q5DistrictSumsCtx is Q5DistrictSums with cancellation: both fan-out phases
+// (shard summaries, district lookups) check the context per item; the
+// sequential fold is unchanged, so an uncancelled run folds bit-identically.
+func (p *Polyglot) Q5DistrictSumsCtx(ctx context.Context, start, end ts.Time) (map[string]float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	sw := p.obs.q[4].Start()
+	defer sw.Stop()
+	sums, err := p.shardSummariesC(ctx, start, end)
+	if err != nil {
+		return nil, err
+	}
+	districts := make([]string, len(sums))
+	if err := p.obs.parallelForCtx(ctx, p.workers, len(sums), func(i int) {
+		districts[i] = "?"
+		if v, ok := p.G.NodeProp(StationID(sums[i].Entity), "district"); ok {
+			districts[i] = v.S
+		}
+	}); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for i := range sums {
+		out[districts[i]] += sums[i].Sum
+	}
+	return out, nil
+}
+
+// Q6TopKStationsCtx is Q6TopKStations with cancellation.
+func (p *Polyglot) Q6TopKStationsCtx(ctx context.Context, start, end ts.Time, k int) ([]StationID, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	sw := p.obs.q[5].Start()
+	defer sw.Stop()
+	sums, err := p.shardSummariesC(ctx, start, end)
+	if err != nil {
+		return nil, err
+	}
+	m := make(map[StationID]float64, len(sums))
+	for _, e := range sums {
+		if e.Count > 0 {
+			m[StationID(e.Entity)] = e.Mean()
+		}
+	}
+	return topK(m, k), nil
+}
+
+// Q7CorrelationCtx is Q7Correlation with cancellation, checked between the
+// two stores' reads (the correlation pushdown itself is one store call).
+func (p *Polyglot) Q7CorrelationCtx(ctx context.Context, x, y StationID, start, end, bucket ts.Time) (float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	sw := p.obs.q[6].Start()
+	defer sw.Stop()
+	var r float64
+	if bucket > 0 {
+		r = p.T.CorrelateResampled(key(x), key(y), start, end, bucket)
+	} else {
+		r = p.T.Correlate(key(x), key(y), start, end)
+	}
+	return r, ctxErr(ctx)
+}
+
+// Q8NeighborMeansCtx is Q8NeighborMeans with cancellation: the per-neighbor
+// summary pushdowns check the context per item in the worker pool.
+func (p *Polyglot) Q8NeighborMeansCtx(ctx context.Context, st StationID, start, end ts.Time) (map[StationID]float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	sw := p.obs.q[7].Start()
+	defer sw.Stop()
+	ns := p.G.Neighbors(st, "TRIP")
+	means := make([]float64, len(ns))
+	if err := p.obs.parallelForCtx(ctx, p.workers, len(ns), func(i int) {
+		means[i] = p.meanOf(ns[i], start, end)
+	}); err != nil {
+		return nil, err
+	}
+	out := make(map[StationID]float64, len(ns))
+	for i, n := range ns {
+		out[n] = means[i]
+	}
+	return out, nil
+}

@@ -1,0 +1,250 @@
+package ttdb
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+
+	"hygraph/internal/faults"
+	"hygraph/internal/ts"
+)
+
+// An uncancelled run of every *Ctx variant must be deep-equal to the plain
+// query — the ctx plumbing is cancellation, not a semantics change — at both
+// sequential and fanned-out widths, and with a nil context (internal callers
+// that have no deadline).
+func TestCtxVariantsMatchPlain(t *testing.T) {
+	pg := NewPolyglot(ts.Day)
+	sts := loadWorkload(t, pg)
+	start, end := 2*ts.Day, 9*ts.Day
+
+	for _, ctx := range []context.Context{context.Background(), nil} {
+		for _, workers := range []int{1, 4} {
+			pg.SetWorkers(workers)
+			checks := []struct {
+				name string
+				plain, viaCtx func() (any, error)
+			}{
+				{"Q1",
+					func() (any, error) { return pg.Q1TimeRange(sts[1], start, end), nil },
+					func() (any, error) { return pg.Q1TimeRangeCtx(ctx, sts[1], start, end) }},
+				{"Q2",
+					func() (any, error) { return pg.Q2FilteredRange(sts[1], start, end, 11), nil },
+					func() (any, error) { return pg.Q2FilteredRangeCtx(ctx, sts[1], start, end, 11) }},
+				{"Q3",
+					func() (any, error) { return pg.Q3StationMean(sts[2], start, end), nil },
+					func() (any, error) { return pg.Q3StationMeanCtx(ctx, sts[2], start, end) }},
+				{"Q4",
+					func() (any, error) { return pg.Q4AllStationMeans(start, end), nil },
+					func() (any, error) { return pg.Q4AllStationMeansCtx(ctx, start, end) }},
+				{"Q5",
+					func() (any, error) { return pg.Q5DistrictSums(start, end), nil },
+					func() (any, error) { return pg.Q5DistrictSumsCtx(ctx, start, end) }},
+				{"Q6",
+					func() (any, error) { return pg.Q6TopKStations(start, end, 3), nil },
+					func() (any, error) { return pg.Q6TopKStationsCtx(ctx, start, end, 3) }},
+				{"Q7",
+					func() (any, error) { return pg.Q7Correlation(sts[0], sts[5], start, end, ts.Hour), nil },
+					func() (any, error) { return pg.Q7CorrelationCtx(ctx, sts[0], sts[5], start, end, ts.Hour) }},
+				{"Q7-unbucketed",
+					func() (any, error) { return pg.Q7Correlation(sts[0], sts[5], start, end, 0), nil },
+					func() (any, error) { return pg.Q7CorrelationCtx(ctx, sts[0], sts[5], start, end, 0) }},
+				{"Q8",
+					func() (any, error) { return pg.Q8NeighborMeans(sts[0], start, end), nil },
+					func() (any, error) { return pg.Q8NeighborMeansCtx(ctx, sts[0], start, end) }},
+			}
+			for _, c := range checks {
+				want, _ := c.plain()
+				got, err := c.viaCtx()
+				if err != nil {
+					t.Fatalf("%s ctx workers=%d: %v", c.name, workers, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s workers=%d: ctx %v != plain %v", c.name, workers, got, want)
+				}
+			}
+		}
+	}
+}
+
+// A context that is already done short-circuits every variant with its error
+// before any store work runs.
+func TestCtxVariantsCancelled(t *testing.T) {
+	pg := NewPolyglot(ts.Day)
+	sts := loadWorkload(t, pg)
+	start, end := 2*ts.Day, 9*ts.Day
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+
+	calls := map[string]func() error{
+		"Q1": func() error { _, err := pg.Q1TimeRangeCtx(ctx, sts[0], start, end); return err },
+		"Q2": func() error { _, err := pg.Q2FilteredRangeCtx(ctx, sts[0], start, end, 11); return err },
+		"Q3": func() error { _, err := pg.Q3StationMeanCtx(ctx, sts[0], start, end); return err },
+		"Q4": func() error { _, err := pg.Q4AllStationMeansCtx(ctx, start, end); return err },
+		"Q5": func() error { _, err := pg.Q5DistrictSumsCtx(ctx, start, end); return err },
+		"Q6": func() error { _, err := pg.Q6TopKStationsCtx(ctx, start, end, 3); return err },
+		"Q7": func() error { _, err := pg.Q7CorrelationCtx(ctx, sts[0], sts[1], start, end, ts.Hour); return err },
+		"Q8": func() error { _, err := pg.Q8NeighborMeansCtx(ctx, sts[0], start, end); return err },
+	}
+	for name, call := range calls {
+		if err := call(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("%s with cancelled ctx: %v, want context.Canceled", name, err)
+		}
+	}
+}
+
+// A context cancelled while a fan-out query is mid-flight stops the worker
+// pool between items and surfaces the cancellation instead of a result.
+func TestCtxCancelsMidFanout(t *testing.T) {
+	pg := NewPolyglot(ts.Day)
+	loadWorkload(t, pg)
+	pg.SetWorkers(2)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	// Cancel from inside the first work item: every later per-item check in
+	// the pool must observe it.
+	var once bool
+	err := pg.obs.parallelForCtx(ctx, 2, 64, func(i int) {
+		if !once {
+			once = true
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallelForCtx after mid-flight cancel: %v", err)
+	}
+
+	cancel2Ctx, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	if err := pg.obs.parallelForCtx(cancel2Ctx, 2, 8, func(int) {
+		t.Error("work item ran under an already-cancelled context")
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("parallelForCtx pre-cancelled: %v", err)
+	}
+}
+
+// The durable ctx variants keep both contracts at once: a done context wins
+// over everything, an uncancelled call matches the plain durable query, and
+// a degraded time-series store returns the same graph-derivable partials
+// the plain methods do — with an error matching ErrDegraded.
+func TestDurableCtxVariants(t *testing.T) {
+	defer faults.Reset()
+	faults.Reset()
+	var dk disk
+	d := dk.open(t)
+	var ids []StationID
+	for i := 0; i < 4; i++ {
+		id, err := d.IngestStation("st", []string{"north", "south"}[i%2], stationSeries(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := d.AddTrip(ids[0], ids[1], 2); err != nil {
+		t.Fatal(err)
+	}
+	start, end := ts.Time(0), 48*ts.Hour
+	ctx := context.Background()
+
+	// Healthy: ctx results equal plain results.
+	if pts, err := d.Q1TimeRangeCtx(ctx, ids[0], start, end); err != nil || len(pts) != 48 {
+		t.Fatalf("healthy Q1 ctx: %d pts, %v", len(pts), err)
+	}
+	if pts, err := d.Q2FilteredRangeCtx(ctx, ids[0], start, end, 11); err != nil || len(pts) == 0 {
+		t.Fatalf("healthy Q2 ctx: %d pts, %v", len(pts), err)
+	}
+	wantQ3 := 0.0
+	if m, err := d.Q3StationMeanCtx(ctx, ids[0], start, end); err != nil || m == 0 {
+		t.Fatalf("healthy Q3 ctx: %v, %v", m, err)
+	} else {
+		wantQ3 = m
+	}
+	if plain, err := d.Q3StationMean(ids[0], start, end); err != nil || plain != wantQ3 {
+		t.Fatalf("Q3 ctx %v != plain %v (%v)", wantQ3, plain, err)
+	}
+	if means, err := d.Q4AllStationMeansCtx(ctx, start, end); err != nil || len(means) != 4 {
+		t.Fatalf("healthy Q4 ctx: %d entries, %v", len(means), err)
+	}
+	if sums, err := d.Q5DistrictSumsCtx(ctx, start, end); err != nil || len(sums) != 2 {
+		t.Fatalf("healthy Q5 ctx: %v, %v", sums, err)
+	}
+	if top, err := d.Q6TopKStationsCtx(ctx, start, end, 2); err != nil || len(top) != 2 {
+		t.Fatalf("healthy Q6 ctx: %v, %v", top, err)
+	}
+	if _, err := d.Q7CorrelationCtx(ctx, ids[0], ids[1], start, end, ts.Hour); err != nil {
+		t.Fatalf("healthy Q7 ctx: %v", err)
+	}
+	if nm, err := d.Q8NeighborMeansCtx(ctx, ids[0], start, end); err != nil || len(nm) != 1 {
+		t.Fatalf("healthy Q8 ctx: %v, %v", nm, err)
+	}
+
+	// Done context wins — even over a degraded store.
+	dead, cancel := context.WithCancel(context.Background())
+	cancel()
+	faults.Enable(FaultQueryTS, faults.Spec{Err: errors.New("ts backend down")})
+	if _, err := d.Q4AllStationMeansCtx(dead, start, end); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled beats degraded: %v", err)
+	}
+
+	// Degraded store: same partial shapes as the plain methods.
+	if _, err := d.Q1TimeRangeCtx(ctx, ids[0], start, end); !errors.Is(err, ErrDegraded) {
+		t.Fatalf("Q1 ctx degraded err: %v", err)
+	}
+	if _, err := d.Q2FilteredRangeCtx(ctx, ids[0], start, end, 11); !errors.Is(err, ErrDegraded) {
+		t.Fatal("Q2 ctx not degraded")
+	}
+	if _, err := d.Q3StationMeanCtx(ctx, ids[0], start, end); !errors.Is(err, ErrDegraded) {
+		t.Fatal("Q3 ctx not degraded")
+	}
+	means, err := d.Q4AllStationMeansCtx(ctx, start, end)
+	if !errors.Is(err, ErrDegraded) || len(means) != 4 {
+		t.Fatalf("Q4 ctx partial: %d entries, %v", len(means), err)
+	}
+	sums, err := d.Q5DistrictSumsCtx(ctx, start, end)
+	if !errors.Is(err, ErrDegraded) || len(sums) != 2 {
+		t.Fatalf("Q5 ctx partial: %v, %v", sums, err)
+	}
+	if _, err := d.Q6TopKStationsCtx(ctx, start, end, 2); !errors.Is(err, ErrDegraded) {
+		t.Fatal("Q6 ctx not degraded")
+	}
+	if _, err := d.Q7CorrelationCtx(ctx, ids[0], ids[1], start, end, ts.Hour); !errors.Is(err, ErrDegraded) {
+		t.Fatal("Q7 ctx not degraded")
+	}
+	nm, err := d.Q8NeighborMeansCtx(ctx, ids[0], start, end)
+	if !errors.Is(err, ErrDegraded) || len(nm) != 1 {
+		t.Fatalf("Q8 ctx partial: %v, %v", nm, err)
+	}
+	faults.Reset()
+}
+
+// SyncAll is the drain step of a graceful server shutdown: after it returns
+// nil, streaming appends that only rode shared flushes are recoverable from
+// the logs alone.
+func TestSyncAllMakesStreamedAppendsRecoverable(t *testing.T) {
+	faults.Reset()
+	var dk disk
+	d := dk.open(t)
+	d.SetGroupCommit(64)
+	id, err := d.IngestStation("st", "north", stationSeries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for h := 48; h < 80; h++ {
+		if err := d.AppendPoint(id, ts.Time(h)*ts.Hour, float64(h)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.SyncAll(); err != nil {
+		t.Fatal(err)
+	}
+	eng, _ := dk.recover(t)
+	got := eng.Q1TimeRange(id, 0, 80*ts.Hour)
+	if len(got) != 80 {
+		t.Fatalf("recovered %d points after SyncAll, want 80", len(got))
+	}
+	// Engine/Name accessors used by service code.
+	if d.Engine() == nil || d.Name() == "" {
+		t.Fatal("Engine/Name accessors broken")
+	}
+}

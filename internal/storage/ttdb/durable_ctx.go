@@ -1,0 +1,141 @@
+package ttdb
+
+import (
+	"context"
+	"fmt"
+
+	"hygraph/internal/ts"
+)
+
+// Context-aware variants of the durable query surface, combining the engine's
+// cancellation plumbing (ctx.go) with the degraded-mode contract of
+// durable.go: a done context wins over everything (the caller's budget is
+// spent, so not even the graph-derivable partial result is computed), and a
+// degraded time-series store still returns the same partial results the
+// plain methods do, with an error satisfying errors.Is(err, ErrDegraded).
+
+// Q1TimeRangeCtx is Q1TimeRange with cancellation.
+func (d *DurablePolyglot) Q1TimeRangeCtx(ctx context.Context, st StationID, start, end ts.Time) ([]ts.Point, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := d.tsCheck("Q1"); err != nil {
+		return nil, err
+	}
+	return d.eng.Q1TimeRangeCtx(ctx, st, start, end)
+}
+
+// Q2FilteredRangeCtx is Q2FilteredRange with cancellation.
+func (d *DurablePolyglot) Q2FilteredRangeCtx(ctx context.Context, st StationID, start, end ts.Time, below float64) ([]ts.Point, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := d.tsCheck("Q2"); err != nil {
+		return nil, err
+	}
+	return d.eng.Q2FilteredRangeCtx(ctx, st, start, end, below)
+}
+
+// Q3StationMeanCtx is Q3StationMean with cancellation.
+func (d *DurablePolyglot) Q3StationMeanCtx(ctx context.Context, st StationID, start, end ts.Time) (float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	if err := d.tsCheck("Q3"); err != nil {
+		return 0, err
+	}
+	return d.eng.Q3StationMeanCtx(ctx, st, start, end)
+}
+
+// Q4AllStationMeansCtx is Q4AllStationMeans with cancellation; degraded
+// calls still enumerate the stations with zero means.
+func (d *DurablePolyglot) Q4AllStationMeansCtx(ctx context.Context, start, end ts.Time) (map[StationID]float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := d.tsCheck("Q4"); err != nil {
+		out := map[StationID]float64{}
+		for _, st := range d.eng.G.NodesByLabel("Station") {
+			out[st] = 0
+		}
+		return out, err
+	}
+	return d.eng.Q4AllStationMeansCtx(ctx, start, end)
+}
+
+// Q5DistrictSumsCtx is Q5DistrictSums with cancellation; degraded calls
+// still return the district partition with zero sums.
+func (d *DurablePolyglot) Q5DistrictSumsCtx(ctx context.Context, start, end ts.Time) (map[string]float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := d.tsCheck("Q5"); err != nil {
+		out := map[string]float64{}
+		for _, st := range d.eng.G.NodesByLabel("Station") {
+			district := "?"
+			if v, ok := d.eng.G.NodeProp(st, "district"); ok {
+				district = v.S
+			}
+			out[district] += 0
+		}
+		return out, err
+	}
+	return d.eng.Q5DistrictSumsCtx(ctx, start, end)
+}
+
+// Q6TopKStationsCtx is Q6TopKStations with cancellation.
+func (d *DurablePolyglot) Q6TopKStationsCtx(ctx context.Context, start, end ts.Time, k int) ([]StationID, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := d.tsCheck("Q6"); err != nil {
+		return nil, err
+	}
+	return d.eng.Q6TopKStationsCtx(ctx, start, end, k)
+}
+
+// Q7CorrelationCtx is Q7Correlation with cancellation.
+func (d *DurablePolyglot) Q7CorrelationCtx(ctx context.Context, x, y StationID, start, end, bucket ts.Time) (float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	if err := d.tsCheck("Q7"); err != nil {
+		return 0, err
+	}
+	return d.eng.Q7CorrelationCtx(ctx, x, y, start, end, bucket)
+}
+
+// Q8NeighborMeansCtx is Q8NeighborMeans with cancellation; degraded calls
+// still return the neighbor set with zero means.
+func (d *DurablePolyglot) Q8NeighborMeansCtx(ctx context.Context, st StationID, start, end ts.Time) (map[StationID]float64, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := d.tsCheck("Q8"); err != nil {
+		out := map[StationID]float64{}
+		for _, n := range d.eng.G.Neighbors(st, "TRIP") {
+			out[n] = 0
+		}
+		return out, err
+	}
+	return d.eng.Q8NeighborMeansCtx(ctx, st, start, end)
+}
+
+// SyncAll forces every buffered record on all three logs (graph WAL,
+// time-series WAL, intent journal) to durable storage — the drain step of a
+// graceful server shutdown: after SyncAll returns nil, every acknowledged
+// write is recoverable even though streaming appends only Commit (ride
+// shared flushes) on the hot path. The first failing log aborts the sync;
+// its error names the log so operators know which artifact is suspect.
+func (d *DurablePolyglot) SyncAll() error {
+	if err := d.gw.Flush(); err != nil {
+		return fmt.Errorf("ttdb: sync graph wal: %w", err)
+	}
+	if err := d.tw.Flush(); err != nil {
+		return fmt.Errorf("ttdb: sync ts wal: %w", err)
+	}
+	if err := d.jw.Sync(); err != nil {
+		return fmt.Errorf("ttdb: sync intent journal: %w", err)
+	}
+	return nil
+}

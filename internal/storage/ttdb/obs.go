@@ -1,6 +1,7 @@
 package ttdb
 
 import (
+	"context"
 	"strings"
 
 	"hygraph/internal/obs"
@@ -43,6 +44,17 @@ func (o queryObs) parallelFor(workers, n int, fn func(int)) {
 	o.fanout.Inc()
 	o.items.Add(int64(n))
 	parallelForGauged(workers, n, o.active, fn)
+}
+
+// parallelForCtx dispatches a cancellable fan-out through the worker pool,
+// tracking the in-flight worker count when instrumented. A nil context is
+// the uncancellable path, identical to parallelFor.
+func (o queryObs) parallelForCtx(ctx context.Context, workers, n int, fn func(int)) error {
+	if o.active != nil {
+		o.fanout.Inc()
+		o.items.Add(int64(n))
+	}
+	return parallelForCtx(ctx, workers, n, o.active, fn)
 }
 
 // Instrument attaches per-query timers and fan-out metrics to the engine and

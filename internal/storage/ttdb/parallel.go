@@ -1,6 +1,7 @@
 package ttdb
 
 import (
+	"context"
 	"sync"
 
 	"hygraph/internal/obs"
@@ -52,4 +53,52 @@ func parallelForGauged(workers, n int, active *obs.Gauge, fn func(i int)) {
 		}(w)
 	}
 	wg.Wait()
+}
+
+// parallelForCtx is parallelFor with cooperative cancellation: every worker
+// checks the context between items and stops dispatching once it is done, so
+// a server-assigned deadline cancels a fan-out after at most one in-flight
+// item per worker. Items completed before the cancellation are left in the
+// caller's result slice; the non-nil error tells the caller to discard them.
+// The item → worker assignment is the same pure striding as parallelFor, so
+// an uncancelled run is byte-identical to the plain executor's.
+func parallelForCtx(ctx context.Context, workers, n int, active *obs.Gauge, fn func(i int)) error {
+	if ctx == nil {
+		parallelForGauged(workers, n, active, fn)
+		return nil
+	}
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		active.Add(1)
+		defer active.Add(-1)
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			active.Add(1)
+			defer active.Add(-1)
+			for i := w; i < n; i += workers {
+				if ctx.Err() != nil {
+					return
+				}
+				fn(i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	return ctx.Err()
 }

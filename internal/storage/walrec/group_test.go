@@ -7,6 +7,7 @@ import (
 	"io"
 	"sync"
 	"testing"
+	"time"
 )
 
 func scanAll(t *testing.T, buf *bytes.Buffer) [][]byte {
@@ -230,4 +231,147 @@ func TestGroupConcurrentCommitters(t *testing.T) {
 		t.Fatalf("flushes=%d exceeds commits=%d", flushes, writers*per)
 	}
 	t.Logf("commits=%d physical flushes=%d", writers*per, flushes)
+}
+
+// gate blocks the leader inside its flush attempt so the test can park
+// riders on the group's latch deterministically before the attempt resolves.
+type gate struct {
+	entered chan struct{} // closed when the leader reaches the gate
+	release chan struct{} // the leader waits here
+	once    sync.Once
+}
+
+func newGate() *gate {
+	return &gate{entered: make(chan struct{}), release: make(chan struct{})}
+}
+
+func (ga *gate) hold() {
+	ga.once.Do(func() { close(ga.entered) })
+	<-ga.release
+}
+
+// Sync callers that ride a failing leader flush — records in the failing
+// batch or enqueued while it was in flight — must all observe the flush
+// error, not just the leader that performed the I/O. A rider returning nil
+// would acknowledge a write the log never accepted.
+func TestGroupSyncRidersObserveLeaderFlushError(t *testing.T) {
+	var buf bytes.Buffer
+	g := NewGroup(NewWriter(&buf))
+	injected := errors.New("injected leader flush failure")
+	ga := newGate()
+	var arm bool
+	g.SetHooks(func() error {
+		if arm {
+			arm = false
+			ga.hold()
+			return injected
+		}
+		return nil
+	}, nil)
+
+	// Records "r0".."r2" are enqueued before the leader flushes, so the
+	// failing attempt covers them.
+	preSeqs := make([]uint64, 3)
+	for i := range preSeqs {
+		seq, err := g.Append([]byte(fmt.Sprintf("r%d", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		preSeqs[i] = seq
+	}
+
+	arm = true
+	leaderErr := make(chan error, 1)
+	go func() { leaderErr <- g.Sync() }()
+	<-ga.entered // leader is inside the failing flush attempt
+
+	// Riders: two commit records from the failing batch, one enqueues a new
+	// record during the flight, one is a bare Sync with nothing of its own.
+	riderErrs := make(chan error, 4)
+	for _, seq := range preSeqs[1:] {
+		go func(seq uint64) { riderErrs <- g.Commit(seq) }(seq)
+	}
+	go func() {
+		seq, err := g.Append([]byte("late"))
+		if err != nil {
+			riderErrs <- err
+			return
+		}
+		riderErrs <- g.Commit(seq)
+	}()
+	go func() { riderErrs <- g.Sync() }()
+	time.Sleep(20 * time.Millisecond) // let the riders park on the latch
+	close(ga.release)
+
+	if err := <-leaderErr; !errors.Is(err, injected) {
+		t.Fatalf("leader error = %v, want injected", err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-riderErrs; !errors.Is(err, injected) {
+			t.Fatalf("rider %d error = %v, want injected", i, err)
+		}
+	}
+
+	// The hook failure is transient: nothing latched, a retried Sync lands
+	// every record exactly once.
+	if err := g.Err(); err != nil {
+		t.Fatalf("transient flush failure latched the group: %v", err)
+	}
+	if err := g.Sync(); err != nil {
+		t.Fatalf("retried Sync: %v", err)
+	}
+	recs := scanAll(t, &buf)
+	if len(recs) != 4 {
+		t.Fatalf("recovered %d records, want 4", len(recs))
+	}
+}
+
+// blockThenFail blocks the first Write at the gate, then fails it — the
+// underlying-device version of the race above. Unlike a hook error this
+// latches the Writer, so riders must see the latched error and every later
+// Append and Sync must keep failing.
+type blockThenFail struct {
+	ga *gate
+}
+
+func (w *blockThenFail) Write(p []byte) (int, error) {
+	w.ga.hold()
+	return 0, errors.New("device failed mid-flush")
+}
+
+func TestGroupSyncRacingLatchingLeaderFlush(t *testing.T) {
+	ga := newGate()
+	g := NewGroup(NewWriter(&blockThenFail{ga: ga}))
+
+	seq, err := g.Append([]byte("doomed"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaderErr := make(chan error, 1)
+	go func() { leaderErr <- g.Commit(seq) }()
+	<-ga.entered // leader is blocked inside the device write
+
+	riderErrs := make(chan error, 2)
+	go func() { riderErrs <- g.Sync() }()
+	go func() { riderErrs <- g.Commit(seq) }()
+	time.Sleep(20 * time.Millisecond)
+	close(ga.release)
+
+	if err := <-leaderErr; err == nil {
+		t.Fatal("leader Commit succeeded past a failing device")
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-riderErrs; err == nil {
+			t.Fatalf("rider %d observed nil from a latching flush failure", i)
+		}
+	}
+	if g.Err() == nil {
+		t.Fatal("device failure did not latch the group")
+	}
+	if _, err := g.Append([]byte("more")); err == nil {
+		t.Fatal("Append after latched failure succeeded")
+	}
+	if err := g.Sync(); err == nil {
+		t.Fatal("Sync after latched failure succeeded")
+	}
 }
