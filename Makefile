@@ -43,15 +43,21 @@ bench:
 # The third run smokes the served-workload path: the network query service
 # on a loopback port under open-loop load below and above the admission
 # limit (not under -race — open-loop timing is the point being measured).
+# The fourth run smokes the storage path: chunk compression + cold tier
+# (points-per-MB, the 4x ratio floor, spill + cold/warm scans, Q1-Q8
+# deltas), with the v4 baseline schema validated by -check.
 # Writes to scratch files so the committed BENCH_table1.json is never
 # clobbered by a -race-skewed run.
 benchsmoke:
 	$(GO) run -race ./cmd/hybench -reps 2 -parallel -clients 4 -ops 8 -metrics -json /tmp/hybench_smoke.json
 	$(GO) run -race ./cmd/hybench -scale small -reps 2 -mixed -ingest 2 -query 2 -mixedms 25 -shapemin 5 -json /tmp/hybench_smoke_mixed.json
 	$(GO) run ./cmd/hybench -scale small -reps 2 -serve -servems 200 -shapemin 5 -json /tmp/hybench_smoke_serve.json
+	$(GO) run -race ./cmd/hybench -scale small -reps 2 -storage -shapemin 5 -json /tmp/hybench_smoke_storage.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_mixed.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_serve.json
+	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_storage.json
+	grep -q '"schema": "hybench-table1/v4"' /tmp/hybench_smoke_storage.json
 
 # Server smoke (docs/SERVICE.md): one live `hygraph serve -smoke` run under
 # -race — random loopback port, durable ingest + query through the retry

@@ -57,6 +57,7 @@ func main() {
 	ingest := flag.Int("ingest", 4, "ingest clients in -mixed mode")
 	query := flag.Int("query", 4, "query clients in -mixed mode")
 	mixedMS := flag.Int("mixedms", 100, "measured window per rep in -mixed mode, milliseconds")
+	storage := flag.Bool("storage", false, "storage mode: points-per-MB of raw vs compressed chunk layouts, cold-tier spill + scan cost, and Q1-Q8 deltas of a compressed engine")
 	serve := flag.Bool("serve", false, "served-workload mode: open-loop load against the network query service at levels below and above the admission limit")
 	serveRate := flag.Float64("serverate", 400, "per-tenant admitted request rate in -serve mode, req/s")
 	serveMS := flag.Int("servems", 500, "measured window per offered-load level in -serve mode, milliseconds")
@@ -166,6 +167,24 @@ func main() {
 		}
 		fmt.Print(bench.FormatMixed(cmp))
 		baseline.Mixed = &cmp
+	}
+
+	if *storage {
+		fmt.Println()
+		rep, err := bench.RunStorage(cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatStorage(rep))
+		baseline.Storage = &rep
+		if problems := bench.CheckStorage(&rep); len(problems) > 0 {
+			fmt.Fprintln(os.Stderr, "hybench: storage check FAIL")
+			for _, p := range problems {
+				fmt.Fprintln(os.Stderr, "  "+p)
+			}
+			os.Exit(1)
+		}
 	}
 
 	if *serve {

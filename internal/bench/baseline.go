@@ -15,8 +15,9 @@ import (
 // mixed read/write throughput section (sharded stores + WAL group commit);
 // v3 added the served-workload section (network service under open-loop
 // offered load: served QPS, latency quantiles, shed and deadline-miss
-// rates).
-const BaselineSchema = "hybench-table1/v3"
+// rates); v4 added the storage section (chunk compression + cold tier:
+// points-per-MB, compression ratio, cold/warm scan, Q1–Q8 deltas).
+const BaselineSchema = "hybench-table1/v4"
 
 // Baseline is the machine-readable record of one Table 1 run, written to
 // BENCH_table1.json so the performance trajectory is trackable across PRs.
@@ -41,6 +42,10 @@ type Baseline struct {
 	// (hybench -metrics): per-query timers, WAL/store counters, cache
 	// hit rates, and the durable-exercise trace.
 	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Storage is the compression + tiering section (hybench -storage):
+	// points-per-MB of the raw vs compressed layouts, the cold-tier spill
+	// and scan numbers, and the Q1–Q8 latency deltas of a compressed engine.
+	Storage *StorageReport `json:"storage,omitempty"`
 }
 
 // Validate checks the structural invariants of a baseline: schema tag,
@@ -96,6 +101,9 @@ func (b *Baseline) Validate() []string {
 	}
 	if b.Metrics != nil {
 		problems = append(problems, CheckMetrics(b.Metrics)...)
+	}
+	if b.Storage != nil {
+		problems = append(problems, CheckStorage(b.Storage)...)
 	}
 	return problems
 }

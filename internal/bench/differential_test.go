@@ -266,6 +266,29 @@ func TestDifferentialBattery(t *testing.T) {
 			seq.SetWorkers(1)
 			comparePaths(t, "ttdb-seq", ref, engineResults(data, seq, idsSeq))
 
+			// Chunk compression is on by default, so the paths above already
+			// run over sealed blocks. Pin the raw layout explicitly, then the
+			// full tier: spilled to disk, cold (empty block cache) and warm.
+			raw := ttdb.NewPolyglot(ts.Week)
+			raw.T.SetCompress(false)
+			idsRaw := load(raw)
+			comparePaths(t, "ttdb-raw", ref, engineResults(data, raw, idsRaw))
+
+			tiered := ttdb.NewPolyglot(ts.Week)
+			idsTiered := load(tiered)
+			if err := tiered.T.EnableColdTier(t.TempDir()); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := tiered.T.Spill(); err != nil {
+				t.Fatal(err)
+			}
+			tiered.T.DropBlockCache()
+			comparePaths(t, "ttdb-tiered-cold", ref, engineResults(data, tiered, idsTiered))
+			comparePaths(t, "ttdb-tiered-warm", ref, engineResults(data, tiered, idsTiered))
+			if err := tiered.T.Err(); err != nil {
+				t.Fatalf("tiered path degraded: %v", err)
+			}
+
 			par := ttdb.NewPolyglot(ts.Week)
 			idsPar := load(par)
 			par.SetWorkers(4)

@@ -1,0 +1,241 @@
+package tsstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"hygraph/internal/ts"
+)
+
+// Sealed-chunk compression: the TimescaleDB-style columnar codec the survey
+// in PAPERS.md credits for TS-native scale. A sealed chunk's points are
+// encoded into one immutable block:
+//
+//	uvarint(n)                      point count
+//	varint(t0)                      first timestamp
+//	varint(d1)                      first delta (n >= 2)
+//	varint(dod_i) for i in 2..n-1   delta-of-delta per remaining point
+//	uvarint(len(values))            value stream length in bytes
+//	values                          Gorilla XOR bit stream (see below)
+//
+// Timestamps use byte-aligned varint delta-of-delta: a regular sampling grid
+// (the overwhelmingly common shape — hourly availability, minutely sensors)
+// has dod == 0 everywhere and costs one byte per point. Values use the
+// Gorilla XOR scheme: each float64 is XORed with its predecessor; a zero XOR
+// is a single '0' bit, otherwise the meaningful (non-zero) bit window is
+// emitted, reusing the previous window's bounds when it still fits:
+//
+//	'0'                          value identical to predecessor
+//	'1' '0' <meaningful bits>    window of the previous value reused
+//	'1' '1' <5b leading> <6b sig-1> <meaningful bits>   new window
+//
+// The codec is exact: decodeChunk(encodeChunk(ts, vs)) reproduces the input
+// bit-for-bit (NaN payloads included), which is what lets the differential
+// battery demand byte-identical query results from compressed stores.
+
+// bitWriter packs bits MSB-first into a byte slice.
+type bitWriter struct {
+	b    []byte
+	free uint // unused low bits in the last byte (0 when b is "full")
+}
+
+func (w *bitWriter) writeBit(bit uint64) {
+	if w.free == 0 {
+		w.b = append(w.b, 0)
+		w.free = 8
+	}
+	w.free--
+	if bit != 0 {
+		w.b[len(w.b)-1] |= 1 << w.free
+	}
+}
+
+// writeBits emits the low n bits of v, most significant first.
+func (w *bitWriter) writeBits(v uint64, n uint) {
+	for n > 0 {
+		n--
+		w.writeBit((v >> n) & 1)
+	}
+}
+
+// bitReader consumes bits MSB-first from a byte slice.
+type bitReader struct {
+	b   []byte
+	pos uint // bits consumed so far
+}
+
+func (r *bitReader) readBit() (uint64, error) {
+	i := r.pos >> 3
+	if i >= uint(len(r.b)) {
+		return 0, fmt.Errorf("tsstore: value stream truncated")
+	}
+	bit := uint64(r.b[i]>>(7-(r.pos&7))) & 1
+	r.pos++
+	return bit, nil
+}
+
+func (r *bitReader) readBits(n uint) (uint64, error) {
+	var v uint64
+	for ; n > 0; n-- {
+		bit, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v = v<<1 | bit
+	}
+	return v, nil
+}
+
+// encodeChunk compresses one chunk's points (times strictly increasing,
+// len(times) == len(vals) > 0) into an immutable block.
+func encodeChunk(times []ts.Time, vals []float64) []byte {
+	n := len(times)
+	buf := make([]byte, 0, 2*n) // regular grids land well under this
+	buf = binary.AppendUvarint(buf, uint64(n))
+	if n == 0 {
+		return buf
+	}
+	buf = binary.AppendVarint(buf, int64(times[0]))
+	if n >= 2 {
+		prevDelta := int64(times[1] - times[0])
+		buf = binary.AppendVarint(buf, prevDelta)
+		for i := 2; i < n; i++ {
+			d := int64(times[i] - times[i-1])
+			buf = binary.AppendVarint(buf, d-prevDelta)
+			prevDelta = d
+		}
+	}
+
+	var bw bitWriter
+	bw.writeBits(math.Float64bits(vals[0]), 64)
+	prev := math.Float64bits(vals[0])
+	lead, sig := uint(0), uint(0) // current window; sig == 0 means none yet
+	for i := 1; i < n; i++ {
+		cur := math.Float64bits(vals[i])
+		xor := cur ^ prev
+		prev = cur
+		if xor == 0 {
+			bw.writeBit(0)
+			continue
+		}
+		bw.writeBit(1)
+		l := uint(bits.LeadingZeros64(xor))
+		if l > 31 {
+			l = 31 // 5-bit field; deeper windows gain little
+		}
+		t := uint(bits.TrailingZeros64(xor))
+		s := 64 - l - t
+		// Reuse the previous window when the xor's meaningful bits fit
+		// inside it: at least `lead` leading and `64-lead-sig` trailing zeros.
+		if sig != 0 && l >= lead && t >= 64-lead-sig {
+			bw.writeBit(0)
+			bw.writeBits(xor>>(64-lead-sig), sig)
+			continue
+		}
+		lead, sig = l, s
+		bw.writeBit(1)
+		bw.writeBits(uint64(lead), 5)
+		bw.writeBits(uint64(sig-1), 6)
+		bw.writeBits(xor>>t, sig)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(bw.b)))
+	return append(buf, bw.b...)
+}
+
+// decodeChunk inflates a block produced by encodeChunk into freshly
+// allocated slices. Corrupt input returns an error, never a panic — blocks
+// also arrive from snapshots and spill files.
+func decodeChunk(block []byte) ([]ts.Time, []float64, error) {
+	rd := block
+	n, w := binary.Uvarint(rd)
+	if w <= 0 {
+		return nil, nil, fmt.Errorf("tsstore: corrupt block count")
+	}
+	rd = rd[w:]
+	// Every point past the second costs >= 1 timestamp byte and >= 1 value
+	// bit; cap n before allocating so corrupt headers can't OOM the loader.
+	if n > uint64(len(block))*8+2 {
+		return nil, nil, fmt.Errorf("tsstore: block count %d exceeds payload", n)
+	}
+	times := make([]ts.Time, n)
+	vals := make([]float64, n)
+	if n == 0 {
+		return times, vals, nil
+	}
+	t0, w := binary.Varint(rd)
+	if w <= 0 {
+		return nil, nil, fmt.Errorf("tsstore: corrupt block t0")
+	}
+	rd = rd[w:]
+	times[0] = ts.Time(t0)
+	if n >= 2 {
+		delta, w := binary.Varint(rd)
+		if w <= 0 {
+			return nil, nil, fmt.Errorf("tsstore: corrupt block delta")
+		}
+		rd = rd[w:]
+		times[1] = times[0] + ts.Time(delta)
+		for i := uint64(2); i < n; i++ {
+			dod, w := binary.Varint(rd)
+			if w <= 0 {
+				return nil, nil, fmt.Errorf("tsstore: corrupt block dod at %d", i)
+			}
+			rd = rd[w:]
+			delta += dod
+			times[i] = times[i-1] + ts.Time(delta)
+		}
+	}
+	vlen, w := binary.Uvarint(rd)
+	if w <= 0 || vlen > uint64(len(rd[w:])) {
+		return nil, nil, fmt.Errorf("tsstore: corrupt block value length")
+	}
+	br := bitReader{b: rd[w : w+int(vlen)]}
+	first, err := br.readBits(64)
+	if err != nil {
+		return nil, nil, err
+	}
+	prev := first
+	vals[0] = math.Float64frombits(first)
+	lead, sig := uint(0), uint(0)
+	for i := uint64(1); i < n; i++ {
+		ctrl, err := br.readBit()
+		if err != nil {
+			return nil, nil, err
+		}
+		if ctrl == 0 {
+			vals[i] = math.Float64frombits(prev)
+			continue
+		}
+		reuse, err := br.readBit()
+		if err != nil {
+			return nil, nil, err
+		}
+		if reuse == 1 { // '1''1': new window
+			l, err := br.readBits(5)
+			if err != nil {
+				return nil, nil, err
+			}
+			s, err := br.readBits(6)
+			if err != nil {
+				return nil, nil, err
+			}
+			lead, sig = uint(l), uint(s)+1
+		} else if sig == 0 {
+			return nil, nil, fmt.Errorf("tsstore: block reuses window before defining one")
+		}
+		mbits, err := br.readBits(sig)
+		if err != nil {
+			return nil, nil, err
+		}
+		prev ^= mbits << (64 - lead - sig)
+		vals[i] = math.Float64frombits(prev)
+	}
+	for i := uint64(1); i < n; i++ {
+		if times[i] <= times[i-1] {
+			return nil, nil, fmt.Errorf("tsstore: block timestamps not increasing at %d", i)
+		}
+	}
+	return times, vals, nil
+}

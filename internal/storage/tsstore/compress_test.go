@@ -1,0 +1,124 @@
+package tsstore
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"hygraph/internal/ts"
+)
+
+func roundTrip(t *testing.T, times []ts.Time, vals []float64) {
+	t.Helper()
+	block := encodeChunk(times, vals)
+	gotT, gotV, err := decodeChunk(block)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(gotT) != len(times) || len(gotV) != len(vals) {
+		t.Fatalf("length mismatch: %d/%d vs %d/%d", len(gotT), len(gotV), len(times), len(vals))
+	}
+	for i := range times {
+		if gotT[i] != times[i] {
+			t.Fatalf("time[%d] = %d, want %d", i, gotT[i], times[i])
+		}
+		if math.Float64bits(gotV[i]) != math.Float64bits(vals[i]) {
+			t.Fatalf("val[%d] = %x, want %x (bit-exact)", i, math.Float64bits(gotV[i]), math.Float64bits(vals[i]))
+		}
+	}
+}
+
+func TestCodecRoundTripShapes(t *testing.T) {
+	cases := []struct {
+		name  string
+		times []ts.Time
+		vals  []float64
+	}{
+		{"single", []ts.Time{42}, []float64{3.14}},
+		{"pair", []ts.Time{-5, 7}, []float64{1, 1}},
+		{"regular grid", []ts.Time{0, 3600000, 7200000, 10800000}, []float64{10, 10, 12, 9}},
+		{"irregular", []ts.Time{-1000, 3, 4, 5000, 123456789}, []float64{0.1, -0.1, 1e300, -1e-300, 0}},
+		{"constant", []ts.Time{1, 2, 3, 4, 5}, []float64{7, 7, 7, 7, 7}},
+		{"specials", []ts.Time{1, 2, 3, 4, 5}, []float64{math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), math.MaxFloat64}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) { roundTrip(t, tc.times, tc.vals) })
+	}
+}
+
+func TestCodecRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(500)
+		times := make([]ts.Time, n)
+		vals := make([]float64, n)
+		cur := ts.Time(rng.Int63n(1 << 40))
+		for i := 0; i < n; i++ {
+			cur += ts.Time(1 + rng.Int63n(100000))
+			times[i] = cur
+			switch rng.Intn(4) {
+			case 0:
+				vals[i] = float64(rng.Intn(100)) // integer-ish, XOR-friendly
+			case 1:
+				vals[i] = rng.NormFloat64() * 1e6
+			case 2:
+				if i > 0 {
+					vals[i] = vals[i-1] // repeated value, '0' control bit
+				}
+			default:
+				vals[i] = math.Float64frombits(rng.Uint64()) // arbitrary bits
+			}
+		}
+		roundTrip(t, times, vals)
+	}
+}
+
+// Regular integer-valued grids are the bench workload; pin the size win the
+// points-per-MB column depends on (raw layout: 16 bytes/point).
+func TestCodecCompressesRegularGrid(t *testing.T) {
+	n := 1000
+	times := make([]ts.Time, n)
+	vals := make([]float64, n)
+	rng := rand.New(rand.NewSource(3))
+	for i := range times {
+		times[i] = ts.Time(i) * ts.Hour
+		vals[i] = float64(rng.Intn(60))
+	}
+	block := encodeChunk(times, vals)
+	if got, limit := len(block), 16*n/4; got > limit {
+		t.Fatalf("block = %d bytes for %d points; want <= %d (4x under raw)", got, n, limit)
+	}
+}
+
+// Corrupt blocks must come back as errors, never panics or giant
+// allocations — blocks arrive from snapshots and spill files.
+func TestDecodeCorruptBlocks(t *testing.T) {
+	good := encodeChunk([]ts.Time{1, 2, 3}, []float64{1, 2, 3})
+	for cut := 0; cut < len(good); cut++ {
+		if _, _, err := decodeChunk(good[:cut]); err == nil && cut < len(good) {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+	for i := range good {
+		mut := append([]byte(nil), good...)
+		mut[i] ^= 0xFF
+		// Any outcome but a panic/OOM is fine; decode under recover-free test.
+		decodeChunk(mut)
+	}
+	if _, _, err := decodeChunk([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Fatal("absurd count accepted")
+	}
+}
+
+func TestDecodeRejectsNonIncreasingTimes(t *testing.T) {
+	// Encode a legal pair, then flip the delta sign byte by re-encoding with
+	// crafted deltas: emit via the real encoder on decreasing input is not
+	// possible (chunks are sorted), so build the frame by hand.
+	block := encodeChunk([]ts.Time{10, 20}, []float64{1, 2})
+	// varint(d1) sits right after uvarint(n)=1 byte and varint(t0)=1 byte;
+	// overwrite delta 10 (varint 0x14) with -10 (varint 0x13).
+	block[2] = 0x13
+	if _, _, err := decodeChunk(block); err == nil {
+		t.Fatal("non-increasing timestamps accepted")
+	}
+}

@@ -11,18 +11,26 @@ import (
 )
 
 // Binary snapshot format mirroring graphstore's: magic, version, chunk
-// width, then per-series key and chunk payloads. Timestamps are
-// delta-encoded within a chunk; values are raw float64 bits.
+// width, then per-series key and chunk payloads. Version 2 adds a form byte
+// per chunk so sealed chunks are persisted as their compressed blocks
+// (summary included — Load must not pay a decode per chunk); open chunks
+// keep the v1 raw layout (delta-encoded timestamps, raw float64 bits).
+// Version 1 snapshots still load (docs/STORAGE.md).
 
 const (
 	snapshotMagic   = "HYTS"
-	snapshotVersion = 1
+	snapshotVersion = 2
+
+	chunkFormRaw        = 0 // uvarint nPts, delta times, raw float64 bits
+	chunkFormCompressed = 1 // uvarint n, sum/min/max bits, uvarint len, block
 )
 
 // Save writes a binary snapshot of the store. Keys are emitted in merged
 // first-insertion order (one short read lock per shard while walking each
 // key's series), so the on-disk layout is byte-identical regardless of the
-// shard count and Load reproduces the same iteration order.
+// shard count and Load reproduces the same iteration order. Spilled chunks
+// are read back from the spill file so the snapshot is self-contained —
+// recovery never needs the cold tier.
 func (db *DB) Save(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	if _, err := bw.WriteString(snapshotMagic); err != nil {
@@ -37,24 +45,46 @@ func (db *DB) Save(w io.Writer) error {
 		writeUvarint(bw, uint64(key.Entity))
 		writeUvarint(bw, uint64(len(key.Metric)))
 		bw.WriteString(key.Metric) //hyvet:allow walerrlatch bufio.Writer latches its first error; the checked Flush at the end reports it
-		db.saveSeries(bw, key)
+		if err := db.saveSeries(bw, key); err != nil {
+			return err
+		}
 	}
 	return bw.Flush()
 }
 
 // saveSeries writes one series' chunk payloads under its shard's read lock.
-func (db *DB) saveSeries(bw *bufio.Writer, key SeriesKey) {
+// The only error it can surface itself is a failed spill read-back; bufio
+// write errors latch and come out of Save's Flush.
+func (db *DB) saveSeries(bw *bufio.Writer, key SeriesKey) error {
 	sh := db.shard(key)
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
 	s := sh.data[key]
-	if s == nil { // deleted since the key snapshot: persist as empty
+	if s == nil {
+		// Deleted since the key snapshot: persist as an empty series. Load
+		// skips zero-chunk keys, so the delete survives the round trip.
 		writeUvarint(bw, 0)
-		return
+		return nil
 	}
 	writeUvarint(bw, uint64(len(s.chunks)))
 	for _, c := range s.chunks {
 		writeVarint(bw, c.slot)
+		if c.sealed() {
+			block, err := sh.blockBytes(db, c)
+			if err != nil {
+				db.deg.set(err)
+				return fmt.Errorf("tsstore: save %v slot %d: %w", key, c.slot, err)
+			}
+			bw.WriteByte(chunkFormCompressed) //hyvet:allow walerrlatch bufio.Writer latches its first error; Save's checked Flush reports it
+			writeUvarint(bw, uint64(c.n))
+			writeFloatBits(bw, c.sum)
+			writeFloatBits(bw, c.minV)
+			writeFloatBits(bw, c.maxV)
+			writeUvarint(bw, uint64(len(block)))
+			bw.Write(block) //hyvet:allow walerrlatch bufio.Writer latches its first error; Save's checked Flush reports it
+			continue
+		}
+		bw.WriteByte(chunkFormRaw) //hyvet:allow walerrlatch bufio.Writer latches its first error; Save's checked Flush reports it
 		writeUvarint(bw, uint64(len(c.times)))
 		prev := ts.Time(0)
 		for i, t := range c.times {
@@ -66,15 +96,17 @@ func (db *DB) saveSeries(bw *bufio.Writer, key SeriesKey) {
 			prev = t
 		}
 		for _, v := range c.vals {
-			var buf [8]byte
-			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
-			bw.Write(buf[:]) //hyvet:allow walerrlatch bufio.Writer latches its first error; the checked Flush at the end reports it
+			writeFloatBits(bw, v)
 		}
 	}
+	return nil
 }
 
-// Load reads a snapshot written by Save. Chunk summaries are recomputed on
-// load so the on-disk format stays minimal.
+// Load reads a snapshot written by Save (version 1 or 2). Raw-chunk
+// summaries are recomputed on load; compressed chunks carry theirs in the
+// file. Keys persisted with zero chunks are series deleted mid-Save — they
+// are skipped, not materialized, so HasSeries agrees with the pre-crash
+// store (crash recovery keys its roll-forward decision on it).
 func Load(r io.Reader) (*DB, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(snapshotMagic))
@@ -88,7 +120,7 @@ func Load(r io.Reader) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	if version != snapshotVersion {
+	if version != 1 && version != snapshotVersion {
 		return nil, fmt.Errorf("tsstore: unsupported snapshot version %d", version)
 	}
 	width, err := binary.ReadUvarint(br)
@@ -114,62 +146,101 @@ func Load(r io.Reader) (*DB, error) {
 			return nil, err
 		}
 		key := SeriesKey{Entity: uint32(entity), Metric: string(mbuf)}
+		nChunks, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		if nChunks == 0 {
+			continue // deleted mid-Save; do not resurrect
+		}
 		s := &series{}
+		for ci := uint64(0); ci < nChunks; ci++ {
+			c, err := loadChunk(br, version)
+			if err != nil {
+				return nil, err
+			}
+			s.chunks = append(s.chunks, c)
+		}
 		// Load runs before the store is shared; keys get ascending sequence
 		// numbers in file order, reproducing the saved iteration order.
 		sh := db.shard(key)
 		sh.data[key] = s
 		sh.keys = append(sh.keys, key)
 		sh.seqs = append(sh.seqs, db.seq.Add(1))
-		nChunks, err := binary.ReadUvarint(br)
+	}
+	return db, nil
+}
+
+// loadChunk reads one chunk payload. Version 1 has no form byte — every
+// chunk is raw.
+func loadChunk(br *bufio.Reader, version uint64) (*chunk, error) {
+	slot, err := binary.ReadVarint(br)
+	if err != nil {
+		return nil, err
+	}
+	form := byte(chunkFormRaw)
+	if version >= 2 {
+		form, err = br.ReadByte()
 		if err != nil {
 			return nil, err
 		}
-		for ci := uint64(0); ci < nChunks; ci++ {
-			slot, err := binary.ReadVarint(br)
-			if err != nil {
-				return nil, err
-			}
-			nPts, err := binary.ReadUvarint(br)
-			if err != nil {
-				return nil, err
-			}
-			c := &chunk{slot: slot, times: make([]ts.Time, nPts), vals: make([]float64, nPts)}
-			prev := int64(0)
-			for i := uint64(0); i < nPts; i++ {
-				d, err := binary.ReadVarint(br)
-				if err != nil {
-					return nil, err
-				}
-				if i == 0 {
-					prev = d
-				} else {
-					prev += d
-				}
-				c.times[i] = ts.Time(prev)
-			}
-			var buf [8]byte
-			for i := uint64(0); i < nPts; i++ {
-				if _, err := io.ReadFull(br, buf[:]); err != nil {
-					return nil, err
-				}
-				c.vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
-			}
-			// Recompute the summary.
-			c.minV, c.maxV = math.Inf(1), math.Inf(-1)
-			for _, v := range c.vals {
-				c.sum += v
-				if v < c.minV {
-					c.minV = v
-				}
-				if v > c.maxV {
-					c.maxV = v
-				}
-			}
-			s.chunks = append(s.chunks, c)
-		}
 	}
-	return db, nil
+	switch form {
+	case chunkFormRaw:
+		nPts, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		c := &chunk{slot: slot, times: make([]ts.Time, nPts), vals: make([]float64, nPts)}
+		prev := int64(0)
+		for i := uint64(0); i < nPts; i++ {
+			d, err := binary.ReadVarint(br)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				prev = d
+			} else {
+				prev += d
+			}
+			c.times[i] = ts.Time(prev)
+		}
+		for i := uint64(0); i < nPts; i++ {
+			v, err := readFloatBits(br)
+			if err != nil {
+				return nil, err
+			}
+			c.vals[i] = v
+		}
+		c.recomputeSummary()
+		return c, nil
+	case chunkFormCompressed:
+		n, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		c := &chunk{slot: slot, n: int(n)}
+		if c.sum, err = readFloatBits(br); err != nil {
+			return nil, err
+		}
+		if c.minV, err = readFloatBits(br); err != nil {
+			return nil, err
+		}
+		if c.maxV, err = readFloatBits(br); err != nil {
+			return nil, err
+		}
+		blen, err := binary.ReadUvarint(br)
+		if err != nil {
+			return nil, err
+		}
+		c.enc = make([]byte, blen)
+		if _, err := io.ReadFull(br, c.enc); err != nil {
+			return nil, err
+		}
+		return c, nil
+	default:
+		return nil, fmt.Errorf("tsstore: unknown chunk form %d", form)
+	}
 }
 
 func writeUvarint(w *bufio.Writer, v uint64) {
@@ -182,4 +253,18 @@ func writeVarint(w *bufio.Writer, v int64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutVarint(buf[:], v)
 	w.Write(buf[:n]) //hyvet:allow walerrlatch bufio.Writer latches its first error; Save's checked Flush reports it
+}
+
+func writeFloatBits(w *bufio.Writer, v float64) {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	w.Write(buf[:]) //hyvet:allow walerrlatch bufio.Writer latches its first error; Save's checked Flush reports it
+}
+
+func readFloatBits(br *bufio.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
 }

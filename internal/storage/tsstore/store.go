@@ -24,17 +24,55 @@ type SeriesKey struct {
 	Metric string
 }
 
-// chunk holds the points of one series within one time slot.
+// chunk holds the points of one series within one time slot. A chunk is in
+// exactly one of three states (docs/STORAGE.md):
+//
+//	open       times/vals non-nil — the mutable raw layout
+//	compressed enc non-nil — sealed into an immutable block (compress.go)
+//	spilled    spill non-nil — the block lives in the shard's spill file
+//
+// The summary (n/sum/minV/maxV) is kept hot in every state, so aggregation
+// pushdown over fully covered chunks never touches a compressed payload.
+//
+// Summary semantics: minV/maxV range over the chunk's non-NaN values only
+// (math.Inf(1)/math.Inf(-1) when no such value exists), matching what a
+// point scan's `v < min` comparisons naturally compute. sum is a plain fold
+// over all values, so one stored NaN poisons sum (and Mean) to NaN — the
+// same answer the edge-scan path and a Save/Load recompute produce.
 type chunk struct {
 	slot  int64 // slot index = floor(time / chunkWidth)
 	times []ts.Time
 	vals  []float64
+	enc   []byte    // compressed block when sealed in memory
+	spill *spillRef // block location in the spill file when evicted
+	// dec is the chunk's cached decode — a lock-free hint owned by the
+	// shard's blockCache, which bounds how many chunks hold one and clears
+	// it on eviction/invalidation. Readers under the shard's read lock load
+	// it without touching the cache mutex; scans over sealed chunks cost
+	// one atomic load when warm.
+	dec atomic.Pointer[blockDec]
 	// summary
+	n    int
 	sum  float64
 	minV float64
 	maxV float64
 }
 
+// blockDec is one decoded block: immutable once published via chunk.dec.
+type blockDec struct {
+	times []ts.Time
+	vals  []float64
+}
+
+func newChunk(slot int64) *chunk {
+	return &chunk{slot: slot, minV: math.Inf(1), maxV: math.Inf(-1)}
+}
+
+// sealed reports whether the payload is compressed (in memory or spilled).
+// A freshly created chunk has no payload in either form and counts as open.
+func (c *chunk) sealed() bool { return c.enc != nil || c.spill != nil }
+
+// add inserts into an open chunk; sealed chunks must be inflated first.
 func (c *chunk) add(t ts.Time, v float64) {
 	if n := len(c.times); n > 0 && t <= c.times[n-1] {
 		// Out-of-order within a chunk: insert to keep sortedness. Rare path.
@@ -42,6 +80,12 @@ func (c *chunk) add(t ts.Time, v float64) {
 		if i < n && c.times[i] == t {
 			old := c.vals[i]
 			c.vals[i] = v
+			if math.IsNaN(old) || math.IsNaN(v) {
+				// NaN entering or leaving: incremental maintenance would
+				// poison sum forever (or never) — rebuild from the points.
+				c.recomputeSummary()
+				return
+			}
 			c.sum += v - old
 			// A full min/max rescan is only needed when the replaced value
 			// was an extremum — otherwise the new value can only extend the
@@ -68,11 +112,10 @@ func (c *chunk) add(t ts.Time, v float64) {
 		c.times = append(c.times, t)
 		c.vals = append(c.vals, v)
 	}
+	c.n++
 	c.sum += v
-	if len(c.times) == 1 {
-		c.minV, c.maxV = v, v
-		return
-	}
+	// NaN comparisons are false on both branches, so a NaN point leaves
+	// min/max untouched — the same skip the scan paths apply.
 	if v < c.minV {
 		c.minV = v
 	}
@@ -93,9 +136,26 @@ func (c *chunk) recomputeMinMax() {
 	}
 }
 
+// recomputeSummary rebuilds n/sum/min/max from an open chunk's points.
+func (c *chunk) recomputeSummary() {
+	c.n = len(c.times)
+	c.sum = 0
+	c.minV, c.maxV = math.Inf(1), math.Inf(-1)
+	for _, v := range c.vals {
+		c.sum += v
+		if v < c.minV {
+			c.minV = v
+		}
+		if v > c.maxV {
+			c.maxV = v
+		}
+	}
+}
+
 // series is one hypertable row stream: its chunks ordered by slot.
 type series struct {
 	chunks []*chunk // sorted by slot
+	open   *chunk   // the chunk the last write landed in (nil after Load)
 }
 
 func (s *series) chunkFor(slot int64, create bool) *chunk {
@@ -106,7 +166,7 @@ func (s *series) chunkFor(slot int64, create bool) *chunk {
 	if !create {
 		return nil
 	}
-	c := &chunk{slot: slot}
+	c := newChunk(slot)
 	s.chunks = append(s.chunks, nil)
 	copy(s.chunks[i+1:], s.chunks[i:])
 	s.chunks[i] = c
@@ -148,6 +208,7 @@ type CacheStats struct {
 // caller holds mu (read or write as appropriate).
 type tsShard struct {
 	mu   sync.RWMutex
+	idx  int // this stripe's index, for tier spill-file addressing
 	data map[SeriesKey]*series
 	keys []SeriesKey // insertion order within the shard
 	seqs []uint64    // global insertion sequence per key, for merged iteration
@@ -155,6 +216,11 @@ type tsShard struct {
 	rcache map[resampleKey]*rcEntry
 	rkeys  []resampleKey // parallel key list for O(1) random eviction
 	rng    uint64        // deterministic xorshift state for eviction picks
+
+	// bc memoizes decoded blocks of sealed chunks. It carries its own lock
+	// (see blockCache) so read paths holding only mu's read side can still
+	// fill it.
+	bc blockCache
 }
 
 // DB is the time-series store. All exported methods are safe for concurrent
@@ -173,10 +239,51 @@ type DB struct {
 	seq        atomic.Uint64 // global insertion sequence
 	shardCap   int           // per-shard resample cache capacity
 
+	// compress seals chunks that are no longer being written into immutable
+	// delta-of-delta + XOR blocks (compress.go). On by default — the codec
+	// is exact, so query results are bit-identical either way. Set before
+	// the store is shared.
+	compress bool
+
+	// tier is the optional cold tier (tier.go): sealed blocks evicted to
+	// per-shard spill files by Spill(). Nil until EnableColdTier.
+	tier *tier
+
+	// deg latches the first permanent storage error (corrupt block, spill
+	// read failure). Scans return no points for the affected chunk; callers
+	// observe the condition via Err().
+	deg errLatch
+
 	// Cache counters are atomics so the hit path stays on the read lock.
 	cacheHits, cacheMisses, cacheInvalidations, cacheEvictions atomic.Int64
 
+	// Compression and block-cache counters, same discipline.
+	seals, inflates, blockHits, blockMisses, blockEvictions atomic.Int64
+
 	obs storeObs // metric handles; zero value = instrumentation off
+}
+
+// errLatch is a mutex-guarded sticky error slot: the first error wins.
+type errLatch struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (b *errLatch) set(err error) {
+	if err == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.err == nil {
+		b.err = err
+	}
+}
+
+func (b *errLatch) get() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.err
 }
 
 // DefaultChunkWidth partitions series into week-long chunks, matching
@@ -208,19 +315,38 @@ func NewSharded(chunkWidth ts.Time, shards int) *DB {
 		mask:       uint32(n - 1),
 		shards:     make([]tsShard, n),
 		shardCap:   maxResampleCache / n,
+		compress:   true,
 	}
 	if db.shardCap < 1 {
 		db.shardCap = 1
 	}
+	bcCap := maxBlockCache / n
+	if bcCap < 1 {
+		bcCap = 1
+	}
 	for i := range db.shards {
 		sh := &db.shards[i]
+		sh.idx = i
 		sh.data = map[SeriesKey]*series{}
 		sh.rcache = map[resampleKey]*rcEntry{}
 		// Fixed per-shard seed: eviction picks are deterministic across runs.
 		sh.rng = 0x9E3779B97F4A7C15 * uint64(i+1)
+		sh.bc.init(bcCap, 0xD1B54A32D192ED03*uint64(i+1))
 	}
 	return db
 }
+
+// SetCompress toggles sealed-chunk compression. Call before the store is
+// shared: the flag is read on every write path without synchronization.
+// Disabling it yields the pre-compression raw layout — the baseline the
+// storage benchmark and the differential battery compare against.
+func (db *DB) SetCompress(on bool) { db.compress = on }
+
+// Err returns the first permanent storage error the store latched (corrupt
+// compressed block, spill-file read failure). While non-nil, scans over the
+// affected chunks return no points and writes into them are dropped; callers
+// should treat the store as degraded (ttdb surfaces this as ErrDegraded).
+func (db *DB) Err() error { return db.deg.get() }
 
 // NumShards returns the lock-stripe count.
 func (db *DB) NumShards() int { return len(db.shards) }
@@ -333,7 +459,111 @@ func (sh *tsShard) insertLocked(db *DB, key SeriesKey, t ts.Time, v float64) {
 		sh.keys = append(sh.keys, key)
 		sh.seqs = append(sh.seqs, db.seq.Add(1))
 	}
-	s.chunkFor(db.slotOf(t), true).add(t, v)
+	c := s.chunkFor(db.slotOf(t), true)
+	// At most one chunk per series is open at a time: moving the write
+	// cursor to a different chunk seals the previous one, and a write into a
+	// sealed chunk (the rare out-of-order path) reinflates it first. A
+	// failed inflate (latched via Err) drops the write rather than
+	// corrupting the chunk.
+	if s.open != nil && s.open != c {
+		sh.sealLocked(db, s.open)
+		s.open = nil
+	}
+	if c.sealed() && !sh.inflateLocked(db, key, c) {
+		return
+	}
+	s.open = c
+	c.add(t, v)
+}
+
+// sealLocked compresses an open chunk into an immutable block. No-op when
+// compression is off or the chunk is already sealed. Callers hold the write
+// lock.
+func (sh *tsShard) sealLocked(db *DB, c *chunk) {
+	if !db.compress || c.sealed() {
+		return
+	}
+	c.enc = encodeChunk(c.times, c.vals)
+	c.times, c.vals = nil, nil
+	db.seals.Add(1)
+	db.obs.seals.Inc()
+}
+
+// inflateLocked restores a sealed chunk's raw layout so it can be mutated,
+// reading the block back from memory or the spill file and dropping any
+// cached decode (it is about to go stale). It reports false — with the error
+// latched — when the payload cannot be recovered. Callers hold the write
+// lock.
+func (sh *tsShard) inflateLocked(db *DB, key SeriesKey, c *chunk) bool {
+	if !c.sealed() {
+		return true
+	}
+	block, err := sh.blockBytes(db, c)
+	if err != nil {
+		db.deg.set(err)
+		return false
+	}
+	times, vals, err := decodeChunk(block)
+	if err != nil {
+		db.deg.set(err)
+		return false
+	}
+	c.times, c.vals = times, vals
+	c.enc, c.spill = nil, nil
+	sh.bc.invalidate(blockKey{key: key, slot: c.slot})
+	db.inflates.Add(1)
+	db.obs.inflates.Inc()
+	return true
+}
+
+// blockBytes returns a sealed chunk's compressed payload, reading through to
+// the spill file for evicted blocks. Callers hold the lock (either side).
+func (sh *tsShard) blockBytes(db *DB, c *chunk) ([]byte, error) {
+	if c.enc != nil {
+		return c.enc, nil
+	}
+	if c.spill == nil {
+		return nil, fmt.Errorf("tsstore: sealed chunk slot %d has no payload", c.slot)
+	}
+	return db.tier.read(sh.idx, c.spill)
+}
+
+// chunkPoints returns a chunk's points in time order, decoding sealed
+// payloads through the shard's block cache. The returned slices are shared —
+// callers must treat them as read-only. Callers hold the lock (either side);
+// a payload that cannot be recovered latches the error and yields no points.
+//
+// The warm path is one atomic load: the decode hint lives on the chunk
+// itself, so the edge scans of an aggregation pushdown don't pay a mutex +
+// map lookup per chunk (that overhead was ~25% of Q4–Q8 latency on the
+// bench workload). The blockCache still owns the hint — put registers it,
+// eviction and invalidation clear it — so decoded memory stays bounded.
+func (sh *tsShard) chunkPoints(db *DB, key SeriesKey, c *chunk) ([]ts.Time, []float64) {
+	if !c.sealed() {
+		return c.times, c.vals
+	}
+	if d := c.dec.Load(); d != nil {
+		db.blockHits.Add(1)
+		db.obs.blockHits.Inc()
+		return d.times, d.vals
+	}
+	db.blockMisses.Add(1)
+	db.obs.blockMisses.Inc()
+	block, err := sh.blockBytes(db, c)
+	if err != nil {
+		db.deg.set(err)
+		return nil, nil
+	}
+	times, vals, err := decodeChunk(block)
+	if err != nil {
+		db.deg.set(err)
+		return nil, nil
+	}
+	if evicted := sh.bc.put(blockKey{key: key, slot: c.slot}, c, &blockDec{times: times, vals: vals}); evicted {
+		db.blockEvictions.Add(1)
+		db.obs.blockEvictions.Inc()
+	}
+	return times, vals
 }
 
 // InsertSeries bulk-loads a whole series under the key.
@@ -352,14 +582,18 @@ func (db *DB) InsertSeries(key SeriesKey, src *ts.Series) {
 // key existed; deleting an absent key is a no-op, so crash-recovery rollback
 // can apply it idempotently.
 func (db *DB) DeleteSeries(key SeriesKey) bool {
-	db.obs.writes.Inc()
 	sh := db.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	sh.invalidateLocked(db, key)
 	if _, ok := sh.data[key]; !ok {
+		// Absent key: a pure no-op must not count as a write, or the obs
+		// write counters the mixed bench reports drift from effective work
+		// (idempotent crash-recovery rollbacks delete freely).
 		return false
 	}
+	db.obs.writes.Inc()
+	sh.bc.invalidateKey(key)
 	delete(sh.data, key)
 	for i, k := range sh.keys {
 		if k == key {
@@ -447,7 +681,8 @@ func (sh *tsShard) rangeSeriesLocked(db *DB, key SeriesKey, start, end ts.Time) 
 }
 
 // scanRangeLocked visits points in [start, end), locating the first chunk by
-// binary search and the range within each chunk by binary search.
+// binary search and the range within each chunk by binary search. Sealed
+// chunks decompress transparently through the block cache.
 func (sh *tsShard) scanRangeLocked(db *DB, key SeriesKey, start, end ts.Time, fn func(ts.Time, float64)) {
 	s, ok := sh.data[key]
 	if !ok || start >= end {
@@ -456,10 +691,10 @@ func (sh *tsShard) scanRangeLocked(db *DB, key SeriesKey, start, end ts.Time, fn
 	loSlot, hiSlot := db.slotOf(start), db.slotOf(end-1)
 	i := sort.Search(len(s.chunks), func(i int) bool { return s.chunks[i].slot >= loSlot })
 	for ; i < len(s.chunks) && s.chunks[i].slot <= hiSlot; i++ {
-		c := s.chunks[i]
-		lo := sort.Search(len(c.times), func(j int) bool { return c.times[j] >= start })
-		for j := lo; j < len(c.times) && c.times[j] < end; j++ {
-			fn(c.times[j], c.vals[j])
+		times, vals := sh.chunkPoints(db, key, s.chunks[i])
+		lo := sort.Search(len(times), func(j int) bool { return times[j] >= start })
+		for j := lo; j < len(times) && times[j] < end; j++ {
+			fn(times[j], vals[j])
 		}
 	}
 }
@@ -570,8 +805,9 @@ func (sh *tsShard) aggregateLocked(db *DB, key SeriesKey, start, end ts.Time) Su
 		chunkStart := ts.Time(c.slot) * db.chunkWidth
 		chunkEnd := chunkStart + db.chunkWidth
 		if start <= chunkStart && chunkEnd <= end {
-			// Pushdown: the whole chunk is inside the range.
-			out.Count += len(c.times)
+			// Pushdown: the whole chunk is inside the range. Only the hot
+			// summary is read — never the (possibly compressed) payload.
+			out.Count += c.n
 			out.Sum += c.sum
 			if c.minV < out.Min {
 				out.Min = c.minV
@@ -581,9 +817,10 @@ func (sh *tsShard) aggregateLocked(db *DB, key SeriesKey, start, end ts.Time) Su
 			}
 			continue
 		}
-		lo := sort.Search(len(c.times), func(j int) bool { return c.times[j] >= start })
-		for j := lo; j < len(c.times) && c.times[j] < end; j++ {
-			v := c.vals[j]
+		times, vals := sh.chunkPoints(db, key, c)
+		lo := sort.Search(len(times), func(j int) bool { return times[j] >= start })
+		for j := lo; j < len(times) && times[j] < end; j++ {
+			v := vals[j]
 			out.Count++
 			out.Sum += v
 			if v < out.Min {
@@ -598,7 +835,10 @@ func (sh *tsShard) aggregateLocked(db *DB, key SeriesKey, start, end ts.Time) Su
 }
 
 func normalize(s Summary) Summary {
-	if s.Count == 0 {
+	// Min stuck at +Inf means no comparable value was seen: either the range
+	// is empty or every value in it is NaN. Both pushdown and edge-scan
+	// paths land here identically (NaN comparisons are always false).
+	if s.Count == 0 || math.IsInf(s.Min, 1) {
 		s.Min, s.Max = math.NaN(), math.NaN()
 	}
 	return s
@@ -844,11 +1084,21 @@ func (db *DB) resampleCacheLen() int {
 	return n
 }
 
-// Stats describes storage shape for capacity reports.
+// Stats describes storage shape for capacity reports. MemBytes counts
+// payload bytes resident in memory: 16 per point for open chunks (8 time +
+// 8 value), the block length for compressed chunks, nothing for spilled ones
+// (their blocks live in the tier's files; the bounded block cache is extra
+// and not counted here). The hot per-chunk summaries are a few dozen bytes
+// per chunk in every state.
 type Stats struct {
 	Series int
 	Chunks int
 	Points int
+
+	OpenChunks       int
+	CompressedChunks int
+	SpilledChunks    int
+	MemBytes         int64
 }
 
 // Stats returns storage counts.
@@ -861,10 +1111,49 @@ func (db *DB) Stats() Stats {
 		for _, s := range sh.data {
 			st.Chunks += len(s.chunks)
 			for _, c := range s.chunks {
-				st.Points += len(c.times)
+				st.Points += c.n
+				switch {
+				case !c.sealed():
+					st.OpenChunks++
+					st.MemBytes += 16 * int64(len(c.times))
+				case c.enc != nil:
+					st.CompressedChunks++
+					st.MemBytes += int64(len(c.enc))
+				default:
+					st.SpilledChunks++
+				}
 			}
 		}
 		sh.mu.RUnlock()
 	}
 	return st
+}
+
+// CompressionStats reports sealing and block-cache behaviour for tests,
+// capacity reports and the storage benchmark.
+type CompressionStats struct {
+	Seals          int64 // chunks compressed (including reseals)
+	Inflates       int64 // sealed chunks decompressed for mutation
+	BlockHits      int64 // decoded-block cache hits
+	BlockMisses    int64 // decoded-block cache misses (payload decoded)
+	BlockEvictions int64 // cache entries dropped by random eviction
+}
+
+// CompressionStats returns the compression counters since creation.
+func (db *DB) CompressionStats() CompressionStats {
+	return CompressionStats{
+		Seals:          db.seals.Load(),
+		Inflates:       db.inflates.Load(),
+		BlockHits:      db.blockHits.Load(),
+		BlockMisses:    db.blockMisses.Load(),
+		BlockEvictions: db.blockEvictions.Load(),
+	}
+}
+
+// DropBlockCache empties every shard's decoded-block cache — the memory-
+// pressure valve, and how the storage benchmark measures a truly cold scan.
+func (db *DB) DropBlockCache() {
+	for i := range db.shards {
+		db.shards[i].bc.drop()
+	}
 }
