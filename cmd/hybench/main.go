@@ -36,6 +36,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -189,7 +190,7 @@ func main() {
 
 	if *serve {
 		fmt.Println()
-		rep, err := bench.RunServe(bench.ServeConfig{
+		rep, err := bench.RunServe(context.Background(), bench.ServeConfig{
 			Tenants:       *serveTenants,
 			RatePerTenant: *serveRate,
 			WindowMS:      *serveMS,

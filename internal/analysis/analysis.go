@@ -46,10 +46,47 @@ type Pass struct {
 	// empty entry when the policy has no settings beyond the package list).
 	Check *CheckPolicy
 
+	// Graph is the run-wide call graph, populated for the current package
+	// and everything analyzed before it (dependency order).
+	Graph *CallGraph
+
+	check string
+	facts *FactStore
+
 	report func(Finding)
 	// allowUsed records that a policy allowlist entry matched a site, for
 	// stale-entry detection across the whole run.
 	allowUsed func(entry string)
+}
+
+// ExportFact attaches a fact to fn under this analyzer's check name. Facts
+// survive to every later package in the run (and into the incremental
+// cache); they must be JSON-round-trippable pointers of the analyzer's
+// FactType.
+func (p *Pass) ExportFact(fn *types.Func, fact any) {
+	p.ExportSymbolFact(FuncSymbol(fn), fact)
+}
+
+// ExportSymbolFact is ExportFact for non-function symbols (struct fields,
+// FieldSymbol).
+func (p *Pass) ExportSymbolFact(symbol string, fact any) {
+	if p.facts != nil {
+		p.facts.set(p.check, symbol, fact)
+	}
+}
+
+// Fact returns the fact this analyzer attached to fn, if any — whether fn
+// is the source-checked definition or an export-data view of it.
+func (p *Pass) Fact(fn *types.Func) (any, bool) {
+	return p.SymbolFact(FuncSymbol(fn))
+}
+
+// SymbolFact is Fact by symbol string.
+func (p *Pass) SymbolFact(symbol string) (any, bool) {
+	if p.facts == nil {
+		return nil, false
+	}
+	return p.facts.get(p.check, symbol)
 }
 
 // Reportf emits a finding at pos.
@@ -78,6 +115,13 @@ type Analyzer struct {
 	Name string
 	// Doc is the one-line invariant the check enforces.
 	Doc string
+	// Facts, when set, runs over EVERY loaded package — in scope or not —
+	// before any Run, exporting function/field summaries the analyzer's Run
+	// consumes interprocedurally. It must only export facts, never report.
+	Facts func(*Pass)
+	// FactType constructs an empty fact value for JSON decoding (a pointer
+	// to the analyzer's fact struct). Required when Facts is set.
+	FactType func() any
 	// Run inspects one package and reports findings through the pass.
 	Run func(*Pass)
 }
@@ -90,6 +134,10 @@ func Analyzers() []*Analyzer {
 		WALErrLatch,
 		PanicFree,
 		Nondeterminism,
+		CtxFlow,
+		AtomicMix,
+		GoroutineLifetime,
+		BoundedAlloc,
 	}
 }
 

@@ -28,3 +28,19 @@ func TestPanicFree(t *testing.T) {
 func TestNondeterminism(t *testing.T) {
 	runWantTest(t, "testdata/nondeterminism", singleCheckPolicy("nondeterminism"))
 }
+
+func TestCtxFlow(t *testing.T) {
+	runWantTest(t, "testdata/ctxflow", singleCheckPolicy("ctxflow"))
+}
+
+func TestAtomicMix(t *testing.T) {
+	runWantTest(t, "testdata/atomicmix", singleCheckPolicy("atomicmix"))
+}
+
+func TestGoroutineLifetime(t *testing.T) {
+	runWantTest(t, "testdata/goroutinelifetime", singleCheckPolicy("goroutinelifetime"))
+}
+
+func TestBoundedAlloc(t *testing.T) {
+	runWantTest(t, "testdata/boundedalloc", singleCheckPolicy("boundedalloc"))
+}

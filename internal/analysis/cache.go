@@ -1,0 +1,162 @@
+package analysis
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Incremental result cache: one JSON entry per (package, policy, analyzer
+// binary) combination, keyed by a hash that folds in the package's build ID
+// AND the build IDs of its whole transitive dependency cone. Build IDs come
+// from `go list -export` and change whenever compiled content changes, so a
+// source edit anywhere below a package invalidates the package — which is
+// required for correctness here, because a dependency's *internal* change
+// can change the facts it exports (a callee starts manufacturing
+// context.Background(), a field stops being atomic) without changing its
+// exported API.
+//
+// Entries store post-suppression findings, the policy allowlist entries
+// that fired, and the package's serialized facts, which together are
+// exactly what phase B needs to replay a package without re-analyzing it.
+// The cache is best-effort: unreadable or mismatched entries are misses,
+// write failures are ignored — a lint cache must never fail a lint run.
+
+// cacheVersion invalidates all entries when the on-disk schema changes.
+const cacheVersion = "hyvet-cache-v1"
+
+// cacheEntry is one package's replayable result.
+type cacheEntry struct {
+	Key       string          `json:"key"`
+	Findings  []Finding       `json:"findings,omitempty"`
+	AllowUsed []string        `json:"allow_used,omitempty"`
+	Facts     json.RawMessage `json:"facts,omitempty"`
+}
+
+// defaultCacheDir is where cmd/hyvet keeps entries unless -cachedir says
+// otherwise.
+func defaultCacheDir() string {
+	return filepath.Join(os.TempDir(), "hyvet-cache")
+}
+
+// runFingerprint hashes everything that is constant across one run but can
+// change between runs: the cache schema, the full policy, and the analyzer
+// binary itself. Hashing the executable means editing any analyzer
+// invalidates the whole cache with no manual version bump — `go run`
+// produces a content-addressed binary, so an unchanged suite keeps hitting.
+func runFingerprint(policy *Policy) string {
+	h := sha256.New()
+	io.WriteString(h, cacheVersion)
+	if raw, err := json.Marshal(policy); err == nil {
+		h.Write(raw)
+	}
+	io.WriteString(h, executableDigest())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+var exeDigest struct {
+	once sync.Once
+	hex  string
+}
+
+// executableDigest hashes the running binary, once. Any failure degrades to
+// a constant, which weakens invalidation but never breaks a run.
+func executableDigest() string {
+	exeDigest.once.Do(func() {
+		path, err := os.Executable()
+		if err != nil {
+			return
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return
+		}
+		defer f.Close()
+		h := sha256.New()
+		if _, err := io.Copy(h, f); err != nil {
+			return
+		}
+		exeDigest.hex = hex.EncodeToString(h.Sum(nil))
+	})
+	return exeDigest.hex
+}
+
+// cacheKey derives one package's entry key from the run fingerprint, its
+// own build ID, and the build IDs of its transitive dependencies. A missing
+// build ID (package failed to build, stale go list) disables caching for
+// that package — except for "unsafe", the one pseudo-package with no
+// compiled artifact and therefore no build ID: it has no content that could
+// change, so it is hashed by name alone instead of poisoning the key of
+// every package whose dependency cone reaches it (which is nearly all of
+// them, via sync/atomic and friends).
+func cacheKey(runHash string, lp listedPackage, buildIDs map[string]string) string {
+	if lp.BuildID == "" {
+		return ""
+	}
+	h := sha256.New()
+	io.WriteString(h, runHash)
+	io.WriteString(h, lp.ImportPath)
+	io.WriteString(h, lp.BuildID)
+	deps := append([]string(nil), lp.Deps...)
+	sort.Strings(deps)
+	for _, dep := range deps {
+		id := buildIDs[dep]
+		if id == "" {
+			if dep == "unsafe" {
+				io.WriteString(h, dep)
+				continue
+			}
+			return ""
+		}
+		io.WriteString(h, dep)
+		io.WriteString(h, id)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cacheLoad reads one entry; any failure is a miss.
+func cacheLoad(dir, key string) (*cacheEntry, bool) {
+	raw, err := os.ReadFile(filepath.Join(dir, key+".json"))
+	if err != nil {
+		return nil, false
+	}
+	var ent cacheEntry
+	if err := json.Unmarshal(raw, &ent); err != nil || ent.Key != key {
+		return nil, false
+	}
+	return &ent, true
+}
+
+// cacheStore writes one entry atomically (temp file + rename); failures are
+// silently dropped.
+func cacheStore(dir, key string, ent *cacheEntry) {
+	raw, err := json.Marshal(ent)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, key+".tmp*")
+	if err != nil {
+		return
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(raw); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return
+	}
+	if err := os.Rename(name, filepath.Join(dir, key+".json")); err != nil {
+		os.Remove(name)
+	}
+}

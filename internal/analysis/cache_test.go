@@ -1,0 +1,78 @@
+package analysis
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestCacheKeyDeterministic: same inputs, same key; any build ID change
+// (own or dependency) changes it.
+func TestCacheKeyDeterministic(t *testing.T) {
+	lp := listedPackage{ImportPath: "example.com/p", BuildID: "id-p", Deps: []string{"sync", "io"}}
+	ids := map[string]string{"sync": "id-sync", "io": "id-io"}
+	k1 := cacheKey("run", lp, ids)
+	k2 := cacheKey("run", lp, ids)
+	if k1 == "" || k1 != k2 {
+		t.Fatalf("cacheKey not deterministic: %q vs %q", k1, k2)
+	}
+	ids["io"] = "id-io-2"
+	if cacheKey("run", lp, ids) == k1 {
+		t.Error("dependency build ID change did not change the key")
+	}
+	lp.BuildID = "id-p-2"
+	ids["io"] = "id-io"
+	if cacheKey("run", lp, ids) == k1 {
+		t.Error("own build ID change did not change the key")
+	}
+}
+
+// TestCacheKeyMissingBuildIDs: "unsafe" never has export data or a build ID
+// and must not poison the key of every package whose dependency cone reaches
+// it; any other missing build ID means the package state is unknown and must
+// disable caching.
+func TestCacheKeyMissingBuildIDs(t *testing.T) {
+	lp := listedPackage{ImportPath: "example.com/p", BuildID: "id-p", Deps: []string{"unsafe", "sync"}}
+	if cacheKey("run", lp, map[string]string{"unsafe": "", "sync": "id-sync"}) == "" {
+		t.Error("unsafe's missing build ID disabled caching")
+	}
+	if cacheKey("run", lp, map[string]string{"unsafe": "", "sync": ""}) != "" {
+		t.Error("a real dependency with no build ID did not disable caching")
+	}
+	lp.BuildID = ""
+	if cacheKey("run", lp, map[string]string{"unsafe": "", "sync": "id-sync"}) != "" {
+		t.Error("a package with no build ID of its own did not disable caching")
+	}
+}
+
+// TestCacheStoreLoad round-trips one entry through the on-disk format and
+// confirms mismatched keys and absent entries are misses.
+func TestCacheStoreLoad(t *testing.T) {
+	dir := t.TempDir()
+	ent := &cacheEntry{
+		Key:       "abc123",
+		Findings:  []Finding{{Check: "panicfree", File: "f.go", Line: 3, Col: 2, Message: "panic in exported API"}},
+		AllowUsed: []string{"panicfree:example.com/p.F"},
+		Facts:     json.RawMessage(`{"ctxflow":{"example.com/p.F":{"ambient":"context.Background"}}}`),
+	}
+	cacheStore(dir, ent.Key, ent)
+	got, ok := cacheLoad(dir, ent.Key)
+	if !ok {
+		t.Fatal("stored entry not loadable")
+	}
+	if len(got.Findings) != 1 || got.Findings[0] != ent.Findings[0] {
+		t.Errorf("findings = %v, want %v", got.Findings, ent.Findings)
+	}
+	if len(got.AllowUsed) != 1 || got.AllowUsed[0] != ent.AllowUsed[0] {
+		t.Errorf("allowUsed = %v, want %v", got.AllowUsed, ent.AllowUsed)
+	}
+	store := NewFactStore()
+	if err := store.DecodePackage(got.Facts); err != nil {
+		t.Fatalf("decoding replayed facts: %v", err)
+	}
+	if _, ok := store.get("ctxflow", "example.com/p.F"); !ok {
+		t.Error("replayed facts lost the ctxflow entry")
+	}
+	if _, ok := cacheLoad(dir, "missing"); ok {
+		t.Error("absent key reported a hit")
+	}
+}

@@ -1,0 +1,175 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestFactEncodeDecodeRoundTrip serializes one package's facts and decodes
+// them into a fresh store, asserting symbols, concrete types, and contents
+// survive — and that other packages' facts are excluded.
+func TestFactEncodeDecodeRoundTrip(t *testing.T) {
+	src := NewFactStore()
+	src.set("ctxflow", "example.com/a.Detach", &CtxFact{Ambient: "context.Background"})
+	src.set("boundedalloc", "example.com/a.alloc", &AllocFact{UncheckedParams: []int{0}})
+	src.set("atomicmix", "example.com/other.T.f", &AtomicFact{At: "other.go:1"})
+
+	raw, err := src.EncodePackage("example.com/a")
+	if err != nil {
+		t.Fatalf("EncodePackage: %v", err)
+	}
+	dst := NewFactStore()
+	if err := dst.DecodePackage(raw); err != nil {
+		t.Fatalf("DecodePackage: %v", err)
+	}
+
+	got, ok := dst.get("ctxflow", "example.com/a.Detach")
+	if !ok {
+		t.Fatal("ctxflow fact lost in round trip")
+	}
+	if cf, _ := got.(*CtxFact); cf == nil || cf.Ambient != "context.Background" {
+		t.Errorf("ctxflow fact = %#v, want Ambient=context.Background", got)
+	}
+	got, ok = dst.get("boundedalloc", "example.com/a.alloc")
+	if !ok {
+		t.Fatal("boundedalloc fact lost in round trip")
+	}
+	if af, _ := got.(*AllocFact); af == nil || len(af.UncheckedParams) != 1 || af.UncheckedParams[0] != 0 {
+		t.Errorf("boundedalloc fact = %#v, want UncheckedParams=[0]", got)
+	}
+	if dst.hasPackage("atomicmix", "example.com/other") {
+		t.Error("EncodePackage leaked another package's facts")
+	}
+}
+
+// TestFactDecodeUnknownCheckErrors: facts from an analyzer this suite does
+// not register must be a hard error, not a silent half-load.
+func TestFactDecodeUnknownCheckErrors(t *testing.T) {
+	if err := NewFactStore().DecodePackage([]byte(`{"nosuchcheck":{"p.F":{}}}`)); err == nil {
+		t.Fatal("DecodePackage accepted facts for an unregistered check")
+	}
+}
+
+// localImporter resolves in-memory test packages before falling back to
+// stdlib export data.
+type localImporter struct {
+	local    map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m localImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.local[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// loadDependent type-checks two in-memory packages where b imports a, both
+// in the synthetic module example.com.
+func loadDependent(t *testing.T, aPath, aSrc, bPath, bSrc string) (*Package, *Package) {
+	t.Helper()
+	exports := stdlibExports(t)
+	fset := token.NewFileSet()
+	std := importer.ForCompiler(fset, "gc", func(p string) (io.ReadCloser, error) {
+		file, ok := exports[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(file)
+	})
+	check := func(path, src string, imp types.Importer) *Package {
+		f, err := parser.ParseFile(fset, strings.ReplaceAll(path, "/", "_")+".go", src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parse %s: %v", path, err)
+		}
+		info := newInfo()
+		tpkg, err := (&types.Config{Importer: imp}).Check(path, fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatalf("type-check %s: %v", path, err)
+		}
+		return &Package{Path: path, Fset: fset, Files: []*ast.File{f}, Pkg: tpkg, Info: info}
+	}
+	a := check(aPath, aSrc, std)
+	b := check(bPath, bSrc, localImporter{local: map[string]*types.Package{aPath: a.Pkg}, fallback: std})
+	return a, b
+}
+
+const ambientDepSrc = `package a
+
+import "context"
+
+// Detach manufactures an ambient context; ctxflow exports the AmbientCtx
+// fact for it.
+func Detach() context.Context { return context.Background() }
+`
+
+const ambientUserSrc = `package b
+
+import (
+	"context"
+
+	"example.com/a"
+)
+
+func Serve(ctx context.Context) {
+	_ = a.Detach()
+}
+`
+
+// TestCrossPackageFactFlow analyzes two packages in one run: the fact
+// exported while visiting a must produce the interprocedural ctxflow finding
+// in b. Only b is in scope, so the single expected finding proves the
+// cross-package path (a's own ambient call is out of scope).
+func TestCrossPackageFactFlow(t *testing.T) {
+	a, b := loadDependent(t, "example.com/a", ambientDepSrc, "example.com/b", ambientUserSrc)
+	policy := &Policy{Checks: map[string]*CheckPolicy{"ctxflow": {Packages: []string{"example.com/b"}}}}
+	findings, err := runPackages([]*Package{b, a}, policy) // order scrambled: topo sort must fix it
+	if err != nil {
+		t.Fatalf("runPackages: %v", err)
+	}
+	if len(findings) != 1 {
+		t.Fatalf("findings = %v, want exactly the interprocedural ctxflow finding in b", findings)
+	}
+	f := findings[0]
+	if f.Check != "ctxflow" || !strings.Contains(f.Message, "manufactures an ambient context") {
+		t.Errorf("finding = %+v, want the rule-3 ambient message", f)
+	}
+}
+
+// TestCrossPackageFactReplay simulates the incremental cache: a is analyzed
+// once, its facts are serialized, and a *fresh* run over b alone decodes
+// them instead of re-analyzing a. b must still get the interprocedural
+// finding, proving cached packages need contribute nothing but their facts.
+func TestCrossPackageFactReplay(t *testing.T) {
+	a, b := loadDependent(t, "example.com/a", ambientDepSrc, "example.com/b", ambientUserSrc)
+	policy := &Policy{Checks: map[string]*CheckPolicy{"ctxflow": {Packages: []string{"example.com/b"}}}}
+
+	st := &analyzeState{facts: NewFactStore(), graph: NewCallGraph(), analyzers: Analyzers(), policy: policy}
+	if _, _, err := analyzePackage(st, a); err != nil {
+		t.Fatalf("analyze a: %v", err)
+	}
+	raw, err := st.facts.EncodePackage(a.Path)
+	if err != nil {
+		t.Fatalf("EncodePackage: %v", err)
+	}
+
+	replay := &analyzeState{facts: NewFactStore(), graph: NewCallGraph(), analyzers: Analyzers(), policy: policy}
+	if err := replay.facts.DecodePackage(raw); err != nil {
+		t.Fatalf("DecodePackage: %v", err)
+	}
+	findings, _, err := analyzePackage(replay, b)
+	if err != nil {
+		t.Fatalf("analyze b: %v", err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0].Message, "manufactures an ambient context") {
+		t.Fatalf("findings = %v, want the interprocedural finding from replayed facts", findings)
+	}
+}

@@ -40,6 +40,7 @@ func stdlibExports(t *testing.T) map[string]string {
 		listed, err := goList("", []string{
 			"sync", "time", "math/rand", "bufio", "bytes", "io", "fmt",
 			"errors", "os", "sort", "strconv", "strings", "math", "hash/crc32",
+			"context", "sync/atomic", "encoding/binary",
 		})
 		if err != nil {
 			stdErr = err

@@ -14,6 +14,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 )
 
 // Package is one loaded, parsed and type-checked target package.
@@ -27,12 +28,19 @@ type Package struct {
 }
 
 // listedPackage is the subset of `go list -json` output the loader needs.
+// BuildID, Imports and Deps feed the incremental cache and the dependency
+// ordering: BuildID changes whenever the package's compiled content changes,
+// and Deps names every transitive import so a cache key can incorporate the
+// whole dependency cone's build IDs.
 type listedPackage struct {
 	ImportPath string
 	Dir        string
 	Name       string
 	GoFiles    []string
 	Export     string
+	BuildID    string
+	Imports    []string
+	Deps       []string
 	Standard   bool
 	DepOnly    bool
 	Incomplete bool
@@ -53,21 +61,26 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	exports := map[string]string{}
-	for _, lp := range listed {
-		if lp.Export != "" {
-			exports[lp.ImportPath] = lp.Export
-		}
+	matched, err := matchedPackages(listed)
+	if err != nil {
+		return nil, err
 	}
-	fset := token.NewFileSet()
-	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
-		file, ok := exports[path]
-		if !ok {
-			return nil, fmt.Errorf("hyvet: no export data for %q", path)
-		}
-		return os.Open(file)
-	})
+	loader := newLoader(listed)
 	var pkgs []*Package
+	for _, lp := range matched {
+		pkg, err := loader.check(lp)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// matchedPackages filters a `go list -deps` stream down to the packages the
+// patterns actually matched, rejecting list errors.
+func matchedPackages(listed []listedPackage) ([]listedPackage, error) {
+	var out []listedPackage
 	for _, lp := range listed {
 		if lp.DepOnly || lp.Standard {
 			continue
@@ -82,18 +95,14 @@ func Load(dir string, patterns ...string) ([]*Package, error) {
 		if len(lp.GoFiles) == 0 {
 			continue
 		}
-		pkg, err := checkPackage(fset, imp, lp)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
+		out = append(out, lp)
 	}
-	return pkgs, nil
+	return out, nil
 }
 
 // goList runs `go list -e -export -json -deps` over the patterns and decodes
 // the JSON stream. -deps pulls in export data for every transitive import;
-// -export populates the build cache so Export paths are valid.
+// -export populates the build cache so Export paths and build IDs are valid.
 func goList(dir string, patterns []string) ([]listedPackage, error) {
 	args := append([]string{"list", "-e", "-export", "-json", "-deps", "--"}, patterns...)
 	cmd := exec.Command("go", args...)
@@ -118,26 +127,69 @@ func goList(dir string, patterns []string) ([]listedPackage, error) {
 	return out, nil
 }
 
-// checkPackage parses a package's non-test files and type-checks them.
-func checkPackage(fset *token.FileSet, imp types.Importer, lp listedPackage) (*Package, error) {
+// loader parses and type-checks packages against one shared file set and
+// export-data importer. check is safe to call from concurrent goroutines:
+// the file set synchronizes itself, each type-check is independent, and the
+// one shared mutable structure — the gc importer's package cache — is
+// serialized behind a mutex.
+type loader struct {
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+// newLoader builds a loader over a `go list -export` stream.
+func newLoader(listed []listedPackage) *loader {
+	exports := map[string]string{}
+	for _, lp := range listed {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("hyvet: no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	return &loader{fset: fset, imp: &lockedImporter{imp: imp}}
+}
+
+// lockedImporter serializes Import calls: the gc importer memoizes loaded
+// packages in an unsynchronized map, and phase A type-checks packages in
+// parallel.
+type lockedImporter struct {
+	mu  sync.Mutex
+	imp types.Importer
+}
+
+func (l *lockedImporter) Import(path string) (*types.Package, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.imp.Import(path)
+}
+
+// check parses a package's non-test files and type-checks them.
+func (l *loader) check(lp listedPackage) (*Package, error) {
 	var files []*ast.File
 	for _, name := range lp.GoFiles {
-		f, err := parser.ParseFile(fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
+		f, err := parser.ParseFile(l.fset, filepath.Join(lp.Dir, name), nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("hyvet: parsing %s: %v", name, err)
 		}
 		files = append(files, f)
 	}
 	info := newInfo()
-	conf := types.Config{Importer: imp}
-	tpkg, err := conf.Check(lp.ImportPath, fset, files, info)
+	conf := types.Config{Importer: l.imp}
+	tpkg, err := conf.Check(lp.ImportPath, l.fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("hyvet: type-checking %s: %v", lp.ImportPath, err)
 	}
 	return &Package{
 		Path:  lp.ImportPath,
 		Dir:   lp.Dir,
-		Fset:  fset,
+		Fset:  l.fset,
 		Files: files,
 		Pkg:   tpkg,
 		Info:  info,

@@ -37,14 +37,36 @@ import (
 // owners of the same guarded type. Function literals are simulated
 // separately with an unlocked state (callbacks are assumed to run without
 // the caller's lock unless they trip rule 3 on their own).
+//
+// Lock classes are interprocedural: a method that never touches the mutex
+// itself but calls a sibling method that does still "takes the lock", so
+// calling it with the lock held is the same nested acquisition one frame
+// removed — the finding says which callee actually acquires ("via Set").
+// The classes are computed to a fixpoint over receiver-self calls inside
+// the package and exported as LockFacts, so a scoped package calling a
+// guarded type it imported is checked against the callee's real locking
+// behavior, not its name.
 var LockDiscipline = &Analyzer{
-	Name: "lockdiscipline",
-	Doc:  "lock-taking methods must not nest; *Locked internals require the lock held",
-	Run:  runLockDiscipline,
+	Name:     "lockdiscipline",
+	Doc:      "lock-taking methods must not nest; *Locked internals require the lock held",
+	Facts:    lockDisciplineFacts,
+	FactType: func() any { return new(LockFact) },
+	Run:      runLockDiscipline,
 }
 
-// lockClass records which locks a method takes on its own receiver.
-type lockClass struct{ read, write bool }
+// LockFact is the cross-package form of a method's lock class.
+type LockFact struct {
+	Read  bool   `json:"read,omitempty"`
+	Write bool   `json:"write,omitempty"`
+	Via   string `json:"via,omitempty"`
+}
+
+// lockClass records which locks a method takes on its own receiver; via
+// names the callee that actually acquires when the class is transitive.
+type lockClass struct {
+	read, write bool
+	via         string
+}
 
 func (c lockClass) takesLock() bool { return c.read || c.write }
 
@@ -126,10 +148,30 @@ func receiverNamed(fn *types.Func) *types.Named {
 	return named
 }
 
+// lockDisciplineFacts exports every guarded method's lock class so scoped
+// importers can simulate calls into this package.
+func lockDisciplineFacts(pass *Pass) {
+	guarded := guardedTypes(pass)
+	if len(guarded) == 0 {
+		return
+	}
+	for fn, class := range classifyLockMethods(pass, guarded) {
+		pass.ExportFact(fn, &LockFact{Read: class.read, Write: class.write, Via: class.via})
+	}
+}
+
 // classifyLockMethods records, for every method of a guarded type, whether
-// its body takes the receiver's lock (ignoring function literals).
+// its body takes the receiver's lock (ignoring function literals) — first
+// directly, then transitively to a fixpoint: a method calling a sibling on
+// its own receiver inherits the sibling's class.
 func classifyLockMethods(pass *Pass, guarded map[*types.Named]string) map[*types.Func]lockClass {
 	classes := map[*types.Func]lockClass{}
+	type methodDecl struct {
+		fn   *types.Func
+		fd   *ast.FuncDecl
+		recv types.Object
+	}
+	var methods []methodDecl
 	for _, f := range pass.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
@@ -148,6 +190,11 @@ func classifyLockMethods(pass *Pass, guarded map[*types.Named]string) map[*types
 			if !ok {
 				continue
 			}
+			md := methodDecl{fn: fn, fd: fd}
+			if len(fd.Recv.List) == 1 && len(fd.Recv.List[0].Names) == 1 {
+				md.recv = pass.Info.Defs[fd.Recv.List[0].Names[0]]
+			}
+			methods = append(methods, md)
 			var class lockClass
 			inspectSkippingFuncLits(fd.Body, func(n ast.Node) {
 				call, ok := n.(*ast.CallExpr)
@@ -165,6 +212,58 @@ func classifyLockMethods(pass *Pass, guarded map[*types.Named]string) map[*types
 			})
 			if class.takesLock() {
 				classes[fn] = class
+			}
+		}
+	}
+	// Transitive closure over receiver-self calls: SetAll calling s.Set
+	// takes whatever Set takes.
+	for changed := true; changed; {
+		changed = false
+		for _, md := range methods {
+			if md.recv == nil {
+				continue
+			}
+			class := classes[md.fn]
+			inspectSkippingFuncLits(md.fd.Body, func(n ast.Node) {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok {
+					return
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || pass.Info.ObjectOf(id) != md.recv {
+					return
+				}
+				selection, ok := pass.Info.Selections[sel]
+				if !ok || selection.Kind() != types.MethodVal {
+					return
+				}
+				callee, ok := selection.Obj().(*types.Func)
+				if !ok || callee == md.fn {
+					return
+				}
+				cc, ok := classes[callee]
+				if !ok {
+					return
+				}
+				if (cc.read && !class.read) || (cc.write && !class.write) {
+					class.read = class.read || cc.read
+					class.write = class.write || cc.write
+					if class.via == "" {
+						if cc.via != "" {
+							class.via = cc.via
+						} else {
+							class.via = callee.Name()
+						}
+					}
+					changed = true
+				}
+			})
+			if class.takesLock() {
+				classes[md.fn] = class
 			}
 		}
 	}
@@ -350,10 +449,20 @@ func lockEventOf(pass *Pass, call *ast.CallExpr, guarded map[*types.Named]string
 	if named == nil {
 		return lockEvent{}, false
 	}
-	if _, isGuarded := guarded[named]; !isGuarded {
+	var class lockClass
+	if _, isGuarded := guarded[named]; isGuarded {
+		class = classes[fn]
+	} else if fn.Pkg() != nil && fn.Pkg() != pass.Pkg && sameModule(pass.Pkg, fn.Pkg()) {
+		// A guarded type from an imported package: its lock classes arrive
+		// as facts computed in its home package.
+		if f, ok := pass.Fact(fn); ok {
+			if lf, _ := f.(*LockFact); lf != nil {
+				class = lockClass{read: lf.Read, write: lf.Write, via: lf.Via}
+			}
+		}
+	} else {
 		return lockEvent{}, false
 	}
-	class := classes[fn]
 	locked := strings.HasSuffix(fn.Name(), "Locked")
 	if !class.takesLock() && !locked {
 		return lockEvent{}, false
@@ -415,11 +524,15 @@ func runLockSim(pass *Pass, fname, recvKey string, isLockedFn bool, events []loc
 			}
 		default: // method call
 			st := state[ev.owner]
+			via := ""
+			if ev.class.via != "" {
+				via = " (via " + ev.class.via + ")"
+			}
 			switch {
 			case ev.class.takesLock() && st == stRead && ev.class.write:
-				pass.Reportf(ev.pos, "%s takes the write lock on %s.mu while the read lock is held: guaranteed deadlock", ev.target.Name(), ev.owner)
+				pass.Reportf(ev.pos, "%s takes the write lock on %s.mu%s while the read lock is held: guaranteed deadlock", ev.target.Name(), ev.owner, via)
 			case ev.class.takesLock() && st != stUnlocked:
-				pass.Reportf(ev.pos, "nested lock acquisition: %s takes %s.mu which is already held", ev.target.Name(), ev.owner)
+				pass.Reportf(ev.pos, "nested lock acquisition: %s takes %s.mu%s which is already held", ev.target.Name(), ev.owner, via)
 			case ev.locked && st == stUnlocked:
 				pass.Reportf(ev.pos, "%s requires %s.mu to be held, but the caller does not hold it", ev.target.Name(), ev.owner)
 			default:

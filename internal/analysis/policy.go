@@ -123,12 +123,19 @@ func (cp *CheckPolicy) appliesTo(path string) bool {
 	if !in {
 		return false
 	}
+	return !cp.exempts(path)
+}
+
+// exempts reports whether the path is explicitly carved out of the check's
+// scope. Exemption is sanction: fact passes treat exempt packages as allowed
+// users of the banned construct, not as silent propagators of it.
+func (cp *CheckPolicy) exempts(path string) bool {
 	for _, ex := range cp.Exempt {
 		if matchPattern(ex.Package, path) {
-			return false
+			return true
 		}
 	}
-	return true
+	return false
 }
 
 // Allowed reports whether site is on the check's allowlist.

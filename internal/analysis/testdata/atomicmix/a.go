@@ -1,0 +1,50 @@
+// Golden test package for the atomicmix analyzer. `want` comments are
+// matched by the harness in harness_test.go.
+package atomicmix
+
+import "sync/atomic"
+
+type Counter struct {
+	hits  uint64
+	flag  int32
+	plain int
+}
+
+// Incr is the atomic side; it marks Counter.hits as an atomic field.
+func (c *Counter) Incr() {
+	atomic.AddUint64(&c.hits, 1)
+}
+
+// SetFlag marks Counter.flag as atomic too.
+func (c *Counter) SetFlag() {
+	atomic.StoreInt32(&c.flag, 1)
+}
+
+// Hits reads the atomic field plainly — a data race.
+func (c *Counter) Hits() uint64 {
+	return c.hits // want "plain read of hyvet.test/atomicmix.Counter.hits, which is accessed atomically elsewhere"
+}
+
+// Reset writes the atomic field plainly outside any constructor.
+func (c *Counter) Reset() {
+	c.hits = 0 // want "plain write of hyvet.test/atomicmix.Counter.hits, which is accessed atomically elsewhere"
+}
+
+// NewCounter initializes plainly before the value is shared — the blessed
+// constructor exemption (no finding).
+func NewCounter() *Counter {
+	c := &Counter{}
+	c.hits = 0
+	return c
+}
+
+// Plain accesses a never-atomic field — always fine (no finding).
+func (c *Counter) Plain() int {
+	return c.plain
+}
+
+// FlagSnapshot documents a reviewed plain read under an external guarantee,
+// suppressed with a reason.
+func (c *Counter) FlagSnapshot() int32 {
+	return c.flag //hyvet:allow atomicmix read under the stop-the-world snapshot barrier; no concurrent writers exist
+}

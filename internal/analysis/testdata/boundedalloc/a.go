@@ -1,0 +1,70 @@
+// Golden test package for the boundedalloc analyzer. `want` comments are
+// matched by the harness in harness_test.go.
+package boundedalloc
+
+import (
+	"bufio"
+	"encoding/binary"
+)
+
+const maxRecords = 1 << 20
+
+// LoadUnchecked sizes an allocation straight from a decoded varint.
+func LoadUnchecked(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, n) // want "sized from decoded input with no bound check: validate or clamp the size before allocating"
+	return buf, nil
+}
+
+// alloc allocates from its parameter with no guard — the UncheckedParams
+// fact; the finding lands on callers that pass decoded values in.
+func alloc(n uint64) []byte {
+	return make([]byte, n)
+}
+
+// LoadViaHelper launders the decoded size through a helper; the fact
+// reports it at the call site.
+func LoadViaHelper(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	return alloc(n), nil // want "decoded, unchecked size flows into alloc, which allocates from that parameter without a bound check"
+}
+
+// LoadChecked rejects oversized lengths before allocating (no finding).
+func LoadChecked(br *bufio.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(br)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxRecords {
+		return nil, nil
+	}
+	return make([]byte, n), nil
+}
+
+// LoadClamped clamps instead of rejecting — also a guard (no finding).
+func LoadClamped(br *bufio.Reader) []byte {
+	n, _ := binary.ReadUvarint(br)
+	if n > maxRecords {
+		n = maxRecords
+	}
+	return make([]byte, n)
+}
+
+// Sized allocates from an already-held object's length — never tainted (no
+// finding).
+func Sized(xs []int) []int {
+	return make([]int, len(xs))
+}
+
+// LoadTrusted documents a reviewed decode from a CRC-covered region,
+// suppressed with a reason.
+func LoadTrusted(br *bufio.Reader) []byte {
+	n, _ := binary.ReadUvarint(br)
+	return make([]byte, n) //hyvet:allow boundedalloc length field is inside the CRC-covered frame; corruption is rejected before this decode runs
+}

@@ -1,0 +1,92 @@
+// Golden test package for the goroutinelifetime analyzer. `want` comments
+// are matched by the harness in harness_test.go.
+package goroutinelifetime
+
+import (
+	"context"
+	"sync"
+)
+
+// Leak spawns a goroutine with no join, channel, ctx, or lifecycle pairing.
+func Leak(work []int) {
+	go func() { // want "goroutine has no provable join or cancellation"
+		for range work {
+		}
+	}()
+}
+
+type Pump struct{ out chan int }
+
+// run loops forever with no stop signal.
+func (p *Pump) run() {
+	for {
+		p.step()
+	}
+}
+
+func (p *Pump) step() {}
+
+// LeakMethod spawns a method goroutine and never pairs it with a lifecycle
+// call on the same receiver.
+func LeakMethod(p *Pump) {
+	go p.run() // want "goroutine has no provable join or cancellation"
+}
+
+// Joined uses a WaitGroup — the join shape (no finding).
+func Joined(n int) {
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// Handshake sends the result on a channel the spawner receives from (no
+// finding).
+func Handshake() int {
+	ch := make(chan int)
+	go func() { ch <- 1 }()
+	return <-ch
+}
+
+// Cancellable observes ctx in the goroutine body (no finding).
+func Cancellable(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+// worker observes its ctx, so it carries the Cancellable fact.
+func worker(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// SpawnWorker hands its ctx to a Cancellable callee — accepted through the
+// fact even without looking into worker's body (no finding).
+func SpawnWorker(ctx context.Context) {
+	go worker(ctx)
+}
+
+type Server struct{}
+
+func (s *Server) Serve()    {}
+func (s *Server) Shutdown() {}
+
+// Paired ties the spawned goroutine to Shutdown on the same receiver — the
+// http.Server.Serve shape (no finding).
+func Paired(s *Server) {
+	defer s.Shutdown()
+	go s.Serve()
+}
+
+// Background documents a reviewed process-lifetime goroutine, suppressed
+// with a reason.
+func Background(events chan int) {
+	go func() { //hyvet:allow goroutinelifetime process-lifetime metrics drain; exits with the process by design
+		for range events {
+		}
+	}()
+}

@@ -97,6 +97,27 @@ func (s *Store) Refresh(k string) int {
 	return s.Get(k)
 }
 
+// refreshInner takes no lock itself but delegates to the lock-taking Get;
+// the transitive closure classifies it as read-taking via Get.
+func (s *Store) refreshInner(k string) int { return s.Get(k) }
+
+// SumTransitive re-enters the lock through one delegation hop.
+func (s *Store) SumTransitive(k string) int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.refreshInner(k) // want "nested lock acquisition: refreshInner takes s.mu \(via Get\) which is already held"
+}
+
+// bumpInner delegates to the write-taking Set.
+func (s *Store) bumpInner(k string) { s.Set(k, 1) }
+
+// UpgradeTransitive upgrades a held read lock through one delegation hop.
+func (s *Store) UpgradeTransitive(k string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	s.bumpInner(k) // want "bumpInner takes the write lock on s.mu \(via Set\) while the read lock is held: guaranteed deadlock"
+}
+
 // ---------------------------------------------------------------------------
 // Striped-lock shape: many instances of one guarded type behind indexes.
 

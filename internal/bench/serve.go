@@ -105,8 +105,10 @@ type outcome struct {
 // RunServe boots the query service on a loopback listener, seeds the
 // tenants through the real ingest API, and drives the open-loop generator
 // at each configured level. The server is drained and stopped before
-// returning, so the report covers a full service lifecycle.
-func RunServe(sc ServeConfig) (ServeReport, error) {
+// returning, so the report covers a full service lifecycle. ctx bounds the
+// whole run — seeding, every fired request, and everything in between;
+// cancelling it abandons the benchmark mid-level.
+func RunServe(ctx context.Context, sc ServeConfig) (ServeReport, error) {
 	sc = sc.withDefaults()
 
 	srv, err := server.New(server.Config{
@@ -127,9 +129,12 @@ func RunServe(sc ServeConfig) (ServeReport, error) {
 	go srv.Serve(ln)
 	base := "http://" + ln.Addr().String()
 	defer func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Drain on the benchmark's own context, detached from cancellation:
+		// even an aborted run must flush what the server accepted, but never
+		// for longer than the drain budget.
+		sctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 5*time.Second)
 		defer cancel()
-		_ = srv.Shutdown(ctx)
+		_ = srv.Shutdown(sctx)
 	}()
 
 	rep := ServeReport{
@@ -157,7 +162,7 @@ func RunServe(sc ServeConfig) (ServeReport, error) {
 		tenant := fmt.Sprintf("bench%d", tn)
 		for st := 0; st < sc.Stations; st++ {
 			name := fmt.Sprintf("s%d", st)
-			if _, err := seedClient.IngestStation(context.Background(), tenant,
+			if _, err := seedClient.IngestStation(ctx, tenant,
 				name, fmt.Sprintf("d%d", st%4), pts, "seed-"+tenant+"-"+name); err != nil {
 				return rep, fmt.Errorf("bench: seeding %s/%s: %w", tenant, name, err)
 			}
@@ -166,7 +171,7 @@ func RunServe(sc ServeConfig) (ServeReport, error) {
 
 	capacity := sc.RatePerTenant * float64(sc.Tenants)
 	for _, mult := range sc.Multipliers {
-		lvl, err := runServeLevel(base, sc, capacity*mult, mult <= 1)
+		lvl, err := runServeLevel(ctx, base, sc, capacity*mult, mult <= 1)
 		if err != nil {
 			return rep, err
 		}
@@ -176,8 +181,9 @@ func RunServe(sc ServeConfig) (ServeReport, error) {
 }
 
 // runServeLevel offers requests at offeredQPS for the window and tallies
-// outcomes.
-func runServeLevel(base string, sc ServeConfig, offeredQPS float64, belowLimit bool) (ServeLevel, error) {
+// outcomes. Every fired request carries ctx, so cancelling the benchmark
+// cancels the whole in-flight population.
+func runServeLevel(ctx context.Context, base string, sc ServeConfig, offeredQPS float64, belowLimit bool) (ServeLevel, error) {
 	window := time.Duration(sc.WindowMS) * time.Millisecond
 	interval := time.Duration(float64(time.Second) / offeredQPS)
 	if interval <= 0 {
@@ -219,7 +225,7 @@ func runServeLevel(base string, sc ServeConfig, offeredQPS float64, belowLimit b
 				"station": {fmt.Sprint(st)},
 				"start":   {"0"}, "end": {"100000"},
 			}
-			req, err := http.NewRequest(http.MethodGet, fmt.Sprintf(
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, fmt.Sprintf(
 				"%s/v1/tenants/bench%d/query?%s", base, tn, q.Encode()), nil)
 			if err != nil {
 				outcomes[i] = outcome{tenant: tn}

@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 	"time"
@@ -10,7 +11,7 @@ import (
 // loopback port, seeds tenants through the ingest API, drives both load
 // levels, and the resulting report must pass its own checker.
 func TestRunServeSmallReportIsValid(t *testing.T) {
-	rep, err := RunServe(ServeConfig{
+	rep, err := RunServe(context.Background(), ServeConfig{
 		Tenants:       2,
 		Stations:      4,
 		RatePerTenant: 200,

@@ -19,6 +19,18 @@ const (
 	snapshotVersion = 2
 )
 
+// Sanity caps for decoded length fields. A snapshot claiming more than these
+// is corrupt, not big: every cap sits orders of magnitude above anything the
+// engine can write, and bounding them keeps a flipped length byte from
+// turning one ReadUvarint into a multi-exabyte allocation before the record
+// data is even read.
+const (
+	maxSnapStrings = 1 << 24 // interned strings in the table
+	maxSnapStrLen  = 1 << 26 // bytes in one interned string
+	maxSnapRecs    = 1 << 28 // node/rel/prop records in one shard
+	maxSnapRefs    = 1 << 24 // labels or adjacency entries on one node
+)
+
 // Save writes a binary snapshot of the store. Each shard is serialized under
 // its own read lock.
 func (db *DB) Save(w io.Writer) error {
@@ -137,11 +149,17 @@ func Load(r io.Reader) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
+	if nStr > maxSnapStrings {
+		return nil, fmt.Errorf("graphstore: corrupt snapshot: %d interned strings exceeds cap %d", nStr, maxSnapStrings)
+	}
 	db.str.names = make([]string, nStr)
 	for i := range db.str.names {
 		l, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
+		}
+		if l > maxSnapStrLen {
+			return nil, fmt.Errorf("graphstore: corrupt snapshot: string of %d bytes exceeds cap %d", l, maxSnapStrLen)
 		}
 		buf := make([]byte, l)
 		if _, err := io.ReadFull(br, buf); err != nil {
@@ -170,6 +188,9 @@ func (sh *nodeShard) load(br *bufio.Reader, db *DB, shardIdx uint32) error {
 	if err != nil {
 		return err
 	}
+	if nNodes > maxSnapRecs {
+		return fmt.Errorf("graphstore: corrupt snapshot: %d node records exceeds cap %d", nNodes, maxSnapRecs)
+	}
 	sh.nodes = make([]nodeRec, nNodes)
 	for i := range sh.nodes {
 		n := &sh.nodes[i]
@@ -179,6 +200,9 @@ func (sh *nodeShard) load(br *bufio.Reader, db *DB, shardIdx uint32) error {
 		nl, err := binary.ReadUvarint(br)
 		if err != nil {
 			return err
+		}
+		if nl > maxSnapRefs {
+			return fmt.Errorf("graphstore: corrupt snapshot: %d labels on one node exceeds cap %d", nl, maxSnapRefs)
 		}
 		n.labels = make([]uint32, nl)
 		for j := range n.labels {
@@ -195,6 +219,9 @@ func (sh *nodeShard) load(br *bufio.Reader, db *DB, shardIdx uint32) error {
 		na, err := binary.ReadUvarint(br)
 		if err != nil {
 			return err
+		}
+		if na > maxSnapRefs {
+			return fmt.Errorf("graphstore: corrupt snapshot: %d adjacency entries on one node exceeds cap %d", na, maxSnapRefs)
 		}
 		n.adj = make([]uint32, na)
 		for j := range n.adj {
@@ -213,6 +240,9 @@ func (rs *relShard) load(br *bufio.Reader) error {
 	nRels, err := binary.ReadUvarint(br)
 	if err != nil {
 		return err
+	}
+	if nRels > maxSnapRecs {
+		return fmt.Errorf("graphstore: corrupt snapshot: %d rel records exceeds cap %d", nRels, maxSnapRecs)
 	}
 	rs.rels = make([]relRec, nRels)
 	for i := range rs.rels {
@@ -244,6 +274,9 @@ func loadPropStore(br *bufio.Reader, ps *propStore) error {
 	nProps, err := binary.ReadUvarint(br)
 	if err != nil {
 		return err
+	}
+	if nProps > maxSnapRecs {
+		return fmt.Errorf("graphstore: corrupt snapshot: %d prop records exceeds cap %d", nProps, maxSnapRecs)
 	}
 	ps.recs = make([]propRec, nProps)
 	for i := range ps.recs {

@@ -25,6 +25,16 @@ const (
 	chunkFormCompressed = 1 // uvarint n, sum/min/max bits, uvarint len, block
 )
 
+// Sanity caps for decoded length fields: a snapshot claiming more is
+// corrupt, not big. They bound single allocations so a flipped length byte
+// cannot turn one ReadUvarint into an exabyte-sized make before any record
+// data is read.
+const (
+	maxSnapMetricLen = 1 << 16 // bytes in one metric name
+	maxSnapChunkPts  = 1 << 24 // points in one raw chunk
+	maxSnapBlockLen  = 1 << 26 // bytes in one compressed block
+)
+
 // Save writes a binary snapshot of the store. Keys are emitted in merged
 // first-insertion order (one short read lock per shard while walking each
 // key's series), so the on-disk layout is byte-identical regardless of the
@@ -141,6 +151,9 @@ func Load(r io.Reader) (*DB, error) {
 		if err != nil {
 			return nil, err
 		}
+		if mlen > maxSnapMetricLen {
+			return nil, fmt.Errorf("tsstore: corrupt snapshot: metric name of %d bytes exceeds cap %d", mlen, maxSnapMetricLen)
+		}
 		mbuf := make([]byte, mlen)
 		if _, err := io.ReadFull(br, mbuf); err != nil {
 			return nil, err
@@ -191,6 +204,9 @@ func loadChunk(br *bufio.Reader, version uint64) (*chunk, error) {
 		if err != nil {
 			return nil, err
 		}
+		if nPts > maxSnapChunkPts {
+			return nil, fmt.Errorf("tsstore: corrupt snapshot: %d points in one chunk exceeds cap %d", nPts, maxSnapChunkPts)
+		}
 		c := &chunk{slot: slot, times: make([]ts.Time, nPts), vals: make([]float64, nPts)}
 		prev := int64(0)
 		for i := uint64(0); i < nPts; i++ {
@@ -232,6 +248,9 @@ func loadChunk(br *bufio.Reader, version uint64) (*chunk, error) {
 		blen, err := binary.ReadUvarint(br)
 		if err != nil {
 			return nil, err
+		}
+		if blen > maxSnapBlockLen {
+			return nil, fmt.Errorf("tsstore: corrupt snapshot: compressed block of %d bytes exceeds cap %d", blen, maxSnapBlockLen)
 		}
 		c.enc = make([]byte, blen)
 		if _, err := io.ReadFull(br, c.enc); err != nil {

@@ -72,6 +72,11 @@ func (d *DurablePolyglot) Q5DistrictSumsCtx(ctx context.Context, start, end ts.T
 	if err := d.tsCheck("Q5"); err != nil {
 		out := map[string]float64{}
 		for _, st := range d.eng.G.NodesByLabel("Station") {
+			// The degraded partition still fans out over every station under
+			// the graph lock; a cancelled caller should not keep paying for it.
+			if cerr := ctxErr(ctx); cerr != nil {
+				return nil, cerr
+			}
 			district := "?"
 			if v, ok := d.eng.G.NodeProp(st, "district"); ok {
 				district = v.S
