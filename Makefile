@@ -45,7 +45,10 @@ bench:
 # limit (not under -race — open-loop timing is the point being measured).
 # The fourth run smokes the storage path: chunk compression + cold tier
 # (points-per-MB, the 4x ratio floor, spill + cold/warm scans, Q1-Q8
-# deltas), with the v4 baseline schema validated by -check.
+# deltas). The fifth run smokes the partition-scaling path under -race:
+# the scatter-gather coordinator at 1 and 2 partitions, which exits
+# non-zero unless every merged answer is element-wise identical to the
+# single-engine oracle, with the v5 baseline schema validated by -check.
 # Writes to scratch files so the committed BENCH_table1.json is never
 # clobbered by a -race-skewed run.
 benchsmoke:
@@ -53,11 +56,13 @@ benchsmoke:
 	$(GO) run -race ./cmd/hybench -scale small -reps 2 -mixed -ingest 2 -query 2 -mixedms 25 -shapemin 5 -json /tmp/hybench_smoke_mixed.json
 	$(GO) run ./cmd/hybench -scale small -reps 2 -serve -servems 200 -shapemin 5 -json /tmp/hybench_smoke_serve.json
 	$(GO) run -race ./cmd/hybench -scale small -reps 2 -storage -shapemin 5 -json /tmp/hybench_smoke_storage.json
+	$(GO) run -race ./cmd/hybench -scale small -reps 2 -partitions 1,2 -shapemin 5 -json /tmp/hybench_smoke_parts.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_mixed.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_serve.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_storage.json
-	grep -q '"schema": "hybench-table1/v4"' /tmp/hybench_smoke_storage.json
+	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_parts.json
+	grep -q '"schema": "hybench-table1/v5"' /tmp/hybench_smoke_parts.json
 
 # Server smoke (docs/SERVICE.md): one live `hygraph serve -smoke` run under
 # -race — random loopback port, durable ingest + query through the retry
@@ -68,11 +73,12 @@ servesmoke:
 	rm -rf /tmp/hygraph_servesmoke
 	$(GO) run -race ./cmd/hygraph serve -smoke -dir /tmp/hygraph_servesmoke
 
-# Coverage gate: statement coverage of the storage engines, the observability
-# layer, and the bench harness must stay at or above the floor recorded in
-# coverage.txt (a bare percentage; raise it as tests accumulate).
+# Coverage gate: statement coverage of the storage engines, the coordinator,
+# the observability layer, and the bench harness must stay at or above the
+# floor recorded in coverage.txt (a bare percentage; raise it as tests
+# accumulate).
 cover:
-	$(GO) test -coverprofile=/tmp/hygraph_cover.out ./internal/storage/... ./internal/obs ./internal/bench
+	$(GO) test -coverprofile=/tmp/hygraph_cover.out ./internal/storage/... ./internal/coord ./internal/obs ./internal/bench
 	@total=$$($(GO) tool cover -func=/tmp/hygraph_cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	floor=$$(cat coverage.txt); \
 	echo "coverage: $$total% (floor $$floor%)"; \

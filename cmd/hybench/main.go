@@ -8,6 +8,7 @@
 //	        [-parallel] [-workers N] [-clients N] [-ops N]
 //	        [-mixed] [-ingest N] [-query N] [-mixedms N] [-shapemin X]
 //	        [-serve] [-serverate R] [-servems N] [-servetenants N]
+//	        [-partitions "1,2,4,8"]
 //	        [-json FILE] [-check FILE] [-metrics]
 //
 // The default scale (200 stations × 180 days hourly) finishes in well under
@@ -27,6 +28,10 @@
 // open-loop load generator at offered rates below and above the admission
 // limit, reporting served QPS, latency quantiles, shed rate and
 // deadline-miss rate per level.
+// -partitions runs the partition-scaling mode: the scatter-gather
+// coordinator (internal/coord) over N in-process partitions at each listed
+// count, every level verified element-wise identical to the single-engine
+// oracle before Q4–Q8 are timed against the 1-partition reference.
 // -json writes the machine-readable BENCH_table1.json
 // baseline; -check validates an existing baseline file's schema and exits.
 // -metrics attaches the observability registry to every engine, pushes a
@@ -40,10 +45,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"hygraph/internal/bench"
 	"hygraph/internal/obs"
 )
+
+// parseCounts parses the -partitions value: comma-separated positive
+// partition counts, e.g. "1,2,4,8".
+func parseCounts(s string) ([]int, error) {
+	var counts []int
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("bad count %q", f)
+		}
+		if n < 1 {
+			return nil, fmt.Errorf("count %d not positive", n)
+		}
+		counts = append(counts, n)
+	}
+	return counts, nil
+}
 
 func main() {
 	scale := flag.String("scale", "default", "workload scale: small, default, or paper")
@@ -59,6 +83,7 @@ func main() {
 	query := flag.Int("query", 4, "query clients in -mixed mode")
 	mixedMS := flag.Int("mixedms", 100, "measured window per rep in -mixed mode, milliseconds")
 	storage := flag.Bool("storage", false, "storage mode: points-per-MB of raw vs compressed chunk layouts, cold-tier spill + scan cost, and Q1-Q8 deltas of a compressed engine")
+	partitions := flag.String("partitions", "", "partition-scaling mode: comma-separated partition counts (e.g. 1,2,4,8) for the scatter-gather coordinator, each level verified identical to the single-engine oracle")
 	serve := flag.Bool("serve", false, "served-workload mode: open-loop load against the network query service at levels below and above the admission limit")
 	serveRate := flag.Float64("serverate", 400, "per-tenant admitted request rate in -serve mode, req/s")
 	serveMS := flag.Int("servems", 500, "measured window per offered-load level in -serve mode, milliseconds")
@@ -185,6 +210,28 @@ func main() {
 				fmt.Fprintln(os.Stderr, "  "+p)
 			}
 			os.Exit(1)
+		}
+	}
+
+	if *partitions != "" {
+		counts, err := parseCounts(*partitions)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: -partitions: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Println()
+		rep, err := bench.RunPartitions(cfg, counts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hybench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(bench.FormatPartitions(rep))
+		baseline.Partitions = &rep
+		for _, lvl := range rep.Levels {
+			if !lvl.Identical {
+				fmt.Fprintf(os.Stderr, "hybench: %d-partition results differ from the single-engine oracle\n", lvl.Parts)
+				os.Exit(1)
+			}
 		}
 	}
 

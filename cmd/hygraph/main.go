@@ -12,12 +12,14 @@
 //	hygraph recover  -dir DIR [-compact]
 //	hygraph stats    [-seed S] [-workers N]
 //	hygraph serve    -dir DIR [-addr HOST:PORT] [-rate R] [-maxconc N]
-//	                 [-maxqueue N] [-drain DUR] [-smoke]
+//	                 [-maxqueue N] [-drain DUR] [-partitions N] [-smoke]
 //
 // serve runs the hardened network query service (internal/server,
 // docs/SERVICE.md) over the durable store directory: per-tenant HyQL, Q1–Q8
 // and ingest with admission control, request deadlines, and a SIGTERM drain
-// that flushes the group-commit WALs before exit. -smoke runs the
+// that flushes the group-commit WALs before exit. -partitions N serves each
+// tenant as N independent engine partitions (subdirectories <tenant>.pI)
+// behind the scatter-gather coordinator (docs/PARTITIONING.md). -smoke runs the
 // self-contained CI smoke instead: random port, a client mix including one
 // forced shed and one deadline-exceeded request, graceful stop, recovery
 // check.
@@ -87,6 +89,7 @@ func main() {
 	maxQueue := fs.Int("maxqueue", 0, "max queued requests; 0 = 4x maxconc (serve)")
 	drain := fs.Duration("drain", 10*time.Second, "graceful-shutdown drain bound (serve)")
 	smoke := fs.Bool("smoke", false, "run the self-contained server smoke and exit (serve)")
+	partitions := fs.Int("partitions", 1, "partitions per tenant: >1 serves each tenant as N engines behind the scatter-gather coordinator (serve)")
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
 			return
@@ -139,7 +142,7 @@ func main() {
 			runServeSmoke(*dir)
 			return
 		}
-		runServe(*addr, *dir, *rate, *maxConc, *maxQueue, *workers, *drain, reg, dbg)
+		runServe(*addr, *dir, *rate, *maxConc, *maxQueue, *workers, *partitions, *drain, reg, dbg)
 		return
 	}
 
@@ -177,7 +180,7 @@ func usage() {
   hygraph recover  -dir DIR [-compact]
   hygraph stats    [-seed S] [-workers N] [-debug-addr ADDR]
   hygraph serve    -dir DIR [-addr HOST:PORT] [-rate R] [-maxconc N]
-                   [-maxqueue N] [-drain DUR] [-smoke]`)
+                   [-maxqueue N] [-drain DUR] [-partitions N] [-smoke]`)
 }
 
 func fail(msg string) {

@@ -32,12 +32,18 @@ import (
 )
 
 // runServe listens on addr and serves tenants out of dir until a signal
-// arrives, then drains within the drain bound.
-func runServe(addr, dir string, rate float64, maxConc, maxQueue, workers int, drain time.Duration, reg *obs.Registry, dbg *obs.DebugServer) {
+// arrives, then drains within the drain bound. partitions > 1 serves each
+// tenant as that many independent engines behind the scatter-gather
+// coordinator, stored as <tenant>.pI subdirectories.
+func runServe(addr, dir string, rate float64, maxConc, maxQueue, workers, partitions int, drain time.Duration, reg *obs.Registry, dbg *obs.DebugServer) {
+	var backend server.Backend = &server.DirBackend{Root: dir}
+	if partitions > 1 {
+		backend = &server.PartitionedBackend{Inner: &server.DirBackend{Root: dir}, Parts: partitions}
+	}
 	srv, err := server.New(server.Config{
 		Limits:  server.Limits{MaxConcurrent: maxConc, MaxQueue: maxQueue, TenantRate: rate},
 		Workers: workers,
-		Backend: &server.DirBackend{Root: dir},
+		Backend: backend,
 		Obs:     reg,
 	})
 	if err != nil {

@@ -16,8 +16,10 @@ import (
 // v3 added the served-workload section (network service under open-loop
 // offered load: served QPS, latency quantiles, shed and deadline-miss
 // rates); v4 added the storage section (chunk compression + cold tier:
-// points-per-MB, compression ratio, cold/warm scan, Q1–Q8 deltas).
-const BaselineSchema = "hybench-table1/v4"
+// points-per-MB, compression ratio, cold/warm scan, Q1–Q8 deltas); v5 added
+// the partition-scaling section (scatter-gather coordinator at 1/2/4/8
+// partitions: Q4–Q8 MRS + speedup per level, oracle-identity flag).
+const BaselineSchema = "hybench-table1/v5"
 
 // Baseline is the machine-readable record of one Table 1 run, written to
 // BENCH_table1.json so the performance trajectory is trackable across PRs.
@@ -46,6 +48,10 @@ type Baseline struct {
 	// points-per-MB of the raw vs compressed layouts, the cold-tier spill
 	// and scan numbers, and the Q1–Q8 latency deltas of a compressed engine.
 	Storage *StorageReport `json:"storage,omitempty"`
+	// Partitions is the partition-scaling section (hybench -partitions):
+	// the scatter-gather coordinator at increasing partition counts, each
+	// level oracle-identical and timed on Q4–Q8.
+	Partitions *PartitionsReport `json:"partitions,omitempty"`
 }
 
 // Validate checks the structural invariants of a baseline: schema tag,
@@ -104,6 +110,9 @@ func (b *Baseline) Validate() []string {
 	}
 	if b.Storage != nil {
 		problems = append(problems, CheckStorage(b.Storage)...)
+	}
+	if b.Partitions != nil {
+		problems = append(problems, checkPartitions(b.Partitions)...)
 	}
 	return problems
 }

@@ -6,6 +6,8 @@ import (
 	"strings"
 	"testing"
 
+	"hygraph/internal/coord"
+	"hygraph/internal/core"
 	"hygraph/internal/dataset"
 	"hygraph/internal/hyql"
 	"hygraph/internal/obs"
@@ -89,6 +91,14 @@ func engineResults(data *dataset.BikeData, e ttdb.Engine, ids []ttdb.StationID) 
 func hyqlResults(t *testing.T, data *dataset.BikeData) qResults {
 	t.Helper()
 	h, _ := data.ToHyGraph()
+	return hyqlResultsOn(t, data, h)
+}
+
+// hyqlResultsOn runs the HyQL battery over an explicit HyGraph — the hook
+// the partitioned path uses to prove coord.View() answers identically to
+// the dataset-built graph.
+func hyqlResultsOn(t *testing.T, data *dataset.BikeData, h *core.HyGraph) qResults {
+	t.Helper()
 	eng := hyql.NewEngine(h)
 	start, end := data.Span()
 	qStart := start + (end-start)/4
@@ -314,6 +324,23 @@ func TestDifferentialBattery(t *testing.T) {
 			}
 
 			comparePaths(t, "hyql", ref, hyqlResults(t, data))
+
+			// Partitioned paths: the scatter-gather coordinator at 1, 2 and 4
+			// partitions must be element-wise identical to the oracles, both
+			// through the Engine surface and through HyQL over its view —
+			// partition count is an execution detail, never an answer change.
+			for _, nparts := range []int{1, 2, 4} {
+				co, err := coord.NewMem(nparts, ts.Week)
+				if err != nil {
+					t.Fatal(err)
+				}
+				idsCo := load(co)
+				label := fmt.Sprintf("coord-%dp", nparts)
+				comparePaths(t, label, ref, engineResults(data, co, idsCo))
+				co.SetWorkers(2)
+				comparePaths(t, label+"-par", ref, engineResults(data, co, idsCo))
+				comparePaths(t, label+"-hyql", ref, hyqlResultsOn(t, data, co.View()))
+			}
 		})
 	}
 }

@@ -1,0 +1,310 @@
+package bench
+
+// The partition-scaling section (hybench -partitions): the scatter-gather
+// coordinator at increasing partition counts against the single-engine
+// polyglot oracle. Two claims are recorded per level — correctness (results
+// element-wise identical to the oracle, the partition-invariance guarantee)
+// and scaling (Q4–Q8 mean response time vs the 1-partition reference).
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strings"
+	"time"
+
+	"hygraph/internal/coord"
+	"hygraph/internal/dataset"
+	"hygraph/internal/storage/ttdb"
+	"hygraph/internal/ts"
+)
+
+// PartitionRow is one query at one partition count.
+type PartitionRow struct {
+	Query string  `json:"query"`
+	Desc  string  `json:"desc"`
+	MRS   float64 `json:"mrs_ms"` // ms
+	CV    float64 `json:"cv_pct"` // %
+	// Speedup is MRS at 1 partition / MRS here — the scaling headline.
+	Speedup float64 `json:"speedup"`
+}
+
+// PartitionLevel is the measured Q4–Q8 block at one partition count.
+type PartitionLevel struct {
+	Parts int            `json:"parts"`
+	Rows  []PartitionRow `json:"rows"`
+	// Identical reports whether every Q1–Q8 answer at this partition count
+	// was element-wise equal (1e-9) to the single-engine oracle — the
+	// correctness gate of the scatter-gather merge.
+	Identical bool `json:"identical"`
+}
+
+// PartitionsReport is the -partitions section of the baseline.
+type PartitionsReport struct {
+	Counts []int `json:"counts"`
+	// Procs is GOMAXPROCS at run time. The monotone-speedup check is gated
+	// on it: a 1-CPU box serializes the fan-out, so only the correctness
+	// half of the section is meaningful there.
+	Procs  int              `json:"procs"`
+	Levels []PartitionLevel `json:"levels"`
+}
+
+// PartitionQueries are the multi-station queries the coordinator scatters;
+// the same set the in-engine worker pool fans out (ParallelQueries).
+var PartitionQueries = []string{"Q4", "Q5", "Q6", "Q7", "Q8"}
+
+// RunPartitions loads the single-engine oracle once and the coordinator at
+// each partition count, verifies element-wise identity of the Q1–Q8 answers,
+// and times Q4–Q8 per level.
+func RunPartitions(cfg Config, counts []int) (PartitionsReport, error) {
+	rep := PartitionsReport{Counts: counts, Procs: runtime.GOMAXPROCS(0)}
+	if len(counts) == 0 {
+		return rep, fmt.Errorf("bench: -partitions needs at least one count")
+	}
+	data := dataset.GenerateBike(cfg.Bike)
+	ora := ttdb.NewPolyglot(ts.Week)
+	oIDs, err := data.LoadEngine(ora)
+	if err != nil {
+		return rep, fmt.Errorf("bench: loading %s: %w", ora.Name(), err)
+	}
+	start, end := data.Span()
+	qStart := start + (end-start)/4
+	qEnd := qStart + (end-start)/2
+
+	var base []float64 // 1st level's MRS per query, the speedup denominator
+	for li, n := range counts {
+		c, err := coord.NewMem(n, ts.Week)
+		if err != nil {
+			return rep, fmt.Errorf("bench: partitions=%d: %w", n, err)
+		}
+		cIDs, err := data.LoadEngine(c)
+		if err != nil {
+			return rep, fmt.Errorf("bench: loading %s@%d: %w", c.Name(), n, err)
+		}
+		c.SetWorkers(cfg.Workers)
+		if cfg.Obs != nil {
+			c.Instrument(cfg.Obs)
+		}
+		lvl := PartitionLevel{
+			Parts:     n,
+			Identical: partitionsIdentical(ora, oIDs, c, cIDs, qStart, qEnd),
+		}
+		st0, st1 := cIDs[0], cIDs[len(cIDs)/2]
+		for qi, q := range PartitionQueries {
+			var fn func()
+			switch q {
+			case "Q4":
+				fn = func() { c.Q4AllStationMeans(qStart, qEnd) }
+			case "Q5":
+				fn = func() { c.Q5DistrictSums(qStart, qEnd) }
+			case "Q6":
+				fn = func() { c.Q6TopKStations(qStart, qEnd, 10) }
+			case "Q7":
+				fn = func() { c.Q7Correlation(st0, st1, qStart, qEnd, ts.Hour) }
+			case "Q8":
+				fn = func() { c.Q8NeighborMeans(st0, qStart, qEnd) }
+			}
+			fn() // warm-up rep, not measured
+			samples := make([]float64, 0, cfg.Reps)
+			for r := 0; r < cfg.Reps; r++ {
+				t0 := time.Now()
+				fn()
+				samples = append(samples, float64(time.Since(t0).Nanoseconds())/1e6)
+			}
+			mrs, cv := stats(samples)
+			row := PartitionRow{Query: q, Desc: ttdb.Describe(q), MRS: mrs, CV: cv}
+			if li == 0 {
+				base = append(base, mrs)
+				row.Speedup = 1
+			} else if mrs > 0 && qi < len(base) {
+				row.Speedup = base[qi] / mrs
+			}
+			lvl.Rows = append(lvl.Rows, row)
+		}
+		rep.Levels = append(rep.Levels, lvl)
+	}
+	return rep, nil
+}
+
+// partitionsIdentical compares every Q1–Q8 answer of the coordinator against
+// the oracle, element-wise within 1e-9. Station ids differ between the two
+// engines, so answers are aligned through the shared ingest order: oIDs[i]
+// and cIDs[i] name the same logical station.
+func partitionsIdentical(ora ttdb.Engine, oIDs []ttdb.StationID, c ttdb.Engine, cIDs []ttdb.StationID, qStart, qEnd ts.Time) bool {
+	const tol = 1e-9
+	eq := func(a, b float64) bool {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return true
+		}
+		return math.Abs(a-b) <= tol
+	}
+	if len(oIDs) != len(cIDs) || len(oIDs) == 0 {
+		return false
+	}
+	oIdx := make(map[ttdb.StationID]int, len(oIDs))
+	cIdx := make(map[ttdb.StationID]int, len(cIDs))
+	for i := range oIDs {
+		oIdx[oIDs[i]] = i
+		cIdx[cIDs[i]] = i
+	}
+	st0o, st1o := oIDs[0], oIDs[len(oIDs)/2]
+	st0c, st1c := cIDs[0], cIDs[len(cIDs)/2]
+
+	po := ora.Q1TimeRange(st0o, qStart, qStart+2*ts.Day)
+	pc := c.Q1TimeRange(st0c, qStart, qStart+2*ts.Day)
+	if len(po) != len(pc) {
+		return false
+	}
+	for i := range po {
+		if po[i].T != pc[i].T || !eq(po[i].V, pc[i].V) {
+			return false
+		}
+	}
+	fo := ora.Q2FilteredRange(st0o, qStart, qEnd, 10)
+	fc := c.Q2FilteredRange(st0c, qStart, qEnd, 10)
+	if len(fo) != len(fc) {
+		return false
+	}
+	for i := range fo {
+		if fo[i].T != fc[i].T || !eq(fo[i].V, fc[i].V) {
+			return false
+		}
+	}
+	if !eq(ora.Q3StationMean(st0o, qStart, qEnd), c.Q3StationMean(st0c, qStart, qEnd)) {
+		return false
+	}
+	mo, mc := ora.Q4AllStationMeans(qStart, qEnd), c.Q4AllStationMeans(qStart, qEnd)
+	if len(mo) != len(mc) {
+		return false
+	}
+	for i := range oIDs {
+		vo, oko := mo[oIDs[i]]
+		vc, okc := mc[cIDs[i]]
+		if oko != okc || !eq(vo, vc) {
+			return false
+		}
+	}
+	do, dc := ora.Q5DistrictSums(qStart, qEnd), c.Q5DistrictSums(qStart, qEnd)
+	if len(do) != len(dc) {
+		return false
+	}
+	for k, v := range do {
+		w, ok := dc[k]
+		if !ok || !eq(v, w) {
+			return false
+		}
+	}
+	to, tc := ora.Q6TopKStations(qStart, qEnd, 10), c.Q6TopKStations(qStart, qEnd, 10)
+	if len(to) != len(tc) {
+		return false
+	}
+	for i := range to {
+		if oIdx[to[i]] != cIdx[tc[i]] {
+			return false
+		}
+	}
+	if !eq(ora.Q7Correlation(st0o, st1o, qStart, qEnd, ts.Hour), c.Q7Correlation(st0c, st1c, qStart, qEnd, ts.Hour)) {
+		return false
+	}
+	no, nc := ora.Q8NeighborMeans(st0o, qStart, qEnd), c.Q8NeighborMeans(st0c, qStart, qEnd)
+	if len(no) != len(nc) {
+		return false
+	}
+	for k, v := range no {
+		w, ok := nc[cIDs[oIdx[k]]]
+		if !ok || !eq(v, w) {
+			return false
+		}
+	}
+	return true
+}
+
+// FormatPartitions renders the partition-scaling section.
+func FormatPartitions(r PartitionsReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "partition scaling — coordinator over N in-process partitions, %d procs\n", r.Procs)
+	fmt.Fprintf(&b, "%-6s %-5s %12s %8s %10s %10s  %s\n",
+		"parts", "Query", "MRS (ms)", "CV(%)", "speedup", "identical", "description")
+	fmt.Fprintln(&b, strings.Repeat("-", 100))
+	for _, lvl := range r.Levels {
+		for i, row := range lvl.Rows {
+			parts := ""
+			if i == 0 {
+				parts = fmt.Sprintf("%d", lvl.Parts)
+			}
+			fmt.Fprintf(&b, "%-6s %-5s %12.3f %8.2f %9.2fx %10v  %s\n",
+				parts, row.Query, row.MRS, row.CV, row.Speedup, lvl.Identical, row.Desc)
+		}
+	}
+	return b.String()
+}
+
+// checkPartitions validates the structural invariants of the partitions
+// section: the 1-partition reference leads at least two strictly increasing
+// levels, every level is element-wise identical to the oracle, all timings
+// are finite, and — on boxes with enough cores for the fan-out to mean
+// anything (Procs ≥ 4) — the Q4–Q8 speedup grows monotonically with the
+// partition count (2% measurement-noise allowance).
+func checkPartitions(r *PartitionsReport) []string {
+	var problems []string
+	if r.Procs < 1 {
+		problems = append(problems, fmt.Sprintf("partitions: procs %d not positive", r.Procs))
+	}
+	if len(r.Levels) < 2 {
+		problems = append(problems, fmt.Sprintf(
+			"partitions: %d levels; scaling needs at least the reference and one fan-out", len(r.Levels)))
+	}
+	if len(r.Counts) != len(r.Levels) {
+		problems = append(problems, fmt.Sprintf(
+			"partitions: %d counts but %d levels", len(r.Counts), len(r.Levels)))
+	}
+	if len(r.Levels) > 0 && r.Levels[0].Parts != 1 {
+		problems = append(problems, fmt.Sprintf(
+			"partitions: first level is %d partitions, want the 1-partition reference", r.Levels[0].Parts))
+	}
+	prev := 0
+	for _, lvl := range r.Levels {
+		tag := fmt.Sprintf("partitions@%d", lvl.Parts)
+		if lvl.Parts <= prev {
+			problems = append(problems, fmt.Sprintf("%s: counts not strictly increasing", tag))
+		}
+		prev = lvl.Parts
+		if !lvl.Identical {
+			problems = append(problems, fmt.Sprintf("%s: results differ from the single-engine oracle", tag))
+		}
+		if len(lvl.Rows) != len(PartitionQueries) {
+			problems = append(problems, fmt.Sprintf("%s: %d rows, want %d", tag, len(lvl.Rows), len(PartitionQueries)))
+			continue
+		}
+		for i, row := range lvl.Rows {
+			if row.Query != PartitionQueries[i] {
+				problems = append(problems, fmt.Sprintf("%s: row %d is %q, want %q", tag, i, row.Query, PartitionQueries[i]))
+			}
+			for _, m := range []struct {
+				name string
+				v    float64
+			}{{"MRS", row.MRS}, {"CV", row.CV}, {"Speedup", row.Speedup}} {
+				if math.IsNaN(m.v) || math.IsInf(m.v, 0) || m.v < 0 {
+					problems = append(problems, fmt.Sprintf(
+						"%s.%s.%s = %v not a finite non-negative number", tag, row.Query, m.name, m.v))
+				}
+			}
+		}
+	}
+	if r.Procs >= 4 && len(r.Levels) >= 2 {
+		for qi, q := range PartitionQueries {
+			for li := 1; li < len(r.Levels); li++ {
+				if len(r.Levels[li].Rows) != len(PartitionQueries) || len(r.Levels[li-1].Rows) != len(PartitionQueries) {
+					continue
+				}
+				sp, spPrev := r.Levels[li].Rows[qi].Speedup, r.Levels[li-1].Rows[qi].Speedup
+				if sp < spPrev*0.98 {
+					problems = append(problems, fmt.Sprintf(
+						"partitions: %s speedup regressed %d→%d partitions (%.2fx → %.2fx)",
+						q, r.Levels[li-1].Parts, r.Levels[li].Parts, spPrev, sp))
+				}
+			}
+		}
+	}
+	return problems
+}

@@ -8,7 +8,6 @@ import (
 	"net/http"
 	"net/url"
 	"runtime"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -280,21 +279,6 @@ func runServeLevel(ctx context.Context, base string, sc ServeConfig, offeredQPS 
 		})
 	}
 	return lvl, nil
-}
-
-// quantilesMS returns the p50/p99 of the sample in milliseconds (0,0 for an
-// empty sample).
-func quantilesMS(lat []time.Duration) (p50, p99 float64) {
-	if len(lat) == 0 {
-		return 0, 0
-	}
-	sorted := append([]time.Duration(nil), lat...)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
-	at := func(q float64) float64 {
-		i := int(q * float64(len(sorted)-1))
-		return float64(sorted[i]) / float64(time.Millisecond)
-	}
-	return at(0.50), at(0.99)
 }
 
 // checkServe validates the served-workload section: at least two levels

@@ -4,7 +4,6 @@ import (
 	"context"
 	"strings"
 	"testing"
-	"time"
 )
 
 // A tiny end-to-end served-workload run: boots the real service on a
@@ -48,20 +47,6 @@ func TestServeConfigDefaults(t *testing.T) {
 	if keep.Tenants != 5 || keep.Stations != 3 || keep.RatePerTenant != 7 ||
 		keep.WindowMS != 9 || len(keep.Multipliers) != 1 {
 		t.Fatalf("explicit values clobbered: %+v", keep)
-	}
-}
-
-func TestQuantilesMS(t *testing.T) {
-	if p50, p99 := quantilesMS(nil); p50 != 0 || p99 != 0 {
-		t.Fatalf("empty sample: %v %v", p50, p99)
-	}
-	lat := make([]time.Duration, 100)
-	for i := range lat {
-		lat[i] = time.Duration(i+1) * time.Millisecond
-	}
-	p50, p99 := quantilesMS(lat)
-	if p50 != 50 || p99 != 99 {
-		t.Fatalf("quantiles of 1..100ms: p50=%v p99=%v", p50, p99)
 	}
 }
 

@@ -263,19 +263,6 @@ func storageQueryDeltas(cfg Config) (map[string]float64, error) {
 	return deltas, nil
 }
 
-func minSample(s []float64) float64 {
-	if len(s) == 0 {
-		return 0
-	}
-	m := s[0]
-	for _, v := range s[1:] {
-		if v < m {
-			m = v
-		}
-	}
-	return m
-}
-
 // FormatStorage renders the storage section for terminal output.
 func FormatStorage(r StorageReport) string {
 	var b strings.Builder

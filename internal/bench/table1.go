@@ -6,7 +6,6 @@ package bench
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"time"
@@ -141,34 +140,6 @@ func Run(cfg Config) ([]Row, error) {
 		rows = append(rows, row)
 	}
 	return rows, nil
-}
-
-// stats returns mean and coefficient of variation (%) of samples. CV uses
-// the sample (n−1) standard deviation — the paper's convention for its Reps
-// repetitions — since the reps are a sample of the latency distribution,
-// not the population; the population formula understated spread at the
-// Reps=7 default. With fewer than two samples, or a zero mean (which would
-// divide away to ±Inf), CV is reported as 0.
-func stats(samples []float64) (mean, cv float64) {
-	n := len(samples)
-	if n == 0 {
-		return 0, 0
-	}
-	for _, s := range samples {
-		mean += s
-	}
-	mean /= float64(n)
-	if n < 2 || mean == 0 {
-		return mean, 0
-	}
-	var acc float64
-	for _, s := range samples {
-		d := s - mean
-		acc += d * d
-	}
-	sd := math.Sqrt(acc / float64(n-1))
-	cv = 100 * sd / math.Abs(mean)
-	return mean, cv
 }
 
 // Format renders rows as the paper's Table 1 layout.

@@ -1,0 +1,124 @@
+package coord
+
+import (
+	"fmt"
+	"sort"
+
+	"hygraph/internal/storage/graphstore"
+	"hygraph/internal/storage/ttdb"
+)
+
+// Attach reconstructs a coordinator over already-recovered partitions — the
+// reopen path: each partition's graph is self-describing (stations and
+// boundary replicas carry their global id as the "gid" property), so the
+// placement map, replica sets and trip topology all rebuild from partition
+// state alone, no separate coordinator manifest to keep consistent.
+//
+// Tolerated crash leftovers: a station without a gid tag (crash between
+// ingest and tag — the coordinator never acknowledged it) and a boundary
+// replica whose gid no longer resolves (its station was deleted) are both
+// skipped. Trips are recovered in canonical partition-major order, which may
+// differ from original ingest order; every query answer is invariant under
+// trip order, so reattached answers match the original coordinator's.
+//
+// The factory is retained for Repartition; it is not called during Attach.
+func Attach(parts []*ttdb.DurablePolyglot, factory Factory) (*Coordinator, error) {
+	if len(parts) < 1 {
+		return nil, fmt.Errorf("coord: attach needs at least one partition")
+	}
+	c := &Coordinator{
+		factory: factory,
+		parts:   append([]*ttdb.DurablePolyglot(nil), parts...),
+		nextGid: 1,
+		meta:    map[ttdb.StationID]*stationMeta{},
+	}
+	for range parts {
+		c.local2g = append(c.local2g, map[ttdb.StationID]ttdb.StationID{})
+		c.bnd2g = append(c.bnd2g, map[ttdb.StationID]ttdb.StationID{})
+	}
+	// Pass 1: stations. Each partition's Station nodes carry gid/name/district.
+	for p, eng := range parts {
+		g := eng.Engine().G
+		for _, local := range g.NodesByLabel("Station") {
+			gv, ok := g.NodeProp(local, "gid")
+			if !ok {
+				continue // untagged: crashed before the coordinator acked it
+			}
+			gid := ttdb.StationID(gv.I)
+			name, district := "", "?"
+			if v, ok := g.NodeProp(local, "name"); ok {
+				name = v.S
+			}
+			if v, ok := g.NodeProp(local, "district"); ok {
+				district = v.S
+			}
+			if prev, dup := c.meta[gid]; dup {
+				return nil, fmt.Errorf("coord: attach: gid %d in partitions %d and %d", gid, prev.part, p)
+			}
+			c.meta[gid] = &stationMeta{
+				gid: gid, name: name, district: district,
+				part: p, local: local,
+				replicas: map[int]ttdb.StationID{},
+			}
+			c.local2g[p][local] = gid
+			if uint64(gid) >= c.nextGid {
+				c.nextGid = uint64(gid) + 1
+			}
+		}
+	}
+	c.order = make([]ttdb.StationID, 0, len(c.meta))
+	for gid := range c.meta {
+		c.order = append(c.order, gid)
+	}
+	sort.Slice(c.order, func(i, j int) bool { return c.order[i] < c.order[j] })
+	// Pass 2: boundary replicas, linked back to their stations by gid.
+	for p, eng := range parts {
+		g := eng.Engine().G
+		for _, local := range g.NodesByLabel("Boundary") {
+			gv, ok := g.NodeProp(local, "gid")
+			if !ok {
+				continue
+			}
+			gid := ttdb.StationID(gv.I)
+			m, ok := c.meta[gid]
+			if !ok {
+				continue // replica of a deleted station: edgeless leftover
+			}
+			m.replicas[p] = local
+			c.bnd2g[p][local] = gid
+		}
+	}
+	// Pass 3: trips. Every logical trip has exactly one copy whose From
+	// endpoint is a Station node (the mirrored cross-partition copy hangs off
+	// a Boundary node), so iterating outgoing rels of stations only visits
+	// each trip once across all partitions.
+	for p, eng := range parts {
+		g := eng.Engine().G
+		seen := map[graphstore.RelID]bool{}
+		for _, local := range g.NodesByLabel("Station") {
+			from, ok := c.local2g[p][local]
+			if !ok {
+				continue
+			}
+			g.Rels(local, func(r graphstore.Rel) bool {
+				if r.Type != "TRIP" || r.From != local || seen[r.ID] {
+					return true
+				}
+				seen[r.ID] = true
+				to, ok := c.local2g[p][r.To]
+				if !ok {
+					if to, ok = c.bnd2g[p][r.To]; !ok {
+						return true
+					}
+				}
+				count := 0
+				if cv, ok := g.RelProp(r.ID, "count"); ok {
+					count = int(cv.I)
+				}
+				c.trips = append(c.trips, tripRec{a: from, b: to, count: count})
+				return true
+			})
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,485 @@
+package coord
+
+import (
+	"context"
+	"math"
+	"sort"
+
+	"hygraph/internal/faults"
+	"hygraph/internal/storage/tsstore"
+	"hygraph/internal/storage/ttdb"
+	"hygraph/internal/ts"
+)
+
+// ctxErr is the nil-safe done-context probe (same contract as the engine's).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+// asErr keeps the *PartialError → error conversion honest: a nil typed
+// pointer must become a nil interface.
+func asErr(perr *PartialError) error {
+	if perr == nil {
+		return nil
+	}
+	return perr
+}
+
+// routeLocked runs a single-owner fragment against partition part with the
+// fault-point and accounting discipline of a one-element scatter. Caller
+// holds at least the read lock.
+func (c *Coordinator) routeLocked(ctx context.Context, query string, part int, fn func() error) *PartialError {
+	return c.scatterLocked(ctx, query, []int{part}, func(int) error { return fn() })
+}
+
+// gidRow is one merged aggregate row: a fragment's per-entity summary lifted
+// into the coordinator's global id space.
+type gidRow struct {
+	gid ttdb.StationID
+	sum tsstore.Summary
+}
+
+// summariesLocked scatters the Q4–Q6 fragment (per-entity summaries over the
+// window) to every partition and merges the rows by ascending gid — the
+// deterministic order every downstream fold relies on. Entities without a
+// coordinator mapping (none in a consistent deployment) are dropped. Caller
+// holds at least the read lock.
+func (c *Coordinator) summariesLocked(ctx context.Context, query string, start, end ts.Time) ([]gidRow, *PartialError) {
+	frags := make([][]tsstore.EntitySummary, len(c.parts))
+	perr := c.scatterLocked(ctx, query, c.allPartsLocked(), func(p int) error {
+		s, err := c.parts[p].EntitySummariesCtx(ctx, start, end)
+		if err != nil {
+			return err
+		}
+		frags[p] = s
+		return nil
+	})
+	var rows []gidRow
+	for p, frag := range frags {
+		for _, e := range frag {
+			if gid, ok := c.local2g[p][ttdb.StationID(e.Entity)]; ok {
+				rows = append(rows, gidRow{gid: gid, sum: e.Summary})
+			}
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].gid < rows[j].gid })
+	return rows, perr
+}
+
+// Q1TimeRangeCtx routes the range fetch to the station's owner. Unknown
+// stations return no points, like a single engine probing an absent series.
+func (c *Coordinator) Q1TimeRangeCtx(ctx context.Context, st ttdb.StationID, start, end ts.Time) ([]ts.Point, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	m, ok := c.meta[st]
+	if !ok {
+		return nil, nil
+	}
+	var pts []ts.Point
+	perr := c.routeLocked(ctx, "Q1", m.part, func() error {
+		p, err := c.parts[m.part].Q1TimeRangeCtx(ctx, m.local, start, end)
+		pts = p
+		return err
+	})
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return pts, asErr(perr)
+}
+
+// Q2FilteredRangeCtx routes the filtered fetch to the station's owner.
+func (c *Coordinator) Q2FilteredRangeCtx(ctx context.Context, st ttdb.StationID, start, end ts.Time, below float64) ([]ts.Point, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	m, ok := c.meta[st]
+	if !ok {
+		return nil, nil
+	}
+	var pts []ts.Point
+	perr := c.routeLocked(ctx, "Q2", m.part, func() error {
+		p, err := c.parts[m.part].Q2FilteredRangeCtx(ctx, m.local, start, end, below)
+		pts = p
+		return err
+	})
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return pts, asErr(perr)
+}
+
+// Q3StationMeanCtx routes the single-station mean to the owner.
+func (c *Coordinator) Q3StationMeanCtx(ctx context.Context, st ttdb.StationID, start, end ts.Time) (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	m, ok := c.meta[st]
+	if !ok {
+		return 0, nil
+	}
+	var mean float64
+	perr := c.routeLocked(ctx, "Q3", m.part, func() error {
+		v, err := c.parts[m.part].Q3StationMeanCtx(ctx, m.local, start, end)
+		mean = v
+		return err
+	})
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	return mean, asErr(perr)
+}
+
+// Q4AllStationMeansCtx scatters per-entity summaries and merges by gid. A
+// failed partition's stations degrade to zero means (the entity set comes
+// from the placement map, which the coordinator always has), with the
+// partial accounted in the returned PartialError.
+func (c *Coordinator) Q4AllStationMeansCtx(ctx context.Context, start, end ts.Time) (map[ttdb.StationID]float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	rows, perr := c.summariesLocked(ctx, "Q4", start, end)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	out := make(map[ttdb.StationID]float64, len(rows))
+	for _, r := range rows {
+		if r.sum.Count > 0 {
+			out[r.gid] = r.sum.Mean()
+		} else {
+			out[r.gid] = 0
+		}
+	}
+	if perr != nil {
+		for _, gid := range c.order {
+			if _, failed := perr.Failed[c.meta[gid].part]; failed {
+				out[gid] = 0
+			}
+		}
+	}
+	return out, asErr(perr)
+}
+
+// Q5DistrictSumsCtx scatters per-entity summaries and folds districts in
+// ascending gid order — single-engine ingest order, so the float
+// accumulation order matches the oracle's hypertable-insertion-order fold
+// exactly. Districts come from the placement map, which agrees with the
+// partitions' graph properties by construction. A failed partition's
+// stations contribute zero to their districts.
+func (c *Coordinator) Q5DistrictSumsCtx(ctx context.Context, start, end ts.Time) (map[string]float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	rows, perr := c.summariesLocked(ctx, "Q5", start, end)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	sums := make(map[ttdb.StationID]float64, len(rows))
+	for _, r := range rows {
+		sums[r.gid] = r.sum.Sum
+	}
+	out := map[string]float64{}
+	for _, gid := range c.order {
+		m := c.meta[gid]
+		if perr != nil {
+			if _, failed := perr.Failed[m.part]; failed {
+				out[m.district] += 0
+				continue
+			}
+		}
+		if s, ok := sums[gid]; ok {
+			out[m.district] += s
+		}
+	}
+	return out, asErr(perr)
+}
+
+// Q6TopKStationsCtx scatters per-entity summaries, ranks the merged means
+// and returns the top k (ties by ascending gid, the engine's tie rule in
+// coordinator id space). A partial ranks only the answering partitions'
+// stations.
+func (c *Coordinator) Q6TopKStationsCtx(ctx context.Context, start, end ts.Time, k int) ([]ttdb.StationID, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	rows, perr := c.summariesLocked(ctx, "Q6", start, end)
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	type pair struct {
+		gid ttdb.StationID
+		v   float64
+	}
+	ps := make([]pair, 0, len(rows))
+	for _, r := range rows {
+		if r.sum.Count > 0 {
+			ps = append(ps, pair{r.gid, r.sum.Mean()})
+		}
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].v != ps[j].v {
+			return ps[i].v > ps[j].v
+		}
+		return ps[i].gid < ps[j].gid
+	})
+	if k > len(ps) {
+		k = len(ps)
+	}
+	if k < 0 {
+		k = 0
+	}
+	out := make([]ttdb.StationID, k)
+	for i := range out {
+		out[i] = ps[i].gid
+	}
+	return out, asErr(perr)
+}
+
+// Q7CorrelationCtx correlates two stations. Co-located pairs push the whole
+// computation down to the owning partition (bit-identical to the single
+// engine); cross-partition pairs fetch both point sets in parallel and
+// correlate at the coordinator — bucketed via the shared resample grid
+// (ts.Correlation), raw via an exact-timestamp merge join, both within the
+// battery's tolerance of the pushdown.
+func (c *Coordinator) Q7CorrelationCtx(ctx context.Context, x, y ttdb.StationID, start, end, bucket ts.Time) (float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	mx, okX := c.meta[x]
+	my, okY := c.meta[y]
+	if !okX || !okY {
+		return math.NaN(), nil
+	}
+	if mx.part == my.part {
+		var v float64
+		perr := c.routeLocked(ctx, "Q7", mx.part, func() error {
+			r, err := c.parts[mx.part].Q7CorrelationCtx(ctx, mx.local, my.local, start, end, bucket)
+			v = r
+			return err
+		})
+		if err := ctxErr(ctx); err != nil {
+			return 0, err
+		}
+		return v, asErr(perr)
+	}
+	var px, py []ts.Point
+	perr := c.scatterLocked(ctx, "Q7", []int{mx.part, my.part}, func(p int) error {
+		if p == mx.part {
+			pts, err := c.parts[p].Q1TimeRangeCtx(ctx, mx.local, start, end)
+			px = pts
+			return err
+		}
+		pts, err := c.parts[p].Q1TimeRangeCtx(ctx, my.local, start, end)
+		py = pts
+		return err
+	})
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	if perr != nil {
+		return 0, perr
+	}
+	if bucket > 0 {
+		return ts.Correlation(ts.FromPoints("x", px), ts.FromPoints("y", py), bucket), nil
+	}
+	return pearsonJoined(px, py), nil
+}
+
+// pearsonJoined is the raw-timestamp correlation fold of the time-series
+// store (tsstore.Correlate), applied to already-fetched point sets: an exact
+// merge join on timestamps, NaN under two shared points or a constant side.
+// Accumulation order equals the store's, so the result is bit-identical.
+func pearsonJoined(pa, pb []ts.Point) float64 {
+	var n float64
+	var sx, sy, sxx, syy, sxy float64
+	i, j := 0, 0
+	for i < len(pa) && j < len(pb) {
+		switch {
+		case pa[i].T < pb[j].T:
+			i++
+		case pa[i].T > pb[j].T:
+			j++
+		default:
+			x, y := pa[i].V, pb[j].V
+			n++
+			sx += x
+			sy += y
+			sxx += x * x
+			syy += y * y
+			sxy += x * y
+			i++
+			j++
+		}
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	cov := sxy - sx*sy/n
+	vx := sxx - sx*sx/n
+	vy := syy - sy*sy/n
+	if vx <= 0 || vy <= 0 {
+		return math.NaN()
+	}
+	return cov / math.Sqrt(vx*vy)
+}
+
+// Q8NeighborMeansCtx answers adjacency from the station's home partition
+// (boundary replication makes every neighbor visible there), then scatters
+// the per-neighbor means to the neighbors' owners. A failed owner partition
+// degrades to the coordinator-topology neighbor set with zero means; failed
+// neighbor owners degrade their neighbors' means to zero. Both partials are
+// accounted in the returned PartialError.
+func (c *Coordinator) Q8NeighborMeansCtx(ctx context.Context, st ttdb.StationID, start, end ts.Time) (map[ttdb.StationID]float64, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	m, ok := c.meta[st]
+	if !ok {
+		return map[ttdb.StationID]float64{}, nil
+	}
+	if err := faults.CheckCtx(ctx, FaultPartition(m.part)); err != nil {
+		if cerr := ctxErr(ctx); cerr != nil {
+			return nil, cerr
+		}
+		// Home partition down: the neighbor set is still derivable from the
+		// coordinator's topology record, with zero means — the same "graph
+		// part survives" shape the durable layer degrades to.
+		out := map[ttdb.StationID]float64{}
+		for _, tr := range c.trips {
+			switch {
+			case tr.a == st && tr.b != st:
+				out[tr.b] = 0
+			case tr.b == st && tr.a != st:
+				out[tr.a] = 0
+			}
+		}
+		return out, &PartialError{Query: "Q8", Failed: map[int]error{m.part: err}}
+	}
+	var neighbors []ttdb.StationID
+	for _, n := range c.parts[m.part].Engine().G.Neighbors(m.local, "TRIP") {
+		if gid, ok := c.local2g[m.part][n]; ok {
+			neighbors = append(neighbors, gid)
+		} else if gid, ok := c.bnd2g[m.part][n]; ok {
+			neighbors = append(neighbors, gid)
+		}
+	}
+	byPart := map[int][]ttdb.StationID{}
+	for _, gid := range neighbors {
+		p := c.meta[gid].part
+		byPart[p] = append(byPart[p], gid)
+	}
+	parts := make([]int, 0, len(byPart))
+	for p := range byPart {
+		parts = append(parts, p)
+	}
+	sort.Ints(parts)
+	frags := make([]map[ttdb.StationID]float64, len(parts))
+	slot := make(map[int]int, len(parts))
+	for i, p := range parts {
+		slot[p] = i
+	}
+	perr := c.scatterLocked(ctx, "Q8", parts, func(p int) error {
+		means := make(map[ttdb.StationID]float64, len(byPart[p]))
+		for _, gid := range byPart[p] {
+			v, err := c.parts[p].Q3StationMeanCtx(ctx, c.meta[gid].local, start, end)
+			if err != nil {
+				return err
+			}
+			means[gid] = v
+		}
+		frags[slot[p]] = means
+		return nil
+	})
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	out := make(map[ttdb.StationID]float64, len(neighbors))
+	for _, gid := range neighbors {
+		out[gid] = 0
+	}
+	for _, frag := range frags {
+		for gid, v := range frag {
+			out[gid] = v
+		}
+	}
+	return out, asErr(perr)
+}
+
+// ---------------------------------------------------------------------------
+// Plain ttdb.Engine surface: the Ctx variants with a nil (never-cancelling)
+// context, the same convention the durable engine uses. The value is the
+// (possibly degraded-partial) answer; the error channel is only reachable
+// through the Ctx methods, matching how the durable engine's plain
+// Engine-shaped callers consume it.
+
+// Q1TimeRange implements ttdb.Engine.
+func (c *Coordinator) Q1TimeRange(st ttdb.StationID, start, end ts.Time) []ts.Point {
+	pts, _ := c.Q1TimeRangeCtx(nil, st, start, end)
+	return pts
+}
+
+// Q2FilteredRange implements ttdb.Engine.
+func (c *Coordinator) Q2FilteredRange(st ttdb.StationID, start, end ts.Time, below float64) []ts.Point {
+	pts, _ := c.Q2FilteredRangeCtx(nil, st, start, end, below)
+	return pts
+}
+
+// Q3StationMean implements ttdb.Engine.
+func (c *Coordinator) Q3StationMean(st ttdb.StationID, start, end ts.Time) float64 {
+	v, _ := c.Q3StationMeanCtx(nil, st, start, end)
+	return v
+}
+
+// Q4AllStationMeans implements ttdb.Engine.
+func (c *Coordinator) Q4AllStationMeans(start, end ts.Time) map[ttdb.StationID]float64 {
+	out, _ := c.Q4AllStationMeansCtx(nil, start, end)
+	return out
+}
+
+// Q5DistrictSums implements ttdb.Engine.
+func (c *Coordinator) Q5DistrictSums(start, end ts.Time) map[string]float64 {
+	out, _ := c.Q5DistrictSumsCtx(nil, start, end)
+	return out
+}
+
+// Q6TopKStations implements ttdb.Engine.
+func (c *Coordinator) Q6TopKStations(start, end ts.Time, k int) []ttdb.StationID {
+	out, _ := c.Q6TopKStationsCtx(nil, start, end, k)
+	return out
+}
+
+// Q7Correlation implements ttdb.Engine.
+func (c *Coordinator) Q7Correlation(x, y ttdb.StationID, start, end, bucket ts.Time) float64 {
+	v, _ := c.Q7CorrelationCtx(nil, x, y, start, end, bucket)
+	return v
+}
+
+// Q8NeighborMeans implements ttdb.Engine.
+func (c *Coordinator) Q8NeighborMeans(st ttdb.StationID, start, end ts.Time) map[ttdb.StationID]float64 {
+	out, _ := c.Q8NeighborMeansCtx(nil, st, start, end)
+	return out
+}

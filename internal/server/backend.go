@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -11,16 +12,66 @@ import (
 	"regexp"
 	"sync"
 
+	"hygraph/internal/coord"
+	"hygraph/internal/core"
+	"hygraph/internal/obs"
 	"hygraph/internal/storage/ttdb"
 	"hygraph/internal/ts"
 )
 
-// Backend opens the durable engine for a tenant namespace on first use. The
-// returned closer (which may be nil) releases whatever the open acquired —
-// file handles for DirBackend — and is called during Shutdown after the
+// Conn is what the server needs from a tenant's storage: durable writes,
+// the deadline-threaded Q1–Q8, a HyQL view, and shutdown flushing. Both a
+// single DurablePolyglot (engineConn) and the scatter-gather coordinator
+// over N partitions (coord.Coordinator) satisfy it, so the serving layer is
+// partition-agnostic.
+type Conn interface {
+	IngestStation(name, district string, s *ts.Series) (ttdb.StationID, error)
+	AppendPoint(st ttdb.StationID, t ts.Time, v float64) error
+	AddTrip(from, to ttdb.StationID, count int) error
+
+	Q1TimeRangeCtx(ctx context.Context, st ttdb.StationID, start, end ts.Time) ([]ts.Point, error)
+	Q2FilteredRangeCtx(ctx context.Context, st ttdb.StationID, start, end ts.Time, below float64) ([]ts.Point, error)
+	Q3StationMeanCtx(ctx context.Context, st ttdb.StationID, start, end ts.Time) (float64, error)
+	Q4AllStationMeansCtx(ctx context.Context, start, end ts.Time) (map[ttdb.StationID]float64, error)
+	Q5DistrictSumsCtx(ctx context.Context, start, end ts.Time) (map[string]float64, error)
+	Q6TopKStationsCtx(ctx context.Context, start, end ts.Time, k int) ([]ttdb.StationID, error)
+	Q7CorrelationCtx(ctx context.Context, x, y ttdb.StationID, start, end, bucket ts.Time) (float64, error)
+	Q8NeighborMeansCtx(ctx context.Context, st ttdb.StationID, start, end ts.Time) (map[ttdb.StationID]float64, error)
+
+	// View materializes the HyQL-queryable hybrid graph of current state.
+	View() *core.HyGraph
+	// NumStations reports the logical station count (never boundary replicas).
+	NumStations() int
+	Instrument(reg *obs.Registry)
+	SetGroupCommit(n int)
+	SetWorkers(n int)
+	SyncAll() error
+}
+
+// Backend opens the durable connection for a tenant namespace on first use.
+// The returned closer (which may be nil) releases whatever the open acquired
+// — file handles for DirBackend — and is called during Shutdown after the
 // final WAL flush.
 type Backend interface {
-	Open(name string) (*ttdb.DurablePolyglot, io.Closer, error)
+	Open(name string) (Conn, io.Closer, error)
+}
+
+// EngineBackend is the single-engine contract MemBackend and DirBackend
+// implement; PartitionedBackend composes over it to open one engine per
+// partition.
+type EngineBackend interface {
+	OpenEngine(name string) (*ttdb.DurablePolyglot, io.Closer, error)
+}
+
+// engineConn adapts one DurablePolyglot to the Conn surface.
+type engineConn struct {
+	*ttdb.DurablePolyglot
+}
+
+func (c engineConn) View() *core.HyGraph { return buildView(c.Engine()) }
+
+func (c engineConn) NumStations() int {
+	return len(c.Engine().G.NodesByLabel("Station"))
 }
 
 // tenantName validates tenant path segments: the namespace doubles as a
@@ -75,10 +126,19 @@ func (b *MemBackend) width() ts.Time {
 	return ts.Week
 }
 
-// Open creates the tenant on first open; reopening an existing tenant
+// Open adapts OpenEngine to the Backend contract.
+func (b *MemBackend) Open(name string) (Conn, io.Closer, error) {
+	d, c, err := b.OpenEngine(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engineConn{d}, c, nil
+}
+
+// OpenEngine creates the tenant on first open; reopening an existing tenant
 // recovers from its retained logs and appends to them — the same resume
 // contract a file-backed deployment has.
-func (b *MemBackend) Open(name string) (*ttdb.DurablePolyglot, io.Closer, error) {
+func (b *MemBackend) OpenEngine(name string) (*ttdb.DurablePolyglot, io.Closer, error) {
 	b.mu.Lock()
 	l, ok := b.logs[name]
 	if !ok {
@@ -166,10 +226,19 @@ func openMaybe(dir, name string, closers *[]io.Closer) (io.Reader, error) {
 	return f, nil
 }
 
-// Open recovers the tenant from its directory (created if absent) and opens
-// the three logs for append. The returned closer syncs and closes the log
-// files.
-func (b *DirBackend) Open(name string) (*ttdb.DurablePolyglot, io.Closer, error) {
+// Open adapts OpenEngine to the Backend contract.
+func (b *DirBackend) Open(name string) (Conn, io.Closer, error) {
+	d, c, err := b.OpenEngine(name)
+	if err != nil {
+		return nil, nil, err
+	}
+	return engineConn{d}, c, nil
+}
+
+// OpenEngine recovers the tenant from its directory (created if absent) and
+// opens the three logs for append. The returned closer syncs and closes the
+// log files.
+func (b *DirBackend) OpenEngine(name string) (*ttdb.DurablePolyglot, io.Closer, error) {
 	if !validTenant(name) {
 		return nil, nil, fmt.Errorf("dirbackend: invalid tenant name %q", name)
 	}
@@ -226,4 +295,51 @@ func (b *DirBackend) Open(name string) (*ttdb.DurablePolyglot, io.Closer, error)
 	}
 	d := ttdb.ResumeDurable(eng, gf, tf, jf, rec.NextTxn)
 	return d, multiCloser(logs), nil
+}
+
+// ---------------------------------------------------------------------------
+// PartitionedBackend
+
+// PartitionedBackend opens each tenant as Parts independent engines behind a
+// scatter-gather coordinator: tenant "name" becomes sub-tenants "name.p0" …
+// "name.p{N-1}" of the inner backend (one WAL set each — the unit a future
+// multi-process deployment would move to its own process), reattached
+// through the gid tags the coordinator persists in every partition's graph.
+type PartitionedBackend struct {
+	Inner EngineBackend
+	Parts int // partition count; < 1 selects 1
+}
+
+// Open opens every partition sub-tenant and reconstructs the coordinator
+// from their self-describing state. Reopening a tenant therefore recovers
+// all partitions AND the placement map in one step.
+func (b *PartitionedBackend) Open(name string) (Conn, io.Closer, error) {
+	if !validTenant(name) {
+		return nil, nil, fmt.Errorf("partitionedbackend: invalid tenant name %q", name)
+	}
+	n := b.Parts
+	if n < 1 {
+		n = 1
+	}
+	var closers []io.Closer
+	fail := func(err error) (Conn, io.Closer, error) {
+		multiCloser(closers).Close()
+		return nil, nil, err
+	}
+	parts := make([]*ttdb.DurablePolyglot, n)
+	for i := 0; i < n; i++ {
+		d, c, err := b.Inner.OpenEngine(fmt.Sprintf("%s.p%d", name, i))
+		if err != nil {
+			return fail(fmt.Errorf("partitionedbackend: partition %d of %s: %w", i, name, err))
+		}
+		if c != nil {
+			closers = append(closers, c)
+		}
+		parts[i] = d
+	}
+	co, err := coord.Attach(parts, nil)
+	if err != nil {
+		return fail(fmt.Errorf("partitionedbackend: attaching %s: %w", name, err))
+	}
+	return co, multiCloser(closers), nil
 }

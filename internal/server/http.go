@@ -427,7 +427,7 @@ func (s *Server) handleHyQL(ctx context.Context, r *http.Request, t *tenant) res
 func (s *Server) handleStats(ctx context.Context, r *http.Request, t *tenant) response {
 	return okJSON(map[string]any{
 		"tenant":   t.name,
-		"stations": len(t.db.Engine().G.NodesByLabel("Station")),
+		"stations": t.db.NumStations(),
 		"version":  t.version.Load(),
 	})
 }

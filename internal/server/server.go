@@ -264,7 +264,6 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		tenants = append(tenants, t)
 	}
 	s.mu.Unlock()
-	//hyvet:allow ctxflow the drain flush deliberately outlives the drain deadline: abandoned handlers may have committed writes that still deserve durability, so this loop must not stop on ctx expiry
 	for _, t := range tenants {
 		if serr := t.db.SyncAll(); serr != nil && err == nil {
 			err = fmt.Errorf("server: drain flush tenant %s: %w", t.name, serr)

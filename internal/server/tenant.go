@@ -35,7 +35,7 @@ type idemEntry struct {
 // cached HyQL view.
 type tenant struct {
 	name   string
-	db     *ttdb.DurablePolyglot
+	db     Conn
 	closer interface{ Close() error }
 	sem    chan struct{}
 	bucket *bucket
@@ -49,7 +49,7 @@ type tenant struct {
 	viewVersion uint64
 }
 
-func newTenant(name string, db *ttdb.DurablePolyglot, closer interface{ Close() error }, l Limits, reg *obs.Registry) *tenant {
+func newTenant(name string, db Conn, closer interface{ Close() error }, l Limits, reg *obs.Registry) *tenant {
 	return &tenant{
 		name:   name,
 		db:     db,
@@ -134,7 +134,7 @@ func (t *tenant) hyqlQuery(src string, at ts.Time) (*hyql.Result, error) {
 	defer t.mu.Unlock()
 	v := t.version.Load()
 	if t.view == nil || t.viewVersion != v {
-		t.view = hyql.NewEngine(buildView(t.db.Engine()))
+		t.view = hyql.NewEngine(t.db.View())
 		t.viewVersion = v
 	}
 	return t.view.Query(src, at)

@@ -1,0 +1,160 @@
+package ttdb
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"hygraph/internal/faults"
+)
+
+// TestDeleteStationDurable proves the happy-path delete protocol: the
+// station disappears from both stores, survivors stay whole, and replaying
+// the logs reproduces the deletion (the WALs carry the store deletes, the
+// journal's DELETE record re-asserts them idempotently).
+func TestDeleteStationDurable(t *testing.T) {
+	var dk disk
+	d := dk.open(t)
+	var ids []StationID
+	for i := 0; i < 3; i++ {
+		id, err := d.IngestStation("st", "d", stationSeries(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	if err := d.AddTrip(ids[0], ids[1], 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTrip(ids[1], ids[2], 5); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.DeleteStation(ids[1]); err != nil {
+		t.Fatal(err)
+	}
+	if d.eng.G.NodeExists(ids[1]) {
+		t.Fatal("deleted station still in live graph")
+	}
+	if d.eng.T.HasSeries(key(ids[1])) {
+		t.Fatal("deleted station still has a live series")
+	}
+
+	eng, rec := dk.recover(t)
+	if rec.Deleted != 1 {
+		t.Fatalf("Deleted = %d, want 1", rec.Deleted)
+	}
+	if eng.G.NodeExists(ids[1]) {
+		t.Fatal("deleted station resurrected by recovery")
+	}
+	if eng.T.HasSeries(key(ids[1])) {
+		t.Fatal("deleted series resurrected by recovery")
+	}
+	for _, id := range []StationID{ids[0], ids[2]} {
+		if !eng.G.NodeExists(id) || !eng.T.HasSeries(key(id)) {
+			t.Fatalf("survivor %d incomplete after recovery", id)
+		}
+	}
+	if err := CheckConsistency(eng); err != nil {
+		t.Fatalf("inconsistent after delete recovery: %v", err)
+	}
+	// Neighbors of ids[0] must not include the deleted station.
+	if ns := eng.G.Neighbors(ids[0], "TRIP"); len(ns) != 0 {
+		t.Fatalf("edges to deleted station survived: %v", ns)
+	}
+}
+
+// TestDeleteStationCrashRollsForward arms a permanent graph-store fault so
+// the delete crashes AFTER its journal intent is durable but BEFORE either
+// store applied it. Recovery must roll the deletion forward: a journaled
+// delete is a promise, not a proposal.
+func TestDeleteStationCrashRollsForward(t *testing.T) {
+	defer faults.Reset()
+	var dk disk
+	d := dk.open(t)
+	id, err := d.IngestStation("st", "d", stationSeries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults.Enable(FaultIngestGraph, faults.Spec{Err: errors.New("disk gone")})
+	if err := d.DeleteStation(id); err == nil {
+		t.Fatal("DeleteStation succeeded despite armed graph fault")
+	}
+	faults.Reset()
+
+	eng, rec := dk.recover(t)
+	if rec.Deleted != 1 {
+		t.Fatalf("Deleted = %d, want 1", rec.Deleted)
+	}
+	if eng.G.NodeExists(id) {
+		t.Fatal("journaled delete not rolled forward: node survived")
+	}
+	if eng.T.HasSeries(key(id)) {
+		t.Fatal("journaled delete not rolled forward: series survived")
+	}
+	if err := CheckConsistency(eng); err != nil {
+		t.Fatalf("inconsistent after rolled-forward delete: %v", err)
+	}
+
+	// Recovering twice from the same artifacts must be a no-op (idempotent
+	// fates).
+	eng2, _ := dk.recover(t)
+	if eng2.G.NodeExists(id) || eng2.T.HasSeries(key(id)) {
+		t.Fatal("second recovery resurrected the deleted station")
+	}
+}
+
+// TestBoundaryVertexDurable proves the graph-only boundary-replica ops
+// round-trip through the WAL and stay invisible to the Station-keyed
+// invariants.
+func TestBoundaryVertexDurable(t *testing.T) {
+	var dk disk
+	d := dk.open(t)
+	st, err := d.IngestStation("st", "d", stationSeries(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.TagStation(st, 42); err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.AddBoundary(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddTrip(st, b, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	eng, _ := dk.recover(t)
+	if err := CheckConsistency(eng); err != nil {
+		t.Fatalf("boundary vertex broke the station invariant: %v", err)
+	}
+	if got := len(eng.G.NodesByLabel("Station")); got != 1 {
+		t.Fatalf("stations after recovery = %d, want 1", got)
+	}
+	if got := len(eng.G.NodesByLabel("Boundary")); got != 1 {
+		t.Fatalf("boundaries after recovery = %d, want 1", got)
+	}
+	gv, ok := eng.G.NodeProp(st, "gid")
+	if !ok || gv.I != 42 {
+		t.Fatalf("station gid tag lost: %v %v", gv, ok)
+	}
+	bv, ok := eng.G.NodeProp(b, "gid")
+	if !ok || bv.I != 7 {
+		t.Fatalf("boundary gid lost: %v %v", bv, ok)
+	}
+	if ns := eng.G.Neighbors(st, "TRIP"); len(ns) != 1 || ns[0] != b {
+		t.Fatalf("boundary edge lost: %v", ns)
+	}
+
+	// Deleting the boundary removes it and its edges, durably.
+	d2 := ResumeDurable(eng, &bytes.Buffer{}, &bytes.Buffer{}, &bytes.Buffer{}, 100)
+	if err := d2.DeleteBoundary(b); err != nil {
+		t.Fatal(err)
+	}
+	if eng.G.NodeExists(b) {
+		t.Fatal("boundary survived DeleteBoundary")
+	}
+	if ns := eng.G.Neighbors(st, "TRIP"); len(ns) != 0 {
+		t.Fatalf("boundary edges survived DeleteBoundary: %v", ns)
+	}
+}

@@ -93,10 +93,16 @@ func (r RetryPolicy) run(op func() error) error {
 // rolls forward when the series made it to disk and rolls back otherwise;
 // BEGIN always rolls back. Rollback deletes the graph node and the series,
 // both idempotent, so recovering twice is safe.
+//
+// DELETE(txn, node) is the inverse intent: DeleteStation journals it before
+// touching either store, so a crash at any point after the record is durable
+// rolls the removal FORWARD — recovery re-deletes the node and the series,
+// both idempotent no-ops when the crash happened after the store writes.
 const (
 	jBegin byte = iota + 1
 	jPrepared
 	jCommit
+	jDelete
 )
 
 // DurablePolyglot wraps a Polyglot engine with write-ahead logs on both
@@ -212,6 +218,8 @@ func (d *DurablePolyglot) journal(op byte, txn uint64, node StationID) error {
 		d.obs.journalPrepared.Inc()
 	case jCommit:
 		d.obs.journalCommit.Inc()
+	case jDelete:
+		d.obs.journalDelete.Inc()
 	}
 	return nil
 }
@@ -303,6 +311,121 @@ func (d *DurablePolyglot) AddTrip(a, b StationID, count int) error {
 			rel, created = r, true
 		}
 		if err := d.gw.SetRelProp(rel, "count", graphstore.IntVal(int64(count))); err != nil {
+			return err
+		}
+		return d.gw.Flush()
+	})
+}
+
+// LoadSeries durably attaches (or replaces points of) the metric series of an
+// existing station — the Engine-interface loading path. It touches only the
+// time-series store, so the TS WAL alone is sufficient; a permanent failure
+// latches the degraded-mode error exactly like the ingest path.
+func (d *DurablePolyglot) LoadSeries(st StationID, s *ts.Series) error {
+	if err := d.tsSide(st, s); err != nil {
+		d.tsErr.set(err)
+		return fmt.Errorf("ttdb: load series: %w", err)
+	}
+	d.tsErr.set(nil)
+	return nil
+}
+
+// DeleteStation atomically removes a station from both stores using the
+// intent journal's DELETE record: the intent is durable before either store
+// is touched, so a crash at any later point rolls the removal forward during
+// recovery (both deletes are idempotent). Incident relationships go with the
+// node; deleting an absent station is a durable no-op.
+func (d *DurablePolyglot) DeleteStation(st StationID) error {
+	txn := d.txn.Add(1) - 1
+	if err := d.journal(jDelete, txn, st); err != nil {
+		return fmt.Errorf("ttdb: txn %d delete intent: %w", txn, err)
+	}
+	err := d.Retry.run(func() error {
+		if err := faults.Check(FaultIngestGraph); err != nil {
+			return err
+		}
+		if d.eng.G.NodeExists(st) {
+			if err := d.gw.DeleteNode(st); err != nil {
+				return err
+			}
+		}
+		return d.gw.Flush()
+	})
+	if err != nil {
+		return fmt.Errorf("ttdb: txn %d graph delete: %w", txn, err)
+	}
+	err = d.Retry.run(func() error {
+		if err := faults.Check(FaultIngestTS); err != nil {
+			return err
+		}
+		if err := d.tw.DeleteSeries(key(st)); err != nil {
+			return err
+		}
+		return d.tw.Flush()
+	})
+	if err != nil {
+		d.tsErr.set(err)
+		return fmt.Errorf("ttdb: txn %d ts delete: %w", txn, err)
+	}
+	d.tsErr.set(nil)
+	return nil
+}
+
+// AddBoundary durably creates a boundary vertex: a graph-only replica of a
+// station owned by another partition, labeled "Boundary" so the Station-keyed
+// invariants (CheckConsistency, Q4–Q6 enumeration) never see it. The global
+// id it mirrors is recorded as the "gid" property so a partition is
+// self-describing on reopen. Boundary vertices have no series, so no intent
+// journal is needed — the graph WAL alone makes the write durable, and a
+// crash between node and property leaves an orphan the reconstruction path
+// skips.
+func (d *DurablePolyglot) AddBoundary(gid uint64) (StationID, error) {
+	node := d.eng.G.AllocNodeID()
+	err := d.Retry.run(func() error {
+		if err := faults.Check(FaultIngestGraph); err != nil {
+			return err
+		}
+		if !d.eng.G.NodeExists(node) {
+			if err := d.gw.CreateNodeAt(node, "Boundary"); err != nil {
+				return err
+			}
+		}
+		if err := d.gw.SetNodeProp(node, "gid", graphstore.IntVal(int64(gid))); err != nil {
+			return err
+		}
+		return d.gw.Flush()
+	})
+	if err != nil {
+		return 0, fmt.Errorf("ttdb: add boundary: %w", err)
+	}
+	return node, nil
+}
+
+// DeleteBoundary durably removes a boundary vertex and its incident edges.
+// Graph-only, idempotent.
+func (d *DurablePolyglot) DeleteBoundary(st StationID) error {
+	return d.Retry.run(func() error {
+		if err := faults.Check(FaultIngestGraph); err != nil {
+			return err
+		}
+		if d.eng.G.NodeExists(st) {
+			if err := d.gw.DeleteNode(st); err != nil {
+				return err
+			}
+		}
+		return d.gw.Flush()
+	})
+}
+
+// TagStation durably records a station's coordinator-global id as the "gid"
+// node property, making a partition self-describing for reconstruction
+// (coord.Attach reads it back on reopen).
+func (d *DurablePolyglot) TagStation(st StationID, gid uint64) error {
+	return d.Retry.run(func() error {
+		if err := faults.Check(FaultIngestGraph); err != nil {
+			return err
+		}
+		if err := d.gw.SetNodeProp(st, "gid", graphstore.IntVal(int64(gid))); err != nil {
 			return err
 		}
 		return d.gw.Flush()
@@ -441,8 +564,8 @@ func (d *DurablePolyglot) Q8NeighborMeans(st StationID, start, end ts.Time) (map
 type TxnFate struct {
 	Txn   uint64
 	Node  StationID
-	State string // "begin", "prepared", "commit"
-	Fate  string // "committed", "rolled-forward", "rolled-back"
+	State string // "begin", "prepared", "commit", "delete"
+	Fate  string // "committed", "rolled-forward", "rolled-back", "deleted"
 }
 
 // PolyglotRecovery summarizes a RecoverPolyglot run.
@@ -455,6 +578,7 @@ type PolyglotRecovery struct {
 	Committed     int
 	RolledForward int // prepared, series present: kept
 	RolledBack    int // half-applied: node and series removed
+	Deleted       int // delete intents rolled forward: node and series removed
 	NextTxn       uint64
 	Fates         []TxnFate
 }
@@ -462,10 +586,10 @@ type PolyglotRecovery struct {
 // String renders the summary for the recover CLI.
 func (r PolyglotRecovery) String() string {
 	return fmt.Sprintf(
-		"graph: %d ops (%s)\nts:    %d ops, %d points (%s)\njournal: %d txns (%s) — %d committed, %d rolled forward, %d rolled back",
+		"graph: %d ops (%s)\nts:    %d ops, %d points (%s)\njournal: %d txns (%s) — %d committed, %d rolled forward, %d rolled back, %d deleted",
 		r.Graph.Applied, r.Graph.Summary.String(),
 		r.TS.Applied, r.TS.Points, r.TS.Summary.String(),
-		r.Txns, r.Journal.String(), r.Committed, r.RolledForward, r.RolledBack,
+		r.Txns, r.Journal.String(), r.Committed, r.RolledForward, r.RolledBack, r.Deleted,
 	)
 }
 
@@ -477,6 +601,8 @@ func stateName(op byte) string {
 		return "prepared"
 	case jCommit:
 		return "commit"
+	case jDelete:
+		return "delete"
 	}
 	return fmt.Sprintf("op%d", op)
 }
@@ -579,6 +705,7 @@ func RecoverPolyglotObserved(graphSnap, graphLog, tsSnap, tsLog, journal io.Read
 		reg.Counter("ttdb.recover.committed").Add(int64(rec.Committed))
 		reg.Counter("ttdb.recover.rolled_forward").Add(int64(rec.RolledForward))
 		reg.Counter("ttdb.recover.rolled_back").Add(int64(rec.RolledBack))
+		reg.Counter("ttdb.recover.deleted").Add(int64(rec.Deleted))
 	}()
 	for _, txn := range order {
 		st := states[txn]
@@ -588,6 +715,20 @@ func RecoverPolyglotObserved(graphSnap, graphLog, tsSnap, tsLog, journal io.Read
 		case st.state == jCommit:
 			rec.Committed++
 			fate.Fate = "committed"
+		case st.state == jDelete:
+			// A journaled delete intent always rolls forward: re-delete both
+			// sides (idempotent no-ops when the crash happened after the store
+			// writes), unless a later txn re-created the node id.
+			if lastTxnForNode[st.node] == txn {
+				if g.NodeExists(st.node) {
+					if err := g.DeleteNode(st.node); err != nil {
+						return nil, rec, fmt.Errorf("ttdb: delete txn %d: %w", txn, err)
+					}
+				}
+				t.DeleteSeries(key(st.node))
+			}
+			rec.Deleted++
+			fate.Fate = "deleted"
 		case st.state == jPrepared && t.HasSeries(key(st.node)):
 			// Graph and series both made it to disk; only the commit record
 			// is missing. Keep the station.
@@ -618,7 +759,7 @@ func parseJournalRecord(payload []byte) (op byte, txn uint64, node StationID, er
 		return 0, 0, 0, fmt.Errorf("ttdb: empty journal record")
 	}
 	op = payload[0]
-	if op < jBegin || op > jCommit {
+	if op < jBegin || op > jDelete {
 		return 0, 0, 0, fmt.Errorf("ttdb: corrupt journal opcode %d", op)
 	}
 	rest := payload[1:]

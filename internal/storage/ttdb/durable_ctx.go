@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"hygraph/internal/storage/tsstore"
 	"hygraph/internal/ts"
 )
 
@@ -124,6 +125,22 @@ func (d *DurablePolyglot) Q8NeighborMeansCtx(ctx context.Context, st StationID, 
 		return out, err
 	}
 	return d.eng.Q8NeighborMeansCtx(ctx, st, start, end)
+}
+
+// EntitySummariesCtx returns the per-entity summaries of the metric over
+// [start, end) in hypertable insertion order — the partition-local fragment a
+// scatter-gather coordinator (internal/coord) merges for Q4–Q6. Entities are
+// LOCAL station ids; the caller owns the mapping back to its global id space.
+// Same degraded contract as the Q*Ctx methods: a done context wins, a
+// degraded TS store returns an error satisfying errors.Is(err, ErrDegraded).
+func (d *DurablePolyglot) EntitySummariesCtx(ctx context.Context, start, end ts.Time) ([]tsstore.EntitySummary, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := d.tsCheck("EntitySummaries"); err != nil {
+		return nil, err
+	}
+	return d.eng.shardSummariesC(ctx, start, end)
 }
 
 // SyncAll forces every buffered record on all three logs (graph WAL,

@@ -81,6 +81,7 @@ type durObs struct {
 	journalBegin    *obs.Counter // BEGIN records durably journaled
 	journalPrepared *obs.Counter // PREPARED records durably journaled
 	journalCommit   *obs.Counter // COMMIT records durably journaled
+	journalDelete   *obs.Counter // DELETE records durably journaled
 	ingests         *obs.Counter // station ingests fully committed
 	degraded        *obs.Counter // queries answered degraded (ErrDegraded)
 }
@@ -100,6 +101,7 @@ func (d *DurablePolyglot) Instrument(r *obs.Registry) {
 		journalBegin:    r.Counter("ttdb.journal.begin"),
 		journalPrepared: r.Counter("ttdb.journal.prepared"),
 		journalCommit:   r.Counter("ttdb.journal.commit"),
+		journalDelete:   r.Counter("ttdb.journal.delete"),
 		ingests:         r.Counter("ttdb.ingest.stations"),
 		degraded:        r.Counter("ttdb.queries.degraded"),
 	}
