@@ -48,21 +48,27 @@ bench:
 # deltas). The fifth run smokes the partition-scaling path under -race:
 # the scatter-gather coordinator at 1 and 2 partitions, which exits
 # non-zero unless every merged answer is element-wise identical to the
-# single-engine oracle, with the v5 baseline schema validated by -check.
-# Writes to scratch files so the committed BENCH_table1.json is never
-# clobbered by a -race-skewed run.
+# single-engine oracle. The sixth run smokes the streaming path: write-
+# through continuous aggregates vs invalidate-and-recompute under paced
+# ingest + aggregate reads (not under -race — the latency ratio is the
+# point being measured), which exits non-zero unless both legs pass the
+# from-scratch identity gate, with the v6 baseline schema validated by
+# -check. Writes to scratch files so the committed BENCH_table1.json is
+# never clobbered by a -race-skewed run.
 benchsmoke:
 	$(GO) run -race ./cmd/hybench -reps 2 -parallel -clients 4 -ops 8 -metrics -json /tmp/hybench_smoke.json
 	$(GO) run -race ./cmd/hybench -scale small -reps 2 -mixed -ingest 2 -query 2 -mixedms 25 -shapemin 5 -json /tmp/hybench_smoke_mixed.json
 	$(GO) run ./cmd/hybench -scale small -reps 2 -serve -servems 200 -shapemin 5 -json /tmp/hybench_smoke_serve.json
 	$(GO) run -race ./cmd/hybench -scale small -reps 2 -storage -shapemin 5 -json /tmp/hybench_smoke_storage.json
 	$(GO) run -race ./cmd/hybench -scale small -reps 2 -partitions 1,2 -shapemin 5 -json /tmp/hybench_smoke_parts.json
+	$(GO) run ./cmd/hybench -scale small -reps 2 -streaming -ingest 2 -sread 2 -streamms 60 -shapemin 5 -json /tmp/hybench_smoke_streaming.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_mixed.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_serve.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_storage.json
 	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_parts.json
-	grep -q '"schema": "hybench-table1/v5"' /tmp/hybench_smoke_parts.json
+	$(GO) run ./cmd/hybench -check /tmp/hybench_smoke_streaming.json
+	grep -q '"schema": "hybench-table1/v6"' /tmp/hybench_smoke_streaming.json
 
 # Server smoke (docs/SERVICE.md): one live `hygraph serve -smoke` run under
 # -race — random loopback port, durable ingest + query through the retry
@@ -74,11 +80,11 @@ servesmoke:
 	$(GO) run -race ./cmd/hygraph serve -smoke -dir /tmp/hygraph_servesmoke
 
 # Coverage gate: statement coverage of the storage engines, the coordinator,
-# the observability layer, and the bench harness must stay at or above the
-# floor recorded in coverage.txt (a bare percentage; raise it as tests
-# accumulate).
+# the streaming layer, the observability layer, and the bench harness must
+# stay at or above the floor recorded in coverage.txt (a bare percentage;
+# raise it as tests accumulate).
 cover:
-	$(GO) test -coverprofile=/tmp/hygraph_cover.out ./internal/storage/... ./internal/coord ./internal/obs ./internal/bench
+	$(GO) test -coverprofile=/tmp/hygraph_cover.out ./internal/storage/... ./internal/coord ./internal/stream ./internal/obs ./internal/bench
 	@total=$$($(GO) tool cover -func=/tmp/hygraph_cover.out | awk '/^total:/ { sub(/%/, "", $$3); print $$3 }'); \
 	floor=$$(cat coverage.txt); \
 	echo "coverage: $$total% (floor $$floor%)"; \

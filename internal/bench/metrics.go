@@ -50,6 +50,15 @@ func DurableExercise(cfg Config, reg *obs.Registry) error {
 	if _, err := d.Q3StationMean(ids[0], start, end); err != nil {
 		return fmt.Errorf("bench: durable query: %w", err)
 	}
+	// Warm one continuous-aggregate window, then append through the durable
+	// path: the instrumented run must show the write-through patch counter
+	// moving, not just hit/miss traffic.
+	if _, err := d.Downsample(ids[0], start, end+ts.Week, ts.Day, ts.AggMean); err != nil {
+		return fmt.Errorf("bench: durable downsample: %w", err)
+	}
+	if err := d.AppendPoint(ids[0], end+ts.Minute, 1); err != nil {
+		return fmt.Errorf("bench: durable append: %w", err)
+	}
 	eng, _, err := ttdb.RecoverPolyglotObserved(
 		nil, bytes.NewReader(graphLog.Bytes()),
 		nil, bytes.NewReader(tsLog.Bytes()),
@@ -83,6 +92,7 @@ func CheckMetrics(s *obs.Snapshot) []string {
 		"tsstore.wal.appends",
 		"tsstore.cache.hits",
 		"tsstore.cache.misses",
+		"tsstore.cache.patches",
 	} {
 		if s.Counters[c] <= 0 {
 			problems = append(problems, fmt.Sprintf("counter %s is zero", c))

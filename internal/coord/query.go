@@ -307,6 +307,34 @@ func (c *Coordinator) Q7CorrelationCtx(ctx context.Context, x, y ttdb.StationID,
 	return pearsonJoined(px, py), nil
 }
 
+// DownsampleCtx routes the windowed-aggregate read to the station's owner
+// partition, whose continuous-aggregate cache serves it under write-through
+// delta maintenance. Because AppendPoint also routes to the owner and the
+// delta applies before the append acknowledges, a client reading through the
+// coordinator sees its own acknowledged writes in the aggregate. Unknown
+// stations return no buckets, like a single engine probing an absent series.
+func (c *Coordinator) DownsampleCtx(ctx context.Context, st ttdb.StationID, start, end, bucket ts.Time, agg ts.AggFunc) ([]ts.Point, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	m, ok := c.meta[st]
+	if !ok {
+		return nil, nil
+	}
+	var pts []ts.Point
+	perr := c.routeLocked(ctx, "DS", m.part, func() error {
+		p, err := c.parts[m.part].DownsampleCtx(ctx, m.local, start, end, bucket, agg)
+		pts = p
+		return err
+	})
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return pts, asErr(perr)
+}
+
 // pearsonJoined is the raw-timestamp correlation fold of the time-series
 // store (tsstore.Correlate), applied to already-fetched point sets: an exact
 // merge join on timestamps, NaN under two shared points or a constant side.
@@ -482,4 +510,10 @@ func (c *Coordinator) Q7Correlation(x, y ttdb.StationID, start, end, bucket ts.T
 func (c *Coordinator) Q8NeighborMeans(st ttdb.StationID, start, end ts.Time) map[ttdb.StationID]float64 {
 	out, _ := c.Q8NeighborMeansCtx(nil, st, start, end)
 	return out
+}
+
+// Downsample is DownsampleCtx with a nil (never-cancelling) context.
+func (c *Coordinator) Downsample(st ttdb.StationID, start, end, bucket ts.Time, agg ts.AggFunc) []ts.Point {
+	pts, _ := c.DownsampleCtx(nil, st, start, end, bucket, agg)
+	return pts
 }

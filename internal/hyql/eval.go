@@ -477,6 +477,50 @@ func evalTSCall(c Call, ctx *evalCtx) (Value, error) {
 			return NullValue, nil
 		}
 		return Scalar(lpg.Float(r)), nil
+	case "resample":
+		// ts.resample(s, bucket, agg) over the whole series, or
+		// ts.resample(s, start, end, bucket, agg) windowed to [start, end):
+		// bucket-aligned windows under the named aggregate, as a list of
+		// [bucket_start, value] pairs — the HyQL face of the engine's
+		// continuous-aggregate pushdown (element-wise identical to it).
+		if len(c.Args) != 3 && len(c.Args) != 5 {
+			return NullValue, fmt.Errorf("hyql: ts.resample expects (series, bucket, agg) or (series, start, end, bucket, agg)")
+		}
+		s, err := resolveSeries(c.Args[0], ctx)
+		if err != nil {
+			return NullValue, err
+		}
+		if len(c.Args) == 5 {
+			start, end, err := evalTimePair(c.Args[1], c.Args[2], ctx)
+			if err != nil {
+				return NullValue, err
+			}
+			s = s.SliceView(start, end)
+		}
+		bucketV, err := eval(c.Args[len(c.Args)-2], ctx)
+		if err != nil {
+			return NullValue, err
+		}
+		bucket, err := asTime(bucketV)
+		if err != nil {
+			return NullValue, err
+		}
+		if bucket <= 0 {
+			return NullValue, fmt.Errorf("hyql: ts.resample bucket must be positive")
+		}
+		aggV, err := eval(c.Args[len(c.Args)-1], ctx)
+		if err != nil {
+			return NullValue, err
+		}
+		aggName, ok := aggV.AsScalar().AsString()
+		if !ok {
+			return NullValue, fmt.Errorf("hyql: ts.resample aggregate must be a string")
+		}
+		agg, err := ts.ParseAggFunc(aggName)
+		if err != nil {
+			return NullValue, err
+		}
+		return pointList(s.Resample(bucket, agg), nil), nil
 	case "points":
 		// ts.points(s) or ts.points(s, start, end): the raw observations as a
 		// list of [timestamp, value] pairs, in time order.
@@ -551,7 +595,7 @@ func evalTSCall(c Call, ctx *evalCtx) (Value, error) {
 
 var tsFuncNames = []string{
 	"mean", "sum", "min", "max", "count", "std", "median", "first", "last",
-	"slope", "corr", "anomalies", "len", "points", "below",
+	"slope", "corr", "anomalies", "len", "points", "below", "resample",
 }
 
 // pointList renders a series as a list of [timestamp, value] pairs, keeping

@@ -16,7 +16,7 @@
 // by the non-aggregated items, like Cypher. The ts.* namespace exposes the
 // time-series engine over TS vertices/edges bound in the pattern: ts.mean,
 // ts.sum, ts.min, ts.max, ts.count, ts.std, ts.first, ts.last, ts.slope,
-// ts.corr, ts.anomalies.
+// ts.corr, ts.anomalies, ts.resample.
 package hyql
 
 import (

@@ -90,6 +90,62 @@ func TestTSCorrWindowed(t *testing.T) {
 	}
 }
 
+// TestTSResample checks ts.resample returns the bucketed aggregate as
+// [bucket_start, value] pairs, whole-series and windowed, matching the
+// engine-side ts.Series.Resample exactly.
+func TestTSResample(t *testing.T) {
+	h := fraudHG(t)
+	res := query(t, h, `
+		MATCH (c:CreditCard) WHERE c.name = 'c2'
+		RETURN ts.resample(c, 86400000, 'mean') AS buckets`)
+	buckets := res.Rows[0][0].List()
+	if len(buckets) != 4 {
+		t.Fatalf("len=%d, want 4 day buckets", len(buckets))
+	}
+	// Oracle: the same fold on the raw points, through the engine API.
+	raw := ts.New("c2")
+	ptsRes := query(t, h, `
+		MATCH (c:CreditCard) WHERE c.name = 'c2'
+		RETURN ts.points(c) AS pts`)
+	for _, pv := range ptsRes.Rows[0][0].List() {
+		pair := pv.List()
+		tt, _ := pair[0].AsScalar().AsInt()
+		v, _ := pair[1].AsFloat()
+		raw.MustAppend(ts.Time(tt), v)
+	}
+	want := raw.Resample(ts.Day, ts.AggMean)
+	for i, bv := range buckets {
+		pair := bv.List()
+		bt, _ := pair[0].AsScalar().AsInt()
+		v, _ := pair[1].AsFloat()
+		if ts.Time(bt) != want.TimeAt(i) || v != want.ValueAt(i) {
+			t.Fatalf("bucket %d: got (%d, %v), want (%d, %v)", i, bt, v, want.TimeAt(i), want.ValueAt(i))
+		}
+	}
+	// Windowed 5-arg form: day 2 only -> one bucket, the same value as the
+	// whole-series fold's second bucket.
+	res = query(t, h, `
+		MATCH (c:CreditCard) WHERE c.name = 'c2'
+		RETURN ts.resample(c, 86400000, 172800000, 86400000, 'mean') AS buckets`)
+	buckets = res.Rows[0][0].List()
+	if len(buckets) != 1 {
+		t.Fatalf("windowed len=%d, want 1", len(buckets))
+	}
+	if v, _ := buckets[0].List()[1].AsFloat(); v != want.ValueAt(1) {
+		t.Fatalf("windowed value %v, want %v", v, want.ValueAt(1))
+	}
+	// Bad arguments surface as errors, not panics.
+	for _, bad := range []string{
+		`MATCH (c:CreditCard) RETURN ts.resample(c, 0, 'mean')`,
+		`MATCH (c:CreditCard) RETURN ts.resample(c, 86400000, 'nope')`,
+		`MATCH (c:CreditCard) RETURN ts.resample(c)`,
+	} {
+		if _, err := NewEngine(h).Query(bad, 0); err == nil {
+			t.Fatalf("no error for %q", bad)
+		}
+	}
+}
+
 // TestEngineInstrument checks the engine's metric handles: clause timers
 // fire, single-binding WHERE conjuncts are counted as pushdowns, and the
 // snapshot-view cache hit/miss counters track repeated instants.

@@ -38,6 +38,11 @@ type Conn interface {
 	Q7CorrelationCtx(ctx context.Context, x, y ttdb.StationID, start, end, bucket ts.Time) (float64, error)
 	Q8NeighborMeansCtx(ctx context.Context, st ttdb.StationID, start, end ts.Time) (map[ttdb.StationID]float64, error)
 
+	// DownsampleCtx reads a station's windowed aggregate from the engine's
+	// continuous-aggregate cache (write-through delta maintenance), with
+	// read-your-writes semantics relative to acknowledged AppendPoints.
+	DownsampleCtx(ctx context.Context, st ttdb.StationID, start, end, bucket ts.Time, agg ts.AggFunc) ([]ts.Point, error)
+
 	// View materializes the HyQL-queryable hybrid graph of current state.
 	View() *core.HyGraph
 	// NumStations reports the logical station count (never boundary replicas).

@@ -380,9 +380,19 @@ func (s *Server) handleQuery(ctx context.Context, r *http.Request, t *tenant) re
 		result, err = t.db.Q7CorrelationCtx(ctx, x, y, start, end, bucket)
 	case "Q8":
 		result, err = t.db.Q8NeighborMeansCtx(ctx, st, start, end)
+	case "downsample":
+		agg, perr := ts.ParseAggFunc(q.Get("agg"))
+		if perr != nil {
+			return errJSON(http.StatusBadRequest, "bad_query", perr.Error())
+		}
+		bucket := ts.Time(getI("bucket", int64(ts.Hour)))
+		if bucket <= 0 {
+			return errJSON(http.StatusBadRequest, "bad_query", "downsample needs bucket > 0")
+		}
+		result, err = t.db.DownsampleCtx(ctx, st, start, end, bucket, agg)
 	default:
 		return errJSON(http.StatusBadRequest, "bad_query",
-			fmt.Sprintf("unknown query %q (want Q1..Q8)", name))
+			fmt.Sprintf("unknown query %q (want Q1..Q8 or downsample)", name))
 	}
 	if err != nil {
 		if errors.Is(err, ttdb.ErrDegraded) {

@@ -121,3 +121,45 @@ func TestPartitionedBackendServesAndReopens(t *testing.T) {
 		}
 	}
 }
+
+// TestPartitionedDownsampleReadYourWrites checks read-your-writes aggregates
+// through the scatter-gather coordinator: AppendPoint routes to the owner
+// partition and patches its continuous-aggregate cache before acknowledging,
+// so the next downsample read through the same coordinator sees the write.
+func TestPartitionedDownsampleReadYourWrites(t *testing.T) {
+	be := NewMemBackend()
+	_, hs := newPartitionedServer(t, be, 3)
+	base := hs.URL
+
+	var ids []float64
+	for i := 0; i < 4; i++ {
+		pts := []map[string]any{{"t": 0, "v": float64(i)}, {"t": 30, "v": float64(i + 2)}}
+		ids = append(ids, ingestStation(t, base, "acme", fmt.Sprintf("st-%d", i), "d", pts, ""))
+	}
+	ds := func(id float64) []any {
+		code, body, _ := doJSON(t, "GET",
+			fmt.Sprintf("%s/v1/tenants/acme/query?name=downsample&station=%.0f&start=0&end=600&bucket=60&agg=sum", base, id), nil, nil)
+		if code != http.StatusOK {
+			t.Fatalf("downsample: %d %v", code, body)
+		}
+		return body["result"].([]any)
+	}
+	for i, id := range ids {
+		buckets := ds(id) // warm the owner's cache
+		if len(buckets) != 1 {
+			t.Fatalf("station %d: buckets = %v, want 1", i, buckets)
+		}
+		if got := buckets[0].(map[string]any)["V"].(float64); got != float64(2*i+2) {
+			t.Fatalf("station %d: sum = %v, want %d", i, got, 2*i+2)
+		}
+		code, body, _ := doJSON(t, "POST", base+"/v1/tenants/acme/points",
+			map[string]any{"station": id, "t": 45, "v": 10}, nil)
+		if code != http.StatusOK {
+			t.Fatalf("point: %d %v", code, body)
+		}
+		buckets = ds(id)
+		if got := buckets[0].(map[string]any)["V"].(float64); got != float64(2*i+12) {
+			t.Fatalf("station %d post-append: sum = %v, want %d", i, got, 2*i+12)
+		}
+	}
+}

@@ -172,6 +172,60 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// TestDownsampleReadYourWrites checks the windowed-aggregate endpoint sees
+// an acknowledged append immediately: the engine's continuous-aggregate
+// cache is patched in place before AppendPoint returns, so the very next
+// read reflects the write without a recompute.
+func TestDownsampleReadYourWrites(t *testing.T) {
+	_, hs, _, _ := newTestServer(t, Limits{})
+	base := hs.URL
+
+	pts := []map[string]any{{"t": 0, "v": 4}, {"t": 10, "v": 6}, {"t": 70, "v": 8}}
+	a := ingestStation(t, base, "acme", "alpha", "north", pts, "")
+
+	ds := func() []any {
+		code, body, _ := doJSON(t, "GET",
+			fmt.Sprintf("%s/v1/tenants/acme/query?name=downsample&station=%.0f&start=0&end=600&bucket=60&agg=mean", base, a), nil, nil)
+		if code != http.StatusOK {
+			t.Fatalf("downsample: %d %v", code, body)
+		}
+		return body["result"].([]any)
+	}
+	buckets := ds()
+	if len(buckets) != 2 {
+		t.Fatalf("buckets = %v, want 2", buckets)
+	}
+	first := buckets[0].(map[string]any)
+	if first["T"].(float64) != 0 || first["V"].(float64) != 5 {
+		t.Fatalf("bucket 0 = %v, want mean 5 at t=0", first)
+	}
+
+	// Append into bucket 0 (acknowledged), then read again: mean over
+	// {4, 6, 20} must be visible immediately.
+	code, body, _ := doJSON(t, "POST", base+"/v1/tenants/acme/points",
+		map[string]any{"station": a, "t": 20, "v": 20}, nil)
+	if code != http.StatusOK {
+		t.Fatalf("point: %d %v", code, body)
+	}
+	buckets = ds()
+	first = buckets[0].(map[string]any)
+	if got := first["V"].(float64); got != 10 {
+		t.Fatalf("post-append bucket 0 mean = %v, want 10", got)
+	}
+
+	// Bad aggregate names and non-positive buckets are client errors.
+	code, _, _ = doJSON(t, "GET",
+		fmt.Sprintf("%s/v1/tenants/acme/query?name=downsample&station=%.0f&bucket=60&agg=nope", base, a), nil, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad agg status = %d, want 400", code)
+	}
+	code, _, _ = doJSON(t, "GET",
+		fmt.Sprintf("%s/v1/tenants/acme/query?name=downsample&station=%.0f&bucket=0&agg=mean", base, a), nil, nil)
+	if code != http.StatusBadRequest {
+		t.Fatalf("zero bucket status = %d, want 400", code)
+	}
+}
+
 func TestIdempotentStationIngest(t *testing.T) {
 	_, hs, _, _ := newTestServer(t, Limits{})
 	base := hs.URL

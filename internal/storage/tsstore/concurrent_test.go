@@ -104,18 +104,37 @@ func TestResampleCache(t *testing.T) {
 		t.Fatalf("distinct keys not distinct entries: %+v vs %+v", st2, st)
 	}
 
-	// Writing series 0 invalidates only its entries; series 1 stays warm.
+	// Writing series 0 past every cached window touches no entry: both
+	// series' entries stay warm (write-through makes invalidation
+	// bucket-granular — see TestUnrelatedWindowsSurviveTailAppend).
 	db.Downsample(keys[1], 0, end, ts.Day, ts.AggMean) // miss, warm
 	db.Insert(keys[0], end+ts.Hour, 1)
 	st3 := db.ResampleCacheStats()
-	if st3.Invalidations-st2.Invalidations != 3 {
-		t.Fatalf("expected 3 invalidations for series 0, got %+v vs %+v", st3, st2)
+	if st3.Invalidations != st2.Invalidations || st3.Patches != st2.Patches {
+		t.Fatalf("out-of-window write touched cache entries: %+v vs %+v", st3, st2)
 	}
 	db.Downsample(keys[1], 0, end, ts.Day, ts.AggMean)
-	if st4 := db.ResampleCacheStats(); st4.Hits-st3.Hits != 1 {
-		t.Fatalf("series 1 entry was wrongly invalidated: %+v vs %+v", st4, st3)
+	db.Downsample(keys[0], 0, end, ts.Day, ts.AggMean)
+	if st4 := db.ResampleCacheStats(); st4.Hits-st3.Hits != 2 {
+		t.Fatalf("warm entries were wrongly dropped: %+v vs %+v", st4, st3)
 	}
-	// Series 0 recomputes after its write — and sees the new point.
+	// A write inside a cached window patches the entry in place: the next
+	// read is a hit and already includes the new point.
+	preHit := db.ResampleCacheStats()
+	db.Insert(keys[0], end-ts.Hour/2, 1000)
+	st5 := db.ResampleCacheStats()
+	if st5.Patches == preHit.Patches {
+		t.Fatalf("in-window write patched nothing: %+v", st5)
+	}
+	patched := db.Downsample(keys[0], 0, end, ts.Day, ts.AggMean)
+	if st6 := db.ResampleCacheStats(); st6.Hits-st5.Hits != 1 || st6.Misses != st5.Misses {
+		t.Fatalf("patched entry did not serve a hit: %+v vs %+v", st6, st5)
+	}
+	want := db.RangeSeries(keys[0], 0, end).Resample(ts.Day, ts.AggMean)
+	if !patched.Equal(want) {
+		t.Fatalf("patched entry diverged from recompute:\n got %v\nwant %v", patched, want)
+	}
+	// Series 0 reads over a new window recompute — and see the new point.
 	after := db.Downsample(keys[0], 0, end+2*ts.Hour, ts.Day, ts.AggMean)
 	if after.Len() != first.Len()+1 {
 		t.Fatalf("post-write downsample stale: %d vs %d buckets", after.Len(), first.Len())

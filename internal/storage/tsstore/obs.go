@@ -14,6 +14,7 @@ type storeObs struct {
 	cacheMisses        *obs.Counter
 	cacheInvalidations *obs.Counter
 	cacheEvictions     *obs.Counter
+	cachePatches       *obs.Counter // write-through in-place bucket updates
 	// Compression/tiering lifecycle counters (see docs/STORAGE.md).
 	seals          *obs.Counter // open chunks encoded into immutable blocks
 	inflates       *obs.Counter // sealed chunks decoded back to raw for mutation
@@ -35,6 +36,7 @@ func (db *DB) Instrument(r *obs.Registry) {
 		cacheMisses:        r.Counter("tsstore.cache.misses"),
 		cacheInvalidations: r.Counter("tsstore.cache.invalidations"),
 		cacheEvictions:     r.Counter("tsstore.cache.evictions"),
+		cachePatches:       r.Counter("tsstore.cache.patches"),
 		seals:              r.Counter("tsstore.compress.seals"),
 		inflates:           r.Counter("tsstore.compress.inflates"),
 		spills:             r.Counter("tsstore.compress.spills"),

@@ -1,0 +1,174 @@
+package tsstore
+
+import (
+	"sort"
+
+	"hygraph/internal/ts"
+)
+
+// This file is the store's subscription layer: the engine-side half of the
+// streaming feature (internal/stream holds the consumer half). Observers
+// receive every applied mutation synchronously, under the owning shard's
+// write lock, immediately after the point is in the store and its
+// continuous-aggregate entries are patched. Combined with a seeded
+// Subscribe, that gives exactly-once coverage: every point is either in
+// the seed snapshot or delivered as a mutation, never both, never neither.
+//
+// Lock discipline: the only edge added is shard.mu -> observer-internal
+// state. Observers must therefore never call back into the DB from
+// OnMutation — the shard lock is not reentrant — and must use the
+// Mutation's Scan closure (bound to the already-held lock) for any
+// bucket-local rescans they need. Subscribe acquires every shard write
+// lock in index order (the *Ordered discipline), so it cannot deadlock
+// against writers taking single shard locks.
+
+// MutKind classifies a mutation delivered to observers.
+type MutKind int
+
+const (
+	// MutPoint is one inserted or upserted point.
+	MutPoint MutKind = iota
+	// MutDeleteSeries reports that the whole series was removed; T and V
+	// are meaningless.
+	MutDeleteSeries
+)
+
+// Mutation describes one applied write. It is delivered after the store
+// reflects the write, so Scan already sees the new point.
+type Mutation struct {
+	Kind MutKind
+	Key  SeriesKey
+	T    ts.Time
+	V    float64
+	// Scan visits the mutated series' points in [start, end) in time
+	// order under the shard write lock the delivery already holds.
+	// Observers must use it — not DB methods — while inside OnMutation,
+	// and must not retain it past the call.
+	Scan func(start, end ts.Time, fn func(ts.Time, float64))
+}
+
+// Observer consumes applied mutations. OnMutation runs on the writer's
+// goroutine under the owning shard's write lock: implementations must be
+// fast, must not block, and must not call back into the DB.
+type Observer interface {
+	OnMutation(m Mutation)
+}
+
+// SeedView is the snapshot handed to Subscribe's seed callback while every
+// shard is write-locked. It must not escape the callback.
+type SeedView struct {
+	db *DB
+}
+
+// Keys lists every series key in global first-insertion order.
+func (v SeedView) Keys() []SeriesKey {
+	var all []seqKey
+	for i := range v.db.shards {
+		sh := &v.db.shards[i]
+		for j, k := range sh.keys {
+			all = append(all, seqKey{seq: sh.seqs[j], key: k})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].seq < all[j].seq })
+	keys := make([]SeriesKey, len(all))
+	for i, sk := range all {
+		keys[i] = sk.key
+	}
+	return keys
+}
+
+// Scan visits a series' points in [start, end) in time order.
+func (v SeedView) Scan(key SeriesKey, start, end ts.Time, fn func(ts.Time, float64)) {
+	sh := v.db.shard(key)
+	// SeedView only exists inside Subscribe's all-shard write-lock barrier
+	// (lockAllShardsOrdered), so every shard's lock is held here.
+	sh.scanRangeLocked(v.db, key, start, end, fn) //hyvet:allow lockdiscipline SeedView is confined to Subscribe's seed callback, which runs with every shard write-locked via lockAllShardsOrdered
+}
+
+// lockAllShardsOrdered write-locks every shard in ascending index order —
+// the one sanctioned way to hold more than one stripe at a time.
+func (db *DB) lockAllShardsOrdered() {
+	for i := range db.shards {
+		db.shards[i].mu.Lock()
+	}
+}
+
+func (db *DB) unlockAllShards() {
+	for i := range db.shards {
+		db.shards[i].mu.Unlock()
+	}
+}
+
+// Subscribe registers an observer. If seed is non-nil it runs first, with
+// every shard write-locked, so the observer's initial state and the
+// mutation stream that follows cover every point exactly once — this is
+// also the rebuild contract after crash recovery: recover the store, then
+// re-subscribe and seed from the recovered state. Registration is
+// idempotent in effect but not identity: subscribing the same observer
+// twice delivers twice.
+func (db *DB) Subscribe(o Observer, seed func(SeedView)) {
+	db.subMu.Lock()
+	defer db.subMu.Unlock()
+	db.lockAllShardsOrdered()
+	defer db.unlockAllShards()
+	if seed != nil {
+		seed(SeedView{db: db})
+	}
+	var next []Observer
+	if cur := db.observers.Load(); cur != nil {
+		next = append(next, *cur...)
+	}
+	next = append(next, o)
+	db.observers.Store(&next)
+}
+
+// Unsubscribe removes an observer by identity. Deliveries already in
+// flight on other shards may still arrive; after Unsubscribe returns, no
+// new delivery starts.
+func (db *DB) Unsubscribe(o Observer) {
+	db.subMu.Lock()
+	defer db.subMu.Unlock()
+	cur := db.observers.Load()
+	if cur == nil {
+		return
+	}
+	next := make([]Observer, 0, len(*cur))
+	for _, x := range *cur {
+		if x != o {
+			next = append(next, x)
+		}
+	}
+	db.observers.Store(&next)
+}
+
+// NumObservers reports the live subscriber count (test hook).
+func (db *DB) NumObservers() int {
+	if cur := db.observers.Load(); cur != nil {
+		return len(*cur)
+	}
+	return 0
+}
+
+// notifyLocked fans one applied mutation out to the subscriber list. The
+// caller holds sh's write lock; with no subscribers this is a single
+// atomic load.
+func (sh *tsShard) notifyLocked(db *DB, kind MutKind, key SeriesKey, t ts.Time, v float64) {
+	cur := db.observers.Load()
+	if cur == nil || len(*cur) == 0 {
+		return
+	}
+	m := Mutation{
+		Kind: kind,
+		Key:  key,
+		T:    t,
+		V:    v,
+		Scan: func(start, end ts.Time, fn func(ts.Time, float64)) {
+			// The closure runs inside OnMutation, on the delivering writer's
+			// goroutine, which still holds sh.mu (see the Mutation doc).
+			sh.scanRangeLocked(db, key, start, end, fn) //hyvet:allow lockdiscipline Scan is only callable from inside OnMutation, which runs under the shard write lock the delivery already holds
+		},
+	}
+	for _, o := range *cur {
+		o.OnMutation(m)
+	}
+}

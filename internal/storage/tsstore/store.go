@@ -180,11 +180,17 @@ type resampleKey struct {
 	agg                ts.AggFunc
 }
 
-// rcEntry is one memoized resample: the series plus its position in the
-// shard's key list, kept in sync so random eviction and invalidation are
-// both O(1).
+// rcEntry is one continuous aggregate: an incrementally maintained
+// resampled view (ts.ContAgg) plus its cache key and its position in the
+// shard's key list, kept in sync so random eviction, invalidation, and
+// write-through patching are all cheap. In write-through mode a write
+// inside the entry's window routes to the owning bucket and patches it in
+// place; only std/median tail appends and backfills mark the bucket dirty,
+// and those are finalized lazily — a bounded bucket-local rescan — the
+// next time the entry is read (see docs/STREAMING.md).
 type rcEntry struct {
-	s   *ts.Series
+	rk  resampleKey
+	ca  *ts.ContAgg
 	idx int // index into the shard's rkeys
 }
 
@@ -200,6 +206,7 @@ type CacheStats struct {
 	Misses        int64
 	Invalidations int64 // entries dropped by writes to their series
 	Evictions     int64 // entries dropped by random eviction at capacity
+	Patches       int64 // write-through in-place bucket updates
 }
 
 // tsShard is one lock stripe of the store: a private map and insertion-order
@@ -215,6 +222,7 @@ type tsShard struct {
 
 	rcache map[resampleKey]*rcEntry
 	rkeys  []resampleKey // parallel key list for O(1) random eviction
+	ridx   map[SeriesKey][]*rcEntry // per-series entry list for write-through patching
 	rng    uint64        // deterministic xorshift state for eviction picks
 
 	// bc memoizes decoded blocks of sealed chunks. It carries its own lock
@@ -254,8 +262,21 @@ type DB struct {
 	// observe the condition via Err().
 	deg errLatch
 
+	// writeThrough selects continuous-aggregate maintenance: writes patch
+	// cached resample entries in place instead of evicting them. On by
+	// default; SetWriteThrough(false) restores invalidate-and-recompute
+	// (the bench's comparison baseline). Set before the store is shared.
+	writeThrough bool
+
+	// observers is the copy-on-write subscriber list (observe.go): the
+	// notify path is one atomic load under the owning shard's write lock,
+	// so an empty registry costs the write path nothing. subMu serializes
+	// Subscribe/Unsubscribe.
+	observers atomic.Pointer[[]Observer]
+	subMu     sync.Mutex
+
 	// Cache counters are atomics so the hit path stays on the read lock.
-	cacheHits, cacheMisses, cacheInvalidations, cacheEvictions atomic.Int64
+	cacheHits, cacheMisses, cacheInvalidations, cacheEvictions, cachePatches atomic.Int64
 
 	// Compression and block-cache counters, same discipline.
 	seals, inflates, blockHits, blockMisses, blockEvictions atomic.Int64
@@ -311,11 +332,12 @@ func NewSharded(chunkWidth ts.Time, shards int) *DB {
 		n <<= 1
 	}
 	db := &DB{
-		chunkWidth: chunkWidth,
-		mask:       uint32(n - 1),
-		shards:     make([]tsShard, n),
-		shardCap:   maxResampleCache / n,
-		compress:   true,
+		chunkWidth:   chunkWidth,
+		mask:         uint32(n - 1),
+		shards:       make([]tsShard, n),
+		shardCap:     maxResampleCache / n,
+		compress:     true,
+		writeThrough: true,
 	}
 	if db.shardCap < 1 {
 		db.shardCap = 1
@@ -329,6 +351,7 @@ func NewSharded(chunkWidth ts.Time, shards int) *DB {
 		sh.idx = i
 		sh.data = map[SeriesKey]*series{}
 		sh.rcache = map[resampleKey]*rcEntry{}
+		sh.ridx = map[SeriesKey][]*rcEntry{}
 		// Fixed per-shard seed: eviction picks are deterministic across runs.
 		sh.rng = 0x9E3779B97F4A7C15 * uint64(i+1)
 		sh.bc.init(bcCap, 0xD1B54A32D192ED03*uint64(i+1))
@@ -341,6 +364,14 @@ func NewSharded(chunkWidth ts.Time, shards int) *DB {
 // Disabling it yields the pre-compression raw layout — the baseline the
 // storage benchmark and the differential battery compare against.
 func (db *DB) SetCompress(on bool) { db.compress = on }
+
+// SetWriteThrough toggles continuous-aggregate maintenance of the resample
+// cache. On (the default), writes patch every cached window that covers
+// them in place; off restores the invalidate-and-recompute behaviour — the
+// baseline the streaming benchmark and the differential battery compare
+// against. Call before the store is shared: the flag is read on every
+// write path without synchronization.
+func (db *DB) SetWriteThrough(on bool) { db.writeThrough = on }
 
 // Err returns the first permanent storage error the store latched (corrupt
 // compressed block, spill-file read failure). While non-nil, scans over the
@@ -441,17 +472,31 @@ func (db *DB) slotOf(t ts.Time) int64 {
 	return s
 }
 
-// Insert adds one point. Upserts on duplicate timestamps.
+// Insert adds one point. Upserts on duplicate timestamps. Applied writes
+// patch the covering continuous-aggregate entries in place (or, with
+// write-through off, invalidate them) and fan out to subscribed observers
+// before the shard lock is released, so a read that follows the insert —
+// from any goroutine — sees the aggregate including the new point.
 func (db *DB) Insert(key SeriesKey, t ts.Time, v float64) {
 	db.obs.writes.Inc()
 	sh := db.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	sh.insertLocked(db, key, t, v)
-	sh.invalidateLocked(db, key)
+	if !sh.insertLocked(db, key, t, v) {
+		return
+	}
+	if db.writeThrough {
+		sh.patchLocked(db, key, t, v)
+	} else {
+		sh.invalidateLocked(db, key)
+	}
+	sh.notifyLocked(db, MutPoint, key, t, v)
 }
 
-func (sh *tsShard) insertLocked(db *DB, key SeriesKey, t ts.Time, v float64) {
+// insertLocked applies one point, reporting false when the write was
+// dropped because a sealed chunk could not be reinflated (the store is
+// degraded; see Err).
+func (sh *tsShard) insertLocked(db *DB, key SeriesKey, t ts.Time, v float64) bool {
 	s, ok := sh.data[key]
 	if !ok {
 		s = &series{}
@@ -470,10 +515,11 @@ func (sh *tsShard) insertLocked(db *DB, key SeriesKey, t ts.Time, v float64) {
 		s.open = nil
 	}
 	if c.sealed() && !sh.inflateLocked(db, key, c) {
-		return
+		return false
 	}
 	s.open = c
 	c.add(t, v)
+	return true
 }
 
 // sealLocked compresses an open chunk into an immutable block. No-op when
@@ -566,16 +612,27 @@ func (sh *tsShard) chunkPoints(db *DB, key SeriesKey, c *chunk) ([]ts.Time, []fl
 	return times, vals
 }
 
-// InsertSeries bulk-loads a whole series under the key.
+// InsertSeries bulk-loads a whole series under the key. Each applied point
+// routes through the continuous aggregates and the observer fan-out in
+// order, exactly as the equivalent sequence of Inserts would.
 func (db *DB) InsertSeries(key SeriesKey, src *ts.Series) {
 	db.obs.writes.Inc()
 	sh := db.shard(key)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	for i := 0; i < src.Len(); i++ {
-		sh.insertLocked(db, key, src.TimeAt(i), src.ValueAt(i))
+		t, v := src.TimeAt(i), src.ValueAt(i)
+		if !sh.insertLocked(db, key, t, v) {
+			continue
+		}
+		if db.writeThrough {
+			sh.patchLocked(db, key, t, v)
+		}
+		sh.notifyLocked(db, MutPoint, key, t, v)
 	}
-	sh.invalidateLocked(db, key)
+	if !db.writeThrough {
+		sh.invalidateLocked(db, key)
+	}
 }
 
 // DeleteSeries removes a series and all its chunks. It reports whether the
@@ -602,6 +659,7 @@ func (db *DB) DeleteSeries(key SeriesKey) bool {
 			break
 		}
 	}
+	sh.notifyLocked(db, MutDeleteSeries, key, 0, 0)
 	return true
 }
 
@@ -618,8 +676,47 @@ func (sh *tsShard) invalidateLocked(db *DB, key SeriesKey) {
 	}
 }
 
+// patchLocked is the write-through path: route one applied point into
+// every cached window of its series that covers it. Entries whose window
+// excludes t are untouched — this is what makes invalidation
+// bucket-granular. ContAgg applies an O(1) delta for tail appends of
+// decomposable aggregates; backfills and std/median mark the owning
+// bucket dirty for a bucket-local rescan at the next read
+// (finalizeEntryLocked). Callers hold the write lock.
+func (sh *tsShard) patchLocked(db *DB, key SeriesKey, t ts.Time, v float64) {
+	for _, e := range sh.ridx[key] {
+		if t < e.rk.start || t >= e.rk.end {
+			continue
+		}
+		e.ca.Observe(t, v)
+		db.cachePatches.Add(1)
+		db.obs.cachePatches.Inc()
+	}
+}
+
+// finalizeEntryLocked rescans an entry's dirty buckets (clipped to the
+// entry's window) and restores exactness. Callers hold the write lock.
+func (sh *tsShard) finalizeEntryLocked(db *DB, e *rcEntry) {
+	var vals []float64
+	for _, b := range e.ca.DirtyBuckets() {
+		lo, hi := b, b+e.rk.bucket
+		if lo < e.rk.start {
+			lo = e.rk.start
+		}
+		if hi > e.rk.end {
+			hi = e.rk.end
+		}
+		vals = vals[:0]
+		sh.scanRangeLocked(db, e.rk.key, lo, hi, func(_ ts.Time, v float64) {
+			vals = append(vals, v)
+		})
+		e.ca.Finalize(b, vals)
+	}
+}
+
 // removeCacheEntryLocked drops one memo entry, swap-removing its key from
-// the eviction list and fixing the moved entry's back-index.
+// the eviction list, fixing the moved entry's back-index, and unlinking it
+// from the per-series patch index.
 func (sh *tsShard) removeCacheEntryLocked(rk resampleKey) {
 	e, ok := sh.rcache[rk]
 	if !ok {
@@ -631,6 +728,19 @@ func (sh *tsShard) removeCacheEntryLocked(rk resampleKey) {
 	sh.rcache[moved].idx = e.idx
 	sh.rkeys = sh.rkeys[:last]
 	delete(sh.rcache, rk)
+	list := sh.ridx[rk.key]
+	for i, le := range list {
+		if le == e {
+			list[i] = list[len(list)-1]
+			list = list[:len(list)-1]
+			break
+		}
+	}
+	if len(list) == 0 {
+		delete(sh.ridx, rk.key)
+	} else {
+		sh.ridx[rk.key] = list
+	}
 }
 
 // evictOneLocked drops a uniformly random memo entry — cheap per-shard
@@ -1005,8 +1115,8 @@ func (db *DB) Downsample(key SeriesKey, start, end, bucket ts.Time, agg ts.AggFu
 	rk := resampleKey{key: key, start: start, end: end, bucket: bucket, agg: agg}
 	sh := db.shard(key)
 	sh.mu.RLock()
-	if e, ok := sh.rcache[rk]; ok {
-		out := e.s.Clone()
+	if e, ok := sh.rcache[rk]; ok && !e.ca.HasDirty() {
+		out := e.ca.View().Clone()
 		sh.mu.RUnlock()
 		db.cacheHits.Add(1)
 		db.obs.cacheHits.Inc()
@@ -1016,20 +1126,26 @@ func (db *DB) Downsample(key SeriesKey, start, end, bucket ts.Time, agg ts.AggFu
 
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if e, ok := sh.rcache[rk]; ok { // filled while we waited for the lock
+	if e, ok := sh.rcache[rk]; ok { // filled while we waited, or dirty
+		// Still a hit: at worst a bucket-local rescan of the dirty
+		// buckets, never a whole-window recompute.
+		sh.finalizeEntryLocked(db, e)
 		db.cacheHits.Add(1)
 		db.obs.cacheHits.Inc()
-		return e.s.Clone()
+		return e.ca.View().Clone()
 	}
 	db.cacheMisses.Add(1)
 	db.obs.cacheMisses.Inc()
-	s := sh.rangeSeriesLocked(db, key, start, end).Resample(bucket, agg)
+	ca := ts.NewContAgg("", bucket, agg)
+	ca.Seed(sh.rangeSeriesLocked(db, key, start, end))
 	if len(sh.rkeys) >= db.shardCap {
 		sh.evictOneLocked(db)
 	}
-	sh.rcache[rk] = &rcEntry{s: s, idx: len(sh.rkeys)}
+	e := &rcEntry{rk: rk, ca: ca, idx: len(sh.rkeys)}
+	sh.rcache[rk] = e
 	sh.rkeys = append(sh.rkeys, rk)
-	return s.Clone()
+	sh.ridx[key] = append(sh.ridx[key], e)
+	return ca.View().Clone()
 }
 
 // CorrelateResampled computes the Pearson correlation of two series after
@@ -1069,6 +1185,7 @@ func (db *DB) ResampleCacheStats() CacheStats {
 		Misses:        db.cacheMisses.Load(),
 		Invalidations: db.cacheInvalidations.Load(),
 		Evictions:     db.cacheEvictions.Load(),
+		Patches:       db.cachePatches.Load(),
 	}
 }
 

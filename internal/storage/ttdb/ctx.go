@@ -162,6 +162,15 @@ func (p *Polyglot) Q7CorrelationCtx(ctx context.Context, x, y StationID, start, 
 	return r, ctxErr(ctx)
 }
 
+// DownsampleCtx is Downsample with cancellation, checked at the store-read
+// boundary like the other single-entity probes.
+func (p *Polyglot) DownsampleCtx(ctx context.Context, st StationID, start, end, bucket ts.Time, agg ts.AggFunc) ([]ts.Point, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	return p.Downsample(st, start, end, bucket, agg), nil
+}
+
 // Q8NeighborMeansCtx is Q8NeighborMeans with cancellation: the per-neighbor
 // summary pushdowns check the context per item in the worker pool.
 func (p *Polyglot) Q8NeighborMeansCtx(ctx context.Context, st StationID, start, end ts.Time) (map[StationID]float64, error) {

@@ -544,6 +544,14 @@ func (d *DurablePolyglot) Q7Correlation(x, y StationID, start, end, bucket ts.Ti
 	return d.eng.Q7Correlation(x, y, start, end, bucket), nil
 }
 
+// Downsample is Engine.Downsample with the durable degraded-mode contract.
+func (d *DurablePolyglot) Downsample(st StationID, start, end, bucket ts.Time, agg ts.AggFunc) ([]ts.Point, error) {
+	if err := d.tsCheck("Downsample"); err != nil {
+		return nil, err
+	}
+	return d.eng.Downsample(st, start, end, bucket, agg), nil
+}
+
 // Q8NeighborMeans is Engine.Q8NeighborMeans with degradation: the neighbor
 // set is pure topology and survives, with zero means.
 func (d *DurablePolyglot) Q8NeighborMeans(st StationID, start, end ts.Time) (map[StationID]float64, error) {

@@ -127,6 +127,21 @@ func (d *DurablePolyglot) Q8NeighborMeansCtx(ctx context.Context, st StationID, 
 	return d.eng.Q8NeighborMeansCtx(ctx, st, start, end)
 }
 
+// DownsampleCtx is the durable engine's windowed-aggregate read: the
+// continuous-aggregate cache under write-through delta maintenance, so a
+// client that just had AppendPoint acknowledged reads its own write in the
+// aggregate (the delta applies before the WAL append returns). Same degraded
+// contract as the Q*Ctx methods.
+func (d *DurablePolyglot) DownsampleCtx(ctx context.Context, st StationID, start, end, bucket ts.Time, agg ts.AggFunc) ([]ts.Point, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := d.tsCheck("Downsample"); err != nil {
+		return nil, err
+	}
+	return d.eng.DownsampleCtx(ctx, st, start, end, bucket, agg)
+}
+
 // EntitySummariesCtx returns the per-entity summaries of the metric over
 // [start, end) in hypertable insertion order — the partition-local fragment a
 // scatter-gather coordinator (internal/coord) merges for Q4–Q6. Entities are

@@ -477,6 +477,15 @@ func (p *Polyglot) Q7Correlation(x, y StationID, start, end, bucket ts.Time) flo
 	return p.T.Correlate(key(x), key(y), start, end)
 }
 
+// Downsample returns one station's series resampled to bucket-wide windows
+// under agg, served from the hypertable's continuous-aggregate cache: a warm
+// window is patched in place per append (write-through deltas), so repeated
+// reads under sustained ingest never recompute the whole window. The result
+// is element-wise identical to a from-scratch Resample of the raw range.
+func (p *Polyglot) Downsample(st StationID, start, end, bucket ts.Time, agg ts.AggFunc) []ts.Point {
+	return p.T.Downsample(key(st), start, end, bucket, agg).Points()
+}
+
 // Q8NeighborMeans implements Engine: adjacency from the graph store, then
 // per-neighbor summary pushdowns on the worker pool.
 func (p *Polyglot) Q8NeighborMeans(st StationID, start, end ts.Time) map[StationID]float64 {

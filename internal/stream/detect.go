@@ -1,0 +1,185 @@
+package stream
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"hygraph/internal/storage/tsstore"
+	"hygraph/internal/ts"
+)
+
+// Event is one detected anomaly: the offending observation plus a score
+// (threshold detectors report the value itself; z-score detectors the
+// absolute z).
+type Event struct {
+	Key   tsstore.SeriesKey
+	T     ts.Time
+	V     float64
+	Score float64
+}
+
+// defaultRing bounds retained events per detector; older events are
+// dropped once drained or overwritten, with Total still counting them.
+const defaultRing = 256
+
+// eventRing is the shared bounded event buffer. Deliveries run under a
+// shard lock, so it must be cheap: append with wraparound, no allocation
+// after warm-up.
+type eventRing struct {
+	mu      sync.Mutex
+	buf     []Event
+	nextIdx int
+	wrapped bool
+	capHint int
+	total   atomic.Int64
+}
+
+func newEventRing(capHint int) *eventRing {
+	if capHint <= 0 {
+		capHint = defaultRing
+	}
+	return &eventRing{capHint: capHint}
+}
+
+func (r *eventRing) add(e Event) {
+	r.total.Add(1)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.buf) < r.capHint {
+		r.buf = append(r.buf, e)
+		return
+	}
+	r.buf[r.nextIdx] = e
+	r.nextIdx = (r.nextIdx + 1) % len(r.buf)
+	r.wrapped = true
+}
+
+// drain returns the retained events oldest-first and clears the buffer.
+func (r *eventRing) drain() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []Event
+	if r.wrapped {
+		out = append(out, r.buf[r.nextIdx:]...)
+		out = append(out, r.buf[:r.nextIdx]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	r.buf = r.buf[:0]
+	r.nextIdx = 0
+	r.wrapped = false
+	return out
+}
+
+// ThresholdSpec configures a crossing detector for one metric: an event
+// fires for every observation with V < Below or V > Above. Disable a
+// bound explicitly with math.Inf(-1) / math.Inf(1) — a zero bound is a
+// real bound at zero, not "unset".
+type ThresholdSpec struct {
+	Metric string
+	Below  float64 // fire when v < Below (use math.Inf(-1) to disable)
+	Above  float64 // fire when v > Above (use math.Inf(1) to disable)
+	Ring   int     // retained events; <= 0 selects defaultRing
+}
+
+// ThresholdDetector fires on threshold crossings, updating per appended
+// point with O(1) work.
+type ThresholdDetector struct {
+	spec ThresholdSpec
+	ring *eventRing
+}
+
+func newThresholdDetector(spec ThresholdSpec) *ThresholdDetector {
+	return &ThresholdDetector{spec: spec, ring: newEventRing(spec.Ring)}
+}
+
+// OnMutation implements tsstore.Observer.
+func (d *ThresholdDetector) OnMutation(m tsstore.Mutation) {
+	if m.Kind != tsstore.MutPoint || m.Key.Metric != d.spec.Metric {
+		return
+	}
+	if m.V < d.spec.Below || m.V > d.spec.Above {
+		d.ring.add(Event{Key: m.Key, T: m.T, V: m.V, Score: m.V})
+	}
+}
+
+// Total counts every event since registration, drained or not.
+func (d *ThresholdDetector) Total() int64 { return d.ring.total.Load() }
+
+// Drain returns and clears the retained events, oldest first.
+func (d *ThresholdDetector) Drain() []Event { return d.ring.drain() }
+
+// ZScoreSpec configures a streaming z-score detector for one metric: an
+// observation fires when it sits at least K standard deviations from the
+// mean of the observations that arrived before it (per entity), once MinN
+// prior observations exist. Statistics accumulate in arrival order — the
+// prospective, stream-semantics counterpart of ts.ZScoreAnomalies, which
+// scores retrospectively against the whole series.
+type ZScoreSpec struct {
+	Metric string
+	K      float64 // threshold in standard deviations; <= 0 selects 3
+	MinN   int     // prior observations required; <= 0 selects 10
+	Ring   int     // retained events; <= 0 selects defaultRing
+}
+
+// zstats is one entity's running moments (naive sums; adequate for the
+// detector's advisory role).
+type zstats struct {
+	n          int
+	sum, sumsq float64
+}
+
+// ZScoreDetector flags observations far from each entity's running mean.
+type ZScoreDetector struct {
+	spec     ZScoreSpec
+	mu       sync.Mutex
+	byEntity map[uint32]*zstats
+	ring     *eventRing
+}
+
+func newZScoreDetector(spec ZScoreSpec) *ZScoreDetector {
+	if spec.K <= 0 {
+		spec.K = 3
+	}
+	if spec.MinN <= 0 {
+		spec.MinN = 10
+	}
+	return &ZScoreDetector{spec: spec, byEntity: map[uint32]*zstats{}, ring: newEventRing(spec.Ring)}
+}
+
+// OnMutation implements tsstore.Observer.
+func (d *ZScoreDetector) OnMutation(m tsstore.Mutation) {
+	if m.Key.Metric != d.spec.Metric {
+		return
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if m.Kind == tsstore.MutDeleteSeries {
+		delete(d.byEntity, m.Key.Entity)
+		return
+	}
+	st, ok := d.byEntity[m.Key.Entity]
+	if !ok {
+		st = &zstats{}
+		d.byEntity[m.Key.Entity] = st
+	}
+	if st.n >= d.spec.MinN {
+		mu := st.sum / float64(st.n)
+		sd := math.Sqrt(st.sumsq/float64(st.n) - mu*mu)
+		if sd > 0 {
+			if z := math.Abs(m.V-mu) / sd; z >= d.spec.K {
+				d.ring.add(Event{Key: m.Key, T: m.T, V: m.V, Score: z})
+			}
+		}
+	}
+	st.n++
+	st.sum += m.V
+	st.sumsq += m.V * m.V
+}
+
+// Total counts every event since registration, drained or not.
+func (d *ZScoreDetector) Total() int64 { return d.ring.total.Load() }
+
+// Drain returns and clears the retained events, oldest first.
+func (d *ZScoreDetector) Drain() []Event { return d.ring.drain() }

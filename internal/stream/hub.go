@@ -1,0 +1,90 @@
+package stream
+
+import (
+	"sync"
+
+	"hygraph/internal/storage/tsstore"
+)
+
+// Hub is the engine-side streaming surface: it attaches materialized
+// windowed aggregates and anomaly detectors to a tsstore.DB's observer
+// layer, so they update incrementally per applied point — write-through,
+// on the writer's goroutine, with no polling and no background goroutines
+// (nothing to leak, nothing to drain on shutdown). Registrations are
+// seeded under the store's subscription barrier, so a consumer's state
+// plus its subsequent mutation stream cover every point exactly once —
+// including after crash recovery, where the rebuild contract is simply
+// "recover the store, then re-register" (docs/STREAMING.md).
+//
+// The demo-grade Ingestor/Continuous API in stream.go operates on a
+// core.HyGraph view; the Hub operates on the storage engine itself and is
+// what ttdb-backed deployments use.
+type Hub struct {
+	db *tsstore.DB
+
+	mu   sync.Mutex
+	subs []tsstore.Observer
+}
+
+// NewHub returns a hub over db. Close detaches everything it registered.
+func NewHub(db *tsstore.DB) *Hub { return &Hub{db: db} }
+
+// DB returns the underlying store.
+func (h *Hub) DB() *tsstore.DB { return h.db }
+
+// track records a registered observer for Close.
+func (h *Hub) track(o tsstore.Observer) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.subs = append(h.subs, o)
+}
+
+// Materialize registers a continuous windowed aggregate, seeded from the
+// store's current contents, and returns the live view.
+func (h *Hub) Materialize(spec AggSpec) *MatAgg {
+	a := newMatAgg(spec)
+	h.db.Subscribe(a, a.seed)
+	h.track(a)
+	return a
+}
+
+// Threshold registers a threshold crossing detector.
+func (h *Hub) Threshold(spec ThresholdSpec) *ThresholdDetector {
+	d := newThresholdDetector(spec)
+	h.db.Subscribe(d, nil)
+	h.track(d)
+	return d
+}
+
+// ZScore registers a streaming z-score anomaly detector.
+func (h *Hub) ZScore(spec ZScoreSpec) *ZScoreDetector {
+	d := newZScoreDetector(spec)
+	h.db.Subscribe(d, nil)
+	h.track(d)
+	return d
+}
+
+// Detach unsubscribes one consumer registered through this hub.
+func (h *Hub) Detach(o tsstore.Observer) {
+	h.db.Unsubscribe(o)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, x := range h.subs {
+		if x == o {
+			h.subs = append(h.subs[:i], h.subs[i+1:]...)
+			return
+		}
+	}
+}
+
+// Close unsubscribes every consumer the hub registered. The consumers'
+// accumulated state stays readable.
+func (h *Hub) Close() {
+	h.mu.Lock()
+	subs := h.subs
+	h.subs = nil
+	h.mu.Unlock()
+	for _, o := range subs {
+		h.db.Unsubscribe(o)
+	}
+}

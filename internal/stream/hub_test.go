@@ -1,0 +1,246 @@
+package stream
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"hygraph/internal/storage/tsstore"
+	"hygraph/internal/ts"
+)
+
+func sameSeries(a, b *ts.Series) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.TimeAt(i) != b.TimeAt(i) {
+			return false
+		}
+		av, bv := a.ValueAt(i), b.ValueAt(i)
+		if av != bv && !(math.IsNaN(av) && math.IsNaN(bv)) {
+			return false
+		}
+	}
+	return true
+}
+
+// A materialized aggregate seeded over existing data and maintained
+// through appends, backfills, and deletes must equal a from-scratch
+// resample of the store at every quiescent point.
+func TestMatAggMatchesStore(t *testing.T) {
+	db := tsstore.New(ts.Hour)
+	rng := rand.New(rand.NewSource(11))
+	keys := []tsstore.SeriesKey{
+		{Entity: 1, Metric: "avail"},
+		{Entity: 2, Metric: "avail"},
+		{Entity: 3, Metric: "other"}, // must be ignored by the aggregate
+	}
+	heads := map[tsstore.SeriesKey]ts.Time{}
+	write := func(n int) {
+		for i := 0; i < n; i++ {
+			k := keys[rng.Intn(len(keys))]
+			if rng.Intn(6) == 0 && heads[k] > 0 { // backfill
+				db.Insert(k, ts.Time(rng.Intn(int(heads[k]))), rng.Float64()*100)
+			} else {
+				heads[k] += ts.Time(1 + rng.Intn(int(20*ts.Minute)))
+				db.Insert(k, heads[k], rng.Float64()*100)
+			}
+		}
+	}
+	write(300) // pre-subscription data, covered by the seed
+
+	h := NewHub(db)
+	defer h.Close()
+	for _, agg := range []ts.AggFunc{ts.AggMean, ts.AggMax, ts.AggStd} {
+		a := h.Materialize(AggSpec{Metric: "avail", Bucket: ts.Hour, Agg: agg})
+		write(300)
+		for _, k := range keys[:2] {
+			got := a.Series(k.Entity)
+			want := db.RangeSeries(k, 0, heads[k]+1).Resample(ts.Hour, agg)
+			if got == nil || !sameSeries(got, want) {
+				t.Fatalf("agg=%v key=%v: materialized view diverged\n got %v\nwant %v", agg, k, got, want)
+			}
+		}
+		if a.Series(3) != nil {
+			t.Fatalf("agg=%v: foreign metric leaked into the aggregate", agg)
+		}
+		if a.Deltas() == 0 || a.Rescans() == 0 {
+			t.Fatalf("agg=%v: degenerate run (deltas=%d rescans=%d)", agg, a.Deltas(), a.Rescans())
+		}
+	}
+
+	// Deleting a series drops its materialized state.
+	a := h.Materialize(AggSpec{Metric: "avail", Bucket: ts.Hour, Agg: ts.AggMean})
+	db.DeleteSeries(keys[0])
+	if a.Series(1) != nil {
+		t.Fatal("deleted series kept materialized state")
+	}
+	if got := a.Entities(); len(got) != 1 || got[0] != 2 {
+		t.Fatalf("Entities = %v, want [2]", got)
+	}
+}
+
+// Windowed aggregates ignore points outside [Start, End).
+func TestMatAggWindow(t *testing.T) {
+	db := tsstore.New(ts.Day)
+	h := NewHub(db)
+	defer h.Close()
+	a := h.Materialize(AggSpec{Metric: "m", Bucket: 10, Agg: ts.AggSum, Start: 100, End: 200})
+	k := tsstore.SeriesKey{Entity: 5, Metric: "m"}
+	for _, pt := range []ts.Time{50, 100, 150, 199, 200, 300} {
+		db.Insert(k, pt, 1)
+	}
+	got := a.Series(5)
+	want := db.RangeSeries(k, 100, 200).Resample(10, ts.AggSum)
+	if got == nil || !sameSeries(got, want) {
+		t.Fatalf("windowed view diverged:\n got %v\nwant %v", got, want)
+	}
+	if v, ok := a.Value(5, 100); !ok || v != 1 {
+		t.Fatalf("Value(5,100) = %v,%v", v, ok)
+	}
+}
+
+// Threshold and z-score detectors fire per appended point.
+func TestDetectors(t *testing.T) {
+	db := tsstore.New(ts.Day)
+	h := NewHub(db)
+	defer h.Close()
+	td := h.Threshold(ThresholdSpec{Metric: "avail", Below: 2, Above: math.Inf(1)})
+	zd := h.ZScore(ZScoreSpec{Metric: "avail", K: 4, MinN: 10})
+	k := tsstore.SeriesKey{Entity: 1, Metric: "avail"}
+	for i := 0; i < 50; i++ {
+		db.Insert(k, ts.Time(i), 10+0.1*float64(i%5))
+	}
+	if td.Total() != 0 || zd.Total() != 0 {
+		t.Fatalf("steady data fired: threshold=%d z=%d", td.Total(), zd.Total())
+	}
+	db.Insert(k, 50, 1)   // below the floor and far from the mean
+	db.Insert(k, 51, 100) // spike
+	if td.Total() != 1 {
+		t.Fatalf("threshold fired %d times, want 1", td.Total())
+	}
+	if zd.Total() != 2 {
+		t.Fatalf("z-score fired %d times, want 2", zd.Total())
+	}
+	evs := zd.Drain()
+	if len(evs) != 2 || evs[0].T != 50 || evs[1].T != 51 || evs[1].Score < 4 {
+		t.Fatalf("drained events %+v", evs)
+	}
+	if len(zd.Drain()) != 0 {
+		t.Fatal("drain did not clear")
+	}
+	// Ring wraps without losing the count.
+	small := h.Threshold(ThresholdSpec{Metric: "avail", Below: math.Inf(-1), Above: 0, Ring: 4})
+	for i := 0; i < 10; i++ {
+		db.Insert(k, ts.Time(100+i), 5)
+	}
+	if small.Total() != 10 {
+		t.Fatalf("ring total %d, want 10", small.Total())
+	}
+	if evs := small.Drain(); len(evs) != 4 || evs[0].T != 106 || evs[3].T != 109 {
+		t.Fatalf("wrapped ring drained %+v", evs)
+	}
+}
+
+// The observer fan-out hammer: concurrent appenders, a pinned aggregate
+// that must account for every delta exactly once, and subscribe/
+// unsubscribe churn racing the writes. Run under -race (make race does).
+// The hub spawns no goroutines, so the count must return to baseline.
+func TestObserverFanoutHammer(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+	db := tsstore.NewSharded(ts.Hour, 8)
+	h := NewHub(db)
+
+	pinned := h.Materialize(AggSpec{Metric: "avail", Bucket: ts.Minute, Agg: ts.AggCount})
+
+	const writers = 8
+	const perWriter = 400
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Churners: register and detach aggregates and detectors while writes
+	// are in flight. Every Materialize seeds under the subscription
+	// barrier, so each churned view is internally consistent too.
+	for c := 0; c < 3; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				a := h.Materialize(AggSpec{Metric: "avail", Bucket: ts.Minute, Agg: ts.AggSum})
+				d := h.Threshold(ThresholdSpec{Metric: "avail", Below: math.Inf(-1), Above: math.Inf(1)})
+				h.Detach(a)
+				h.Detach(d)
+			}
+		}(c)
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			k := tsstore.SeriesKey{Entity: uint32(w), Metric: "avail"}
+			for i := 0; i < perWriter; i++ {
+				db.Insert(k, ts.Time(i)*ts.Second, float64(i))
+			}
+		}(w)
+	}
+	// Writers are a bounded amount of work; once they finish, every delta
+	// has been delivered (delivery is synchronous with the insert).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		wg.Wait()
+	}()
+	for i := 0; pinned.Deltas()+pinned.Rescans() < writers*perWriter && i < 10000; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	<-done
+
+	// Exactly-once accounting: the pinned aggregate saw every applied
+	// point as exactly one delta (all tail appends on distinct series),
+	// and its materialized counts sum to the written total.
+	if got := pinned.Deltas(); got != writers*perWriter {
+		t.Fatalf("pinned aggregate saw %d deltas, want %d (lost or duplicated deliveries)",
+			got, writers*perWriter)
+	}
+	var totalCount float64
+	for _, e := range pinned.Entities() {
+		s := pinned.Series(e)
+		for i := 0; i < s.Len(); i++ {
+			totalCount += s.ValueAt(i)
+		}
+	}
+	if totalCount != writers*perWriter {
+		t.Fatalf("materialized counts sum to %v, want %d", totalCount, writers*perWriter)
+	}
+	// Each entity's view equals the store's answer.
+	for w := 0; w < writers; w++ {
+		k := tsstore.SeriesKey{Entity: uint32(w), Metric: "avail"}
+		want := db.RangeSeries(k, 0, ts.MaxTime).Resample(ts.Minute, ts.AggCount)
+		if got := pinned.Series(uint32(w)); got == nil || !sameSeries(got, want) {
+			t.Fatalf("writer %d view diverged:\n got %v\nwant %v", w, pinned.Series(uint32(w)), want)
+		}
+	}
+
+	h.Close()
+	if n := db.NumObservers(); n != 0 {
+		t.Fatalf("%d observers survived Close", n)
+	}
+	// No goroutines leaked: the streaming layer runs entirely on writer
+	// goroutines. Allow scheduler slack for runtime helpers to exit.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > baseline && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > baseline {
+		t.Fatalf("goroutine leak: %d > baseline %d", n, baseline)
+	}
+}

@@ -1,0 +1,166 @@
+package stream
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"hygraph/internal/storage/tsstore"
+	"hygraph/internal/ts"
+)
+
+// AggSpec configures one materialized windowed aggregate: every entity of
+// Metric gets a continuously maintained resampled view (ts.ContAgg) over
+// [Start, End). End <= Start selects the unbounded window.
+type AggSpec struct {
+	Metric string
+	Bucket ts.Time
+	Agg    ts.AggFunc
+	Start  ts.Time
+	End    ts.Time
+}
+
+func (s AggSpec) window() (ts.Time, ts.Time) {
+	if s.End <= s.Start {
+		return s.Start, ts.MaxTime
+	}
+	return s.Start, s.End
+}
+
+// MatAgg is a live materialized aggregate. Deltas apply on the writer's
+// goroutine under the store's shard lock; reads snapshot under the
+// consumer's own mutex. The lock order is strictly shard.mu -> MatAgg.mu
+// (never the reverse: reads never touch the store), so the consumer adds
+// no cross-stripe lock edges.
+//
+// Unlike the tsstore resample cache — which finalizes dirty buckets lazily
+// at read, under the same shard lock reads already take — MatAgg finalizes
+// eagerly at write time via the Mutation's Scan closure: its readers don't
+// hold store locks, so deferring the rescan to the read side would need a
+// MatAgg.mu -> shard.mu edge, the exact deadlock the discipline forbids.
+// The cost model is unchanged: tail appends of decomposable aggregates are
+// O(1); only backfills and std/median pay a bucket-local rescan.
+type MatAgg struct {
+	spec       AggSpec
+	start, end ts.Time
+
+	mu       sync.Mutex
+	byEntity map[uint32]*ts.ContAgg
+
+	deltas  atomic.Int64 // O(1) in-place bucket updates
+	rescans atomic.Int64 // bucket-local rescans (backfill, std/median)
+}
+
+func newMatAgg(spec AggSpec) *MatAgg {
+	a := &MatAgg{spec: spec, byEntity: map[uint32]*ts.ContAgg{}}
+	a.start, a.end = spec.window()
+	return a
+}
+
+// Spec returns the registration spec.
+func (a *MatAgg) Spec() AggSpec { return a.spec }
+
+// Deltas reports how many points applied as O(1) bucket deltas.
+func (a *MatAgg) Deltas() int64 { return a.deltas.Load() }
+
+// Rescans reports how many points forced a bucket-local rescan.
+func (a *MatAgg) Rescans() int64 { return a.rescans.Load() }
+
+func (a *MatAgg) contFor(entity uint32) *ts.ContAgg {
+	c, ok := a.byEntity[entity]
+	if !ok {
+		c = ts.NewContAgg(fmt.Sprintf("%s@%d", a.spec.Metric, entity), a.spec.Bucket, a.spec.Agg)
+		a.byEntity[entity] = c
+	}
+	return c
+}
+
+// seed builds the initial per-entity views while every shard is locked
+// (the Subscribe barrier), so the views plus the mutation stream cover
+// every point exactly once.
+func (a *MatAgg) seed(v tsstore.SeedView) {
+	for _, k := range v.Keys() {
+		if k.Metric != a.spec.Metric {
+			continue
+		}
+		raw := ts.New(fmt.Sprintf("%s@%d", k.Metric, k.Entity))
+		v.Scan(k, a.start, a.end, func(t ts.Time, val float64) { raw.MustAppend(t, val) })
+		c := ts.NewContAgg("", a.spec.Bucket, a.spec.Agg)
+		c.Seed(raw)
+		a.byEntity[k.Entity] = c
+	}
+}
+
+// OnMutation implements tsstore.Observer.
+func (a *MatAgg) OnMutation(m tsstore.Mutation) {
+	if m.Key.Metric != a.spec.Metric {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if m.Kind == tsstore.MutDeleteSeries {
+		delete(a.byEntity, m.Key.Entity)
+		return
+	}
+	if m.T < a.start || m.T >= a.end {
+		return
+	}
+	c := a.contFor(m.Key.Entity)
+	if c.Observe(m.T, m.V) {
+		a.deltas.Add(1)
+		return
+	}
+	a.rescans.Add(1)
+	// Bucket-local rescan through the already-held shard lock; the store
+	// reflects the mutation, so the fold is exact.
+	var vals []float64
+	for _, b := range c.DirtyBuckets() {
+		lo, hi := b, b+a.spec.Bucket
+		if lo < a.start {
+			lo = a.start
+		}
+		if hi > a.end {
+			hi = a.end
+		}
+		vals = vals[:0]
+		m.Scan(lo, hi, func(_ ts.Time, val float64) { vals = append(vals, val) })
+		c.Finalize(b, vals)
+	}
+}
+
+// Series returns an owned snapshot of one entity's materialized view, or
+// nil when the entity has no points in the window.
+func (a *MatAgg) Series(entity uint32) *ts.Series {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.byEntity[entity]
+	if !ok {
+		return nil
+	}
+	return c.Snapshot()
+}
+
+// Value returns the materialized value of the bucket starting at b for one
+// entity.
+func (a *MatAgg) Value(entity uint32, b ts.Time) (float64, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	c, ok := a.byEntity[entity]
+	if !ok {
+		return 0, false
+	}
+	return c.View().Lookup(b)
+}
+
+// Entities lists the entities with materialized state, ascending.
+func (a *MatAgg) Entities() []uint32 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make([]uint32, 0, len(a.byEntity))
+	for e := range a.byEntity {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -2,6 +2,19 @@ package ts
 
 import "fmt"
 
+// BucketStart returns the start of the width-aligned bucket containing t:
+// the largest multiple of width that is <= t, correct for negative times.
+// Resample and the incremental ContAgg share this alignment so a
+// materialized view and a from-scratch recompute land points in identical
+// buckets.
+func BucketStart(t, width Time) Time {
+	b := t / width * width
+	if t < 0 && t%width != 0 {
+		b -= width
+	}
+	return b
+}
+
 // Resample downsamples the series to buckets of the given width, applying f
 // within each bucket. Bucket boundaries are aligned to multiples of width;
 // the output point for a bucket is stamped at the bucket start. Empty
@@ -13,13 +26,7 @@ func (s *Series) Resample(width Time, f AggFunc) *Series {
 	if width <= 0 || s.Len() == 0 {
 		return out
 	}
-	bucketOf := func(t Time) Time {
-		b := t / width * width
-		if t < 0 && t%width != 0 {
-			b -= width
-		}
-		return b
-	}
+	bucketOf := func(t Time) Time { return BucketStart(t, width) }
 	start := 0
 	cur := bucketOf(s.times[0])
 	flush := func(hi int) {
